@@ -1,0 +1,56 @@
+//! Benchmarks for the communication model (the Table 1/Table 2 kernels and
+//! whole-plan evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypar_comm::{
+    inter_elems, intra_elems, level_cost, LayerCommTensors, LayerScale, NetworkCommTensors,
+    Parallelism, ScaleState,
+};
+use hypar_core::{baselines, evaluate::evaluate_plan};
+use hypar_models::zoo;
+use std::hint::black_box;
+
+fn bench_table1_table2(c: &mut Criterion) {
+    let conv = LayerCommTensors::conv("conv5", 32, (512, 14, 14), 3, 512, (14, 14), (7, 7));
+    let scale = LayerScale::default();
+    c.bench_function("table1_intra", |b| {
+        b.iter(|| {
+            intra_elems(Parallelism::Data, black_box(&conv), scale)
+                + intra_elems(Parallelism::Model, black_box(&conv), scale)
+        });
+    });
+    c.bench_function("table2_inter", |b| {
+        b.iter(|| {
+            inter_elems(Parallelism::Data, Parallelism::Model, black_box(3.2e6), 0.25)
+                + inter_elems(Parallelism::Model, Parallelism::Data, black_box(3.2e6), 0.25)
+        });
+    });
+}
+
+fn bench_level_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("level_cost");
+    for name in ["Lenet-c", "VGG-E"] {
+        let net = NetworkCommTensors::from_network(&zoo::by_name(name).unwrap(), 256).unwrap();
+        let scales = ScaleState::identity(net.len());
+        let assignment: Vec<Parallelism> = net
+            .layers()
+            .iter()
+            .map(|l| if l.is_conv { Parallelism::Data } else { Parallelism::Model })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &net, |b, net| {
+            b.iter(|| level_cost(black_box(net), &scales, &assignment));
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluate_plan(c: &mut Criterion) {
+    let net = NetworkCommTensors::from_network(&zoo::vgg_e(), 256).unwrap();
+    let plan = baselines::one_weird_trick(&net, 4);
+    c.bench_function("evaluate_plan_vgg_e_h4", |b| {
+        b.iter(|| evaluate_plan(black_box(&net), plan.levels()));
+    });
+}
+
+criterion_group!(benches, bench_table1_table2, bench_level_cost, bench_evaluate_plan);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! One benchmark per paper artifact: regenerating each table and figure
+//! end-to-end (the same code paths the `repro` binary runs).
+//!
+//! The heavyweight sweeps (Figures 9/10: 256 simulations each) use reduced
+//! Criterion sample counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hypar_bench::experiments::{fig10, fig11, fig12, fig13, fig5, fig9, overall, tables};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1", |b| b.iter(|| black_box(tables::table1())));
+    c.bench_function("table2", |b| b.iter(|| black_box(tables::table2())));
+    c.bench_function("table3", |b| b.iter(|| black_box(tables::table3())));
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_optimized_parallelisms", |b| b.iter(|| black_box(fig5::run())));
+}
+
+fn bench_overall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6to8_overall");
+    group.sample_size(10);
+    group.bench_function("run", |b| b.iter(|| black_box(overall::run())));
+    group.finish();
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("design_space_sweeps");
+    group.sample_size(10);
+    group.bench_function("fig9_lenet", |b| b.iter(|| black_box(fig9::run())));
+    group.bench_function("fig10_vgg_a", |b| b.iter(|| black_box(fig10::run())));
+    group.finish();
+}
+
+fn bench_scalability_and_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_fig12_fig13");
+    group.sample_size(10);
+    group.bench_function("fig11_scalability", |b| b.iter(|| black_box(fig11::run())));
+    group.bench_function("fig12_topology", |b| b.iter(|| black_box(fig12::run())));
+    group.bench_function("fig13_trick", |b| b.iter(|| black_box(fig13::run())));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_fig5,
+    bench_overall,
+    bench_sweeps,
+    bench_scalability_and_topology
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Benchmarks for the partition search — including the paper's complexity
+//! claim: Algorithm 1 is linear in the number of weighted layers (§4.1),
+//! so doubling the chain length should roughly double the runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypar_comm::{LayerCommTensors, NetworkCommTensors, ScaleState};
+use hypar_core::{hierarchical, two_group};
+use hypar_models::zoo;
+use std::hint::black_box;
+
+/// A synthetic alternating conv/fc chain of the given length.
+fn synthetic_chain(num_layers: usize) -> NetworkCommTensors {
+    let layers = (0..num_layers)
+        .map(|i| {
+            if i % 2 == 0 {
+                LayerCommTensors::conv(
+                    format!("conv{i}"),
+                    64,
+                    (32, 16, 16),
+                    3,
+                    32,
+                    (16, 16),
+                    (16, 16),
+                )
+            } else {
+                LayerCommTensors::fully_connected(format!("fc{i}"), 64, 2048, 2048)
+            }
+        })
+        .collect();
+    NetworkCommTensors::from_layers("chain", 64, layers)
+}
+
+fn bench_linear_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_group_partition_linear");
+    for num_layers in [16usize, 64, 256, 1024] {
+        let net = synthetic_chain(num_layers);
+        let scales = ScaleState::identity(num_layers);
+        group.bench_with_input(BenchmarkId::from_parameter(num_layers), &net, |b, net| {
+            b.iter(|| two_group::partition(black_box(net), black_box(&scales)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hierarchical_zoo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchical_partition_zoo");
+    for name in ["Lenet-c", "AlexNet", "VGG-E"] {
+        let net = NetworkCommTensors::from_network(&zoo::by_name(name).unwrap(), 256).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &net, |b, net| {
+            b.iter(|| hierarchical::partition(black_box(net), 4));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linear_time, bench_hierarchical_zoo);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Benchmarks for the event-driven simulator: one full training-step
+//! simulation per scheme and network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypar_comm::NetworkCommTensors;
+use hypar_core::{baselines, hierarchical};
+use hypar_models::{zoo, NetworkShapes};
+use hypar_sim::{training, ArchConfig};
+use std::hint::black_box;
+
+fn bench_simulate_step(c: &mut Criterion) {
+    let cfg = ArchConfig::paper();
+    let mut group = c.benchmark_group("simulate_step");
+    for name in ["Lenet-c", "AlexNet", "VGG-A"] {
+        let shapes = NetworkShapes::infer(&zoo::by_name(name).unwrap(), 256).unwrap();
+        let net = NetworkCommTensors::from_shapes(&shapes);
+        for (scheme, plan) in [
+            ("hypar", hierarchical::partition(&net, 4)),
+            ("dp", baselines::all_data(&net, 4)),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, scheme),
+                &(&shapes, plan),
+                |b, (shapes, plan)| {
+                    b.iter(|| training::simulate_step(black_box(shapes), plan, &cfg));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_large_array(c: &mut Criterion) {
+    // 64 accelerators: the largest Figure 11 configuration.
+    let shapes = NetworkShapes::infer(&zoo::vgg_a(), 256).unwrap();
+    let net = NetworkCommTensors::from_shapes(&shapes);
+    let plan = hierarchical::partition(&net, 6);
+    let cfg = ArchConfig::paper();
+    c.bench_function("simulate_step_vgg_a_64_accels", |b| {
+        b.iter(|| training::simulate_step(black_box(&shapes), &plan, &cfg));
+    });
+}
+
+criterion_group!(benches, bench_simulate_step, bench_large_array);
+criterion_main!(benches);

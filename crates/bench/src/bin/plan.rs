@@ -1,0 +1,135 @@
+//! Plan and simulate any zoo network on an accelerator array.
+//!
+//! ```text
+//! plan <network> [--batch N] [--levels H] [--torus] [--overlap]
+//!                [--scheme hypar|dp|mp|owt] [--trace FILE]
+//! ```
+//!
+//! Prints the Figure-5-style parallelism grid and the simulated training
+//! step (time, energy, communication).
+
+use std::process::ExitCode;
+
+use hypar_comm::NetworkCommTensors;
+use hypar_core::{baselines, hierarchical, HierarchicalPlan};
+use hypar_models::{zoo, NetworkShapes};
+use hypar_sim::{training, ArchConfig, Topology};
+
+fn usage() -> String {
+    format!(
+        "usage: plan <network> [--batch N] [--levels H] [--torus] [--overlap] \
+         [--scheme hypar|dp|mp|owt] [--trace FILE]\n  networks: {}",
+        zoo::NAMES.join(", ")
+    )
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(name) = args.next() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    if name == "--help" || name == "-h" {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let Some(network) = zoo::by_name(&name) else {
+        eprintln!("unknown network `{name}`\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+
+    let mut batch = 256u64;
+    let mut levels = 4usize;
+    let mut cfg = ArchConfig::paper();
+    let mut scheme = "hypar".to_owned();
+    let mut trace_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--batch" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => batch = v,
+                None => {
+                    eprintln!("--batch expects a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--levels" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v <= 16 => levels = v,
+                _ => {
+                    eprintln!("--levels expects an integer in 0..=16");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--torus" => cfg = cfg.with_topology(Topology::Torus),
+            "--overlap" => cfg = cfg.with_overlap(true),
+            "--scheme" => match args.next() {
+                Some(v) => scheme = v,
+                None => {
+                    eprintln!("--scheme expects hypar|dp|mp|owt");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace" => match args.next() {
+                Some(v) => trace_path = Some(v),
+                None => {
+                    eprintln!("--trace expects a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let shapes = match NetworkShapes::infer(&network, batch) {
+        Ok(shapes) => shapes,
+        Err(err) => {
+            eprintln!("shape inference failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tensors = NetworkCommTensors::from_shapes(&shapes);
+    let plan: HierarchicalPlan = match scheme.as_str() {
+        "hypar" => hierarchical::partition(&tensors, levels),
+        "dp" => baselines::all_data(&tensors, levels),
+        "mp" => baselines::all_model(&tensors, levels),
+        "owt" => baselines::one_weird_trick(&tensors, levels),
+        other => {
+            eprintln!("unknown scheme `{other}` (expected hypar|dp|mp|owt)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("{plan}");
+    let report = if let Some(path) = &trace_path {
+        let (report, trace) = training::simulate_step_traced(&shapes, &plan, &cfg);
+        if let Err(err) = std::fs::write(path, trace) {
+            eprintln!("failed to write trace to {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote chrome://tracing schedule to {path}");
+        report
+    } else {
+        training::simulate_step(&shapes, &plan, &cfg)
+    };
+    println!("simulated training step on {} accelerators ({}):", plan.num_accelerators(), cfg.topology);
+    println!("  step time      : {}", report.step_time);
+    println!("  energy         : {}", report.energy);
+    println!(
+        "    compute {} / dram {} / network {}",
+        report.compute_energy, report.dram_energy, report.link_energy
+    );
+    println!("  communication  : {}", report.comm_bytes);
+    for (h, bytes) in report.comm_bytes_per_level.iter().enumerate() {
+        println!("    level H{}     : {}", h + 1, bytes);
+    }
+    println!("  dram traffic   : {}", report.dram_bytes);
+    println!(
+        "  footprint/accel: {} (fits {} HMC: {})",
+        report.dram_footprint_bytes,
+        hypar_tensor::Bytes(cfg.dram_capacity_bytes),
+        report.fits_capacity(cfg.dram_capacity_bytes)
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,161 @@
+//! Regenerates every table and figure of the HyPar paper.
+//!
+//! ```text
+//! repro [--exp <id>[,<id>...]] [--json <path>]
+//!
+//!   --exp    table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 fig11
+//!            fig12 fig13, or `all` (default)
+//!   --json   additionally dump the raw experiment data as JSON
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use hypar_bench::experiments::{
+    self, ablation, batch_study, fig10, fig11, fig12, fig13, fig5, fig9, overall, pe_model,
+    tables,
+};
+
+fn usage() -> String {
+    format!(
+        "usage: repro [--exp <id>[,<id>...]] [--json <path>]\n  ids: {} fig13 ablation pe batch all",
+        experiments::EXPERIMENT_IDS.join(" ")
+    )
+}
+
+fn main() -> ExitCode {
+    let mut requested: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--exp" => {
+                let Some(value) = args.next() else {
+                    eprintln!("{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                requested.extend(value.split(',').map(str::to_owned));
+            }
+            "--json" => {
+                let Some(value) = args.next() else {
+                    eprintln!("{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                json_path = Some(value);
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if requested.is_empty() || requested.iter().any(|r| r == "all") {
+        requested = experiments::all_ids().iter().map(|s| (*s).to_owned()).collect();
+    }
+
+    let mut json: BTreeMap<String, serde_json::Value> = BTreeMap::new();
+    // Figures 6-8 share one simulation campaign; run it at most once.
+    let mut overall_data: Option<overall::Overall> = None;
+    let overall_cached = |data: &mut Option<overall::Overall>| -> overall::Overall {
+        data.get_or_insert_with(overall::run).clone()
+    };
+
+    for id in &requested {
+        match id.as_str() {
+            "table1" => {
+                let t = tables::table1();
+                println!("{}", tables::table1_table(&t));
+                json.insert(id.clone(), serde_json::to_value(&t).expect("serializable"));
+            }
+            "table2" => {
+                let t = tables::table2();
+                println!("{}", tables::table2_table(&t));
+                json.insert(id.clone(), serde_json::to_value(&t).expect("serializable"));
+            }
+            "table3" => {
+                let t = tables::table3();
+                println!("{}", tables::table3_table(&t));
+                json.insert(id.clone(), serde_json::to_value(&t).expect("serializable"));
+            }
+            "fig5" => {
+                let f = fig5::run();
+                println!("{}", fig5::render(&f));
+                json.insert(id.clone(), serde_json::to_value(&f).expect("serializable"));
+            }
+            "fig6" => {
+                let o = overall_cached(&mut overall_data);
+                println!("{}", overall::fig6_table(&o));
+                json.insert(id.clone(), serde_json::to_value(&o).expect("serializable"));
+            }
+            "fig7" => {
+                let o = overall_cached(&mut overall_data);
+                println!("{}", overall::fig7_table(&o));
+                json.insert(id.clone(), serde_json::to_value(&o).expect("serializable"));
+            }
+            "fig8" => {
+                let o = overall_cached(&mut overall_data);
+                println!("{}", overall::fig8_table(&o));
+                json.insert(id.clone(), serde_json::to_value(&o).expect("serializable"));
+            }
+            "fig9" => {
+                let f = fig9::run();
+                println!("{}", fig9::summary_table(&f));
+                json.insert(id.clone(), serde_json::to_value(&f).expect("serializable"));
+            }
+            "fig10" => {
+                let f = fig10::run();
+                println!("{}", fig10::summary_table(&f));
+                json.insert(id.clone(), serde_json::to_value(&f).expect("serializable"));
+            }
+            "fig11" => {
+                let f = fig11::run();
+                println!("{}", fig11::table(&f));
+                json.insert(id.clone(), serde_json::to_value(&f).expect("serializable"));
+            }
+            "fig12" => {
+                let f = fig12::run();
+                println!("{}", fig12::table(&f));
+                json.insert(id.clone(), serde_json::to_value(&f).expect("serializable"));
+            }
+            "fig13" => {
+                let f = fig13::run();
+                println!("{}", fig13::table(&f));
+                json.insert(id.clone(), serde_json::to_value(&f).expect("serializable"));
+            }
+            "ablation" => {
+                let a = ablation::run();
+                println!("{}", ablation::render(&a));
+                json.insert(id.clone(), serde_json::to_value(&a).expect("serializable"));
+            }
+            "pe" => {
+                let a = pe_model::run();
+                println!("{}", pe_model::table(&a));
+                json.insert(id.clone(), serde_json::to_value(&a).expect("serializable"));
+            }
+            "batch" => {
+                let s = batch_study::run();
+                println!("{}", batch_study::table(&s));
+                json.insert(id.clone(), serde_json::to_value(&s).expect("serializable"));
+            }
+            other => {
+                eprintln!("unknown experiment `{other}`\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = json_path {
+        let payload = serde_json::to_string_pretty(&json).expect("serializable");
+        if let Err(err) = std::fs::write(&path, payload) {
+            eprintln!("failed to write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote JSON results to {path}");
+    }
+    ExitCode::SUCCESS
+}

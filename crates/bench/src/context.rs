@@ -1,0 +1,75 @@
+//! Shared setup helpers for the experiments.
+
+use hypar_comm::{NetworkCommTensors, Parallelism};
+use hypar_core::{evaluate::evaluate_plan, HierarchicalPlan};
+use hypar_models::{zoo, NetworkShapes};
+
+/// The paper's evaluation batch size (§6.1).
+pub const PAPER_BATCH: u64 = 256;
+
+/// The paper's hierarchy depth: four levels, sixteen accelerators.
+pub const PAPER_LEVELS: usize = 4;
+
+/// Inferred shapes for a zoo network.
+///
+/// # Panics
+///
+/// Panics on an unknown network name (the experiment registry only uses
+/// zoo names).
+#[must_use]
+pub fn shapes(name: &str, batch: u64) -> NetworkShapes {
+    let net = zoo::by_name(name).unwrap_or_else(|| panic!("unknown zoo network `{name}`"));
+    NetworkShapes::infer(&net, batch).expect("zoo networks are valid")
+}
+
+/// Communication-model view for a zoo network.
+#[must_use]
+pub fn view(name: &str, batch: u64) -> NetworkCommTensors {
+    NetworkCommTensors::from_shapes(&shapes(name, batch))
+}
+
+/// Wraps explicit per-level assignments into a costed [`HierarchicalPlan`]
+/// (used by the Figure 9/10 sweeps to simulate arbitrary points).
+#[must_use]
+pub fn plan_from_levels(
+    net: &NetworkCommTensors,
+    levels: Vec<Vec<Parallelism>>,
+) -> HierarchicalPlan {
+    let total = evaluate_plan(net, &levels).total_elems();
+    HierarchicalPlan::from_parts(
+        net.name(),
+        net.layers().iter().map(|l| l.name.clone()).collect(),
+        levels,
+        total,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_view_agree() {
+        let s = shapes("Lenet-c", PAPER_BATCH);
+        let v = view("Lenet-c", PAPER_BATCH);
+        assert_eq!(s.len(), v.len());
+        assert_eq!(v.batch(), PAPER_BATCH);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown zoo network")]
+    fn unknown_name_panics() {
+        let _ = shapes("NopeNet", 1);
+    }
+
+    #[test]
+    fn plan_from_levels_costs_with_the_model() {
+        let net = view("Lenet-c", PAPER_BATCH);
+        let levels = vec![vec![Parallelism::Data; 4]; 2];
+        let plan = plan_from_levels(&net, levels.clone());
+        assert_eq!(
+            plan.total_comm_elems(),
+            evaluate_plan(&net, &levels).total_elems()
+        );
+    }
+}

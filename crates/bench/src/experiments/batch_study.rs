@@ -1,0 +1,139 @@
+//! Batch-size study (extension of the paper's §6.5.2 discussion).
+//!
+//! The paper motivates Figure 13 with the observation that batch size
+//! should be *chosen* — large for training throughput, small for
+//! generalization — and that the best parallelism depends on it: the dp
+//! cost `A(ΔW)` is batch-independent while the mp cost `A(F_{l+1})`
+//! scales linearly with the batch.  This experiment sweeps the batch from
+//! 32 to 4096 on VGG-A and reports how HyPar's plan and its advantage over
+//! Data Parallelism shift.
+
+use hypar_comm::{NetworkCommTensors, Parallelism};
+use hypar_core::{baselines, hierarchical};
+use hypar_models::{zoo, NetworkShapes};
+use hypar_sim::{training, ArchConfig};
+use serde::Serialize;
+
+use crate::context::PAPER_LEVELS;
+use crate::report::{ratio, Table};
+
+/// One batch size.
+#[derive(Clone, Debug, Serialize)]
+pub struct BatchRow {
+    /// Mini-batch size.
+    pub batch: u64,
+    /// Number of model-parallel choices in HyPar's plan (out of `L·H`).
+    pub mp_choices: usize,
+    /// HyPar performance normalized to Data Parallelism.
+    pub speedup: f64,
+    /// HyPar communication as a fraction of Data Parallelism's.
+    pub comm_fraction: f64,
+}
+
+/// The batch-size study dataset.
+#[derive(Clone, Debug, Serialize)]
+pub struct BatchStudy {
+    /// Network studied.
+    pub network: String,
+    /// Rows for batch 32..4096.
+    pub rows: Vec<BatchRow>,
+}
+
+/// Runs the study on VGG-A.
+#[must_use]
+pub fn run() -> BatchStudy {
+    run_for("VGG-A")
+}
+
+/// Runs the study for any zoo network.
+#[must_use]
+pub fn run_for(name: &str) -> BatchStudy {
+    let network = zoo::by_name(name).expect("zoo network");
+    let cfg = ArchConfig::paper();
+    let rows = [32u64, 128, 256, 1024, 4096]
+        .iter()
+        .map(|&batch| {
+            let shapes = NetworkShapes::infer(&network, batch).expect("valid network");
+            let net = NetworkCommTensors::from_shapes(&shapes);
+            let hypar = hierarchical::partition(&net, PAPER_LEVELS);
+            let dp = baselines::all_data(&net, PAPER_LEVELS);
+            let h_report = training::simulate_step(&shapes, &hypar, &cfg);
+            let d_report = training::simulate_step(&shapes, &dp, &cfg);
+            BatchRow {
+                batch,
+                mp_choices: hypar
+                    .levels()
+                    .iter()
+                    .flatten()
+                    .filter(|&&p| p == Parallelism::Model)
+                    .count(),
+                speedup: h_report.performance_gain_over(&d_report),
+                comm_fraction: h_report.comm_bytes.value() / d_report.comm_bytes.value(),
+            }
+        })
+        .collect();
+    BatchStudy { network: name.to_owned(), rows }
+}
+
+/// Renders the study.
+#[must_use]
+pub fn table(s: &BatchStudy) -> Table {
+    let mut t = Table::new(
+        format!("Batch-size study on {} (16 accelerators)", s.network),
+        &["batch", "mp choices", "HyPar/DP perf", "HyPar/DP comm"],
+    );
+    for r in &s.rows {
+        t.row(&[
+            r.batch.to_string(),
+            r.mp_choices.to_string(),
+            ratio(r.speedup),
+            format!("{:.3}", r.comm_fraction),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> &'static BatchStudy {
+        use std::sync::OnceLock;
+        static DATA: OnceLock<BatchStudy> = OnceLock::new();
+        DATA.get_or_init(run)
+    }
+
+    #[test]
+    fn small_batches_use_more_model_parallelism() {
+        // A(F_out) shrinks with the batch, so mp becomes attractive for
+        // more (layer, level) slots at small batches.
+        let rows = &dataset().rows;
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        assert!(first.batch < last.batch);
+        assert!(
+            first.mp_choices >= last.mp_choices,
+            "b{}: {} mp slots vs b{}: {}",
+            first.batch,
+            first.mp_choices,
+            last.batch,
+            last.mp_choices
+        );
+    }
+
+    #[test]
+    fn hypar_always_communicates_less_than_dp() {
+        for r in &dataset().rows {
+            assert!(r.comm_fraction <= 1.0 + 1e-12, "b{}: {}", r.batch, r.comm_fraction);
+            assert!(r.speedup >= 1.0 - 1e-9, "b{}: {}", r.batch, r.speedup);
+        }
+    }
+
+    #[test]
+    fn covers_the_paper_batch_range() {
+        let batches: Vec<u64> = dataset().rows.iter().map(|r| r.batch).collect();
+        assert!(batches.contains(&32));
+        assert!(batches.contains(&4096));
+        assert!(batches.contains(&256));
+    }
+}

@@ -1,0 +1,142 @@
+//! Figure 11: scalability of HyPar vs Data Parallelism on VGG-A, from 1 to
+//! 64 accelerators.
+//!
+//! Performance gains are normalized to a single accelerator; the second
+//! series is the total communication per step.
+
+use hypar_core::{baselines, hierarchical};
+use hypar_sim::{training, ArchConfig};
+use serde::Serialize;
+
+use crate::context::{shapes, view, PAPER_BATCH};
+use crate::report::{gigabytes, ratio, Table};
+
+/// One array size.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig11Row {
+    /// Number of accelerators (`2^H`).
+    pub accelerators: u64,
+    /// HyPar performance gain over one accelerator.
+    pub hypar_gain: f64,
+    /// Data Parallelism performance gain over one accelerator.
+    pub dp_gain: f64,
+    /// HyPar total communication per step, GB.
+    pub hypar_comm_gb: f64,
+    /// Data Parallelism total communication per step, GB.
+    pub dp_comm_gb: f64,
+}
+
+/// The Figure 11 dataset.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig11 {
+    /// Rows for 1, 2, 4, ..., 64 accelerators.
+    pub rows: Vec<Fig11Row>,
+}
+
+/// Runs the scalability study on VGG-A.
+#[must_use]
+pub fn run() -> Fig11 {
+    run_for("VGG-A")
+}
+
+/// Runs the scalability study for any zoo network.
+#[must_use]
+pub fn run_for(name: &str) -> Fig11 {
+    let shapes = shapes(name, PAPER_BATCH);
+    let net = view(name, PAPER_BATCH);
+    let cfg = ArchConfig::paper();
+    let single = training::simulate_single_accelerator(&shapes, &cfg);
+
+    let rows = (0..=6usize)
+        .map(|levels| {
+            let hypar = hierarchical::partition(&net, levels);
+            let dp = baselines::all_data(&net, levels);
+            let hypar_report = training::simulate_step(&shapes, &hypar, &cfg);
+            let dp_report = training::simulate_step(&shapes, &dp, &cfg);
+            Fig11Row {
+                accelerators: 1 << levels,
+                hypar_gain: hypar_report.performance_gain_over(&single),
+                dp_gain: dp_report.performance_gain_over(&single),
+                hypar_comm_gb: hypar_report.comm_bytes.gigabytes(),
+                dp_comm_gb: dp_report.comm_bytes.gigabytes(),
+            }
+        })
+        .collect();
+    Fig11 { rows }
+}
+
+/// Renders the scalability table.
+#[must_use]
+pub fn table(fig: &Fig11) -> Table {
+    let mut t = Table::new(
+        "Figure 11: scalability on VGG-A (gain vs 1 accelerator; comm per step)",
+        &["accels", "HyPar gain", "DP gain", "HyPar comm (GB)", "DP comm (GB)"],
+    );
+    for r in &fig.rows {
+        t.row(&[
+            r.accelerators.to_string(),
+            ratio(r.hypar_gain),
+            ratio(r.dp_gain),
+            gigabytes(r.hypar_comm_gb * 1e9),
+            gigabytes(r.dp_comm_gb * 1e9),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> &'static Fig11 {
+        use std::sync::OnceLock;
+        static DATA: OnceLock<Fig11> = OnceLock::new();
+        DATA.get_or_init(run)
+    }
+
+    #[test]
+    fn covers_1_to_64() {
+        let accels: Vec<u64> = dataset().rows.iter().map(|r| r.accelerators).collect();
+        assert_eq!(accels, vec![1, 2, 4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn hypar_always_at_least_matches_dp() {
+        for r in &dataset().rows {
+            assert!(
+                r.hypar_gain >= r.dp_gain * (1.0 - 1e-9),
+                "at {} accels: hypar {} vs dp {}",
+                r.accelerators,
+                r.hypar_gain,
+                r.dp_gain
+            );
+            assert!(r.hypar_comm_gb <= r.dp_comm_gb + 1e-12);
+        }
+    }
+
+    #[test]
+    fn dp_gain_saturates_or_degrades_at_scale() {
+        // The paper: DP's gain decreases beyond 8 accelerators.
+        let rows = &dataset().rows;
+        let dp_at = |n: u64| rows.iter().find(|r| r.accelerators == n).unwrap().dp_gain;
+        assert!(dp_at(64) < dp_at(8) * 1.5, "DP should not keep scaling: {:?}",
+            rows.iter().map(|r| r.dp_gain).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hypar_scales_further_than_dp() {
+        let rows = &dataset().rows;
+        let best_hypar = rows.iter().max_by(|a, b| a.hypar_gain.total_cmp(&b.hypar_gain)).unwrap();
+        let best_dp = rows.iter().max_by(|a, b| a.dp_gain.total_cmp(&b.dp_gain)).unwrap();
+        assert!(best_hypar.hypar_gain > best_dp.dp_gain);
+        assert!(best_hypar.accelerators >= best_dp.accelerators);
+    }
+
+    #[test]
+    fn single_accelerator_row_is_unity() {
+        let first = &dataset().rows[0];
+        assert!((first.hypar_gain - 1.0).abs() < 1e-9);
+        assert!((first.dp_gain - 1.0).abs() < 1e-9);
+        assert_eq!(first.hypar_comm_gb, 0.0);
+    }
+}

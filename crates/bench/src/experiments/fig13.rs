@@ -1,0 +1,172 @@
+//! Figure 13: HyPar vs Krizhevsky's "one weird trick" on single layers.
+//!
+//! The paper isolates `conv5` and `fc3` of VGG-E as one-layer workloads:
+//! `conv5` at the small accuracy-friendly batch 32, `fc3` at the large
+//! throughput-friendly batch 4096, each under hierarchies of 2, 3 and 4
+//! levels.  The trick fixes conv→dp and fc→mp at every level; HyPar's
+//! scale-aware search flips parallelism at deep levels once the per-group
+//! batch has shrunk (§6.5.2), which is where its advantage comes from.
+
+use hypar_core::{baselines, hierarchical};
+use hypar_models::{ConvSpec, Network, NetworkShapes};
+use hypar_sim::{training, ArchConfig};
+use hypar_tensor::FeatureDims;
+use serde::Serialize;
+
+use crate::report::{gmean, ratio, Table};
+
+/// One workload × hierarchy configuration.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig13Row {
+    /// Label in the paper's format, e.g. `conv5-b32-h4`.
+    pub label: String,
+    /// HyPar performance relative to the trick.
+    pub perf: f64,
+    /// HyPar energy efficiency relative to the trick.
+    pub energy: f64,
+    /// HyPar's per-level choices for the layer (H1 first).
+    pub hypar_bits: String,
+    /// The trick's per-level choices.
+    pub trick_bits: String,
+}
+
+/// The Figure 13 dataset.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig13 {
+    /// The six configuration rows.
+    pub rows: Vec<Fig13Row>,
+    /// Geometric means of (perf, energy).
+    pub gmean: (f64, f64),
+}
+
+/// VGG-E's `conv5` block layer as a standalone workload: 3×3×512×512 on
+/// 14×14 maps (`A(ΔW) = 2,359,296`, matching §6.5.2).
+#[must_use]
+pub fn conv5_network() -> Network {
+    Network::builder("conv5", FeatureDims::new(512, 14, 14))
+        .conv("conv5", ConvSpec::same(512, 3))
+        .build()
+        .expect("conv5 is a valid single-layer network")
+}
+
+/// VGG-E's `fc3` as a standalone workload: 4096 → 1000.
+#[must_use]
+pub fn fc3_network() -> Network {
+    Network::builder("fc3", FeatureDims::flat(4096))
+        .fully_connected("fc3", 1000)
+        .build()
+        .expect("fc3 is a valid single-layer network")
+}
+
+/// Runs the six configurations.
+#[must_use]
+pub fn run() -> Fig13 {
+    let cfg = ArchConfig::paper();
+    let cases: [(&str, Network, u64); 2] =
+        [("conv5-b32", conv5_network(), 32), ("fc3-b4096", fc3_network(), 4096)];
+
+    let mut rows = Vec::new();
+    for (label, network, batch) in &cases {
+        for levels in [2usize, 3, 4] {
+            let shapes = NetworkShapes::infer(network, *batch).expect("valid network");
+            let net = hypar_comm::NetworkCommTensors::from_shapes(&shapes);
+            let hypar = hierarchical::partition(&net, levels);
+            let trick = baselines::one_weird_trick(&net, levels);
+            let hypar_report = training::simulate_step(&shapes, &hypar, &cfg);
+            let trick_report = training::simulate_step(&shapes, &trick, &cfg);
+            rows.push(Fig13Row {
+                label: format!("{label}-h{levels}"),
+                perf: hypar_report.performance_gain_over(&trick_report),
+                energy: hypar_report.energy_efficiency_over(&trick_report),
+                hypar_bits: (0..levels).map(|h| char::from(b'0' + hypar.choice(h, 0).bit())).collect(),
+                trick_bits: (0..levels).map(|h| char::from(b'0' + trick.choice(h, 0).bit())).collect(),
+            });
+        }
+    }
+
+    let gm = (
+        gmean(&rows.iter().map(|r| r.perf).collect::<Vec<_>>()),
+        gmean(&rows.iter().map(|r| r.energy).collect::<Vec<_>>()),
+    );
+    Fig13 { rows, gmean: gm }
+}
+
+/// Renders the comparison.
+#[must_use]
+pub fn table(fig: &Fig13) -> Table {
+    let mut t = Table::new(
+        "Figure 13: HyPar vs the trick [Krizhevsky 2014]",
+        &["config", "perf", "energy eff.", "HyPar plan", "trick plan"],
+    );
+    for r in &fig.rows {
+        t.row(&[
+            r.label.clone(),
+            ratio(r.perf),
+            ratio(r.energy),
+            r.hypar_bits.clone(),
+            r.trick_bits.clone(),
+        ]);
+    }
+    t.row(&[
+        "Gmean".into(),
+        ratio(fig.gmean.0),
+        ratio(fig.gmean.1),
+        String::new(),
+        String::new(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> &'static Fig13 {
+        use std::sync::OnceLock;
+        static DATA: OnceLock<Fig13> = OnceLock::new();
+        DATA.get_or_init(run)
+    }
+
+    #[test]
+    fn conv5_tensor_sizes_match_section_652() {
+        let shapes = NetworkShapes::infer(&conv5_network(), 32).unwrap();
+        assert_eq!(shapes.layer(0).weight_elems, 2_359_296);
+        assert_eq!(shapes.layer(0).f_out_elems(), 3_211_264);
+        let fc3 = NetworkShapes::infer(&fc3_network(), 4096).unwrap();
+        assert_eq!(fc3.layer(0).weight_elems, 4_096_000);
+        assert_eq!(fc3.layer(0).f_out_elems(), 4_096_000);
+    }
+
+    #[test]
+    fn hypar_never_loses_to_the_trick() {
+        for r in &dataset().rows {
+            assert!(r.perf >= 1.0 - 1e-9, "{}: perf {}", r.label, r.perf);
+            assert!(r.energy >= 1.0 - 1e-9, "{}: energy {}", r.label, r.energy);
+        }
+    }
+
+    #[test]
+    fn deeper_hierarchies_widen_the_conv5_gap() {
+        // Figure 13: conv5-b32 gains grow with hierarchy depth (1.16 ->
+        // 1.54 -> 2.20 in the paper).
+        let perf_at = |label: &str| dataset().rows.iter().find(|r| r.label == label).unwrap().perf;
+        assert!(perf_at("conv5-b32-h3") >= perf_at("conv5-b32-h2"));
+        assert!(perf_at("conv5-b32-h4") >= perf_at("conv5-b32-h3"));
+    }
+
+    #[test]
+    fn hypar_flips_parallelism_at_deep_levels() {
+        // §6.5.2: with the batch halved by upper dp levels, conv5 flips to
+        // mp somewhere below the top.
+        let h4 = dataset().rows.iter().find(|r| r.label == "conv5-b32-h4").unwrap();
+        assert_eq!(h4.trick_bits, "0000");
+        assert!(h4.hypar_bits.contains('1'), "HyPar plan {}", h4.hypar_bits);
+    }
+
+    #[test]
+    fn gmean_shows_an_overall_win() {
+        let fig = dataset();
+        assert!(fig.gmean.0 > 1.0);
+        assert!(fig.gmean.1 >= 1.0);
+    }
+}

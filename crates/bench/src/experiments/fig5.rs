@@ -1,0 +1,77 @@
+//! Figure 5: the optimized parallelism of every weighted layer at all four
+//! hierarchy levels, for the ten evaluation networks.
+
+use hypar_core::{hierarchical, HierarchicalPlan};
+use hypar_models::zoo;
+use serde::Serialize;
+
+use crate::context::{view, PAPER_BATCH, PAPER_LEVELS};
+
+/// The ten optimized plans of Figure 5.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig5 {
+    /// One plan per zoo network, in the paper's order.
+    pub plans: Vec<HierarchicalPlan>,
+}
+
+/// Runs the HyPar partition for all ten networks at the paper's batch size
+/// and hierarchy depth.
+#[must_use]
+pub fn run() -> Fig5 {
+    let plans = zoo::NAMES
+        .iter()
+        .map(|name| hierarchical::partition(&view(name, PAPER_BATCH), PAPER_LEVELS))
+        .collect();
+    Fig5 { plans }
+}
+
+/// Renders every plan as the Figure-5-style dp/mp grid.
+#[must_use]
+pub fn render(fig: &Fig5) -> String {
+    let mut out = String::from("== Figure 5: optimized parallelisms (dp/mp per layer per level) ==\n");
+    for plan in &fig.plans {
+        out.push('\n');
+        out.push_str(&plan.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypar_comm::Parallelism::{Data, Model};
+
+    #[test]
+    fn ten_plans_with_four_levels() {
+        let fig = run();
+        assert_eq!(fig.plans.len(), 10);
+        assert!(fig.plans.iter().all(|p| p.num_levels() == 4));
+    }
+
+    #[test]
+    fn figure5_qualitative_pattern_holds() {
+        let fig = run();
+        // SCONV (index 1): all dp. SFC (index 0): top level all mp except
+        // possibly the last tiny layer.
+        assert!(fig.plans[1].levels().iter().flatten().all(|&p| p == Data));
+        assert_eq!(fig.plans[0].choice(0, 0), Model);
+        // Every VGG: conv1_1 dp at H1, fc1 mp at H1.
+        for plan in &fig.plans[5..] {
+            assert_eq!(plan.choice(0, 0), Data, "{}", plan.network());
+            let fc1 = plan
+                .layer_names()
+                .iter()
+                .position(|n| n == "fc1")
+                .expect("VGG has fc1");
+            assert_eq!(plan.choice(0, fc1), Model, "{}", plan.network());
+        }
+    }
+
+    #[test]
+    fn render_contains_every_network() {
+        let text = render(&run());
+        for name in zoo::NAMES {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! PE-model ablation: flat peak-throughput roofline vs the row-stationary
+//! PE-array mapping (paper Figure 4(b)).
+//!
+//! The paper's headline results assume the processing units run near their
+//! 84 GOPS/s density; this experiment re-times every network with the
+//! analytical Eyeriss-style mapping (kernel folding, strip mining, reuse-
+//! dependent SRAM traffic) and checks that HyPar's advantage over Data
+//! Parallelism survives the more pessimistic compute model.
+
+use hypar_core::{baselines, hierarchical};
+use hypar_models::zoo;
+use hypar_sim::{pe::PeArray, training, ArchConfig};
+use serde::Serialize;
+
+use crate::context::{shapes, view, PAPER_BATCH, PAPER_LEVELS};
+use crate::report::{ratio, Table};
+
+/// One network under both compute models.
+#[derive(Clone, Debug, Serialize)]
+pub struct PeRow {
+    /// Network name.
+    pub network: String,
+    /// MAC-weighted average PE utilization under the row-stationary
+    /// mapping (whole network, unpartitioned slice).
+    pub avg_utilization: f64,
+    /// HyPar-over-DP speedup with the flat compute model.
+    pub speedup_flat: f64,
+    /// HyPar-over-DP speedup with the detailed PE model.
+    pub speedup_detailed: f64,
+    /// HyPar step-time inflation from switching to the detailed model.
+    pub hypar_slowdown: f64,
+}
+
+/// The PE ablation dataset.
+#[derive(Clone, Debug, Serialize)]
+pub struct PeAblation {
+    /// Per-network rows.
+    pub rows: Vec<PeRow>,
+}
+
+/// MAC-weighted utilization of a network on one processing unit.
+#[must_use]
+pub fn network_utilization(name: &str, batch: u64) -> f64 {
+    let shapes = shapes(name, batch);
+    let array = PeArray::paper();
+    let mut macs = 0.0f64;
+    let mut weighted = 0.0f64;
+    for layer in shapes.layers() {
+        let mapping = if layer.is_conv {
+            array.map_conv(
+                layer.kernel_extent,
+                layer.input.channels,
+                layer.conv_out.channels,
+                layer.conv_out.height,
+                layer.conv_out.width,
+                batch,
+            )
+        } else {
+            array.map_fc(layer.input.volume(), layer.conv_out.channels, batch)
+        };
+        macs += layer.macs_forward as f64;
+        weighted += layer.macs_forward as f64 * mapping.utilization;
+    }
+    weighted / macs
+}
+
+/// Runs the ablation over the ten networks.
+#[must_use]
+pub fn run() -> PeAblation {
+    let flat_cfg = ArchConfig::paper();
+    let detailed_cfg = ArchConfig::paper().with_detailed_pe();
+    let rows = zoo::NAMES
+        .iter()
+        .map(|name| {
+            let shapes = shapes(name, PAPER_BATCH);
+            let net = view(name, PAPER_BATCH);
+            let hypar = hierarchical::partition(&net, PAPER_LEVELS);
+            let dp = baselines::all_data(&net, PAPER_LEVELS);
+            let h_flat = training::simulate_step(&shapes, &hypar, &flat_cfg);
+            let d_flat = training::simulate_step(&shapes, &dp, &flat_cfg);
+            let h_det = training::simulate_step(&shapes, &hypar, &detailed_cfg);
+            let d_det = training::simulate_step(&shapes, &dp, &detailed_cfg);
+            PeRow {
+                network: (*name).to_owned(),
+                avg_utilization: network_utilization(name, PAPER_BATCH),
+                speedup_flat: h_flat.performance_gain_over(&d_flat),
+                speedup_detailed: h_det.performance_gain_over(&d_det),
+                hypar_slowdown: h_det.step_time.value() / h_flat.step_time.value(),
+            }
+        })
+        .collect();
+    PeAblation { rows }
+}
+
+/// Renders the ablation table.
+#[must_use]
+pub fn table(a: &PeAblation) -> Table {
+    let mut t = Table::new(
+        "PE ablation: flat roofline vs row-stationary mapping",
+        &["network", "avg util.", "HyPar/DP flat", "HyPar/DP detailed", "HyPar slowdown"],
+    );
+    for r in &a.rows {
+        t.row(&[
+            r.network.clone(),
+            format!("{:.2}", r.avg_utilization),
+            ratio(r.speedup_flat),
+            ratio(r.speedup_detailed),
+            ratio(r.hypar_slowdown),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> &'static PeAblation {
+        use std::sync::OnceLock;
+        static DATA: OnceLock<PeAblation> = OnceLock::new();
+        DATA.get_or_init(run)
+    }
+
+    #[test]
+    fn utilization_is_a_fraction_and_vgg_is_high() {
+        for r in &dataset().rows {
+            assert!(r.avg_utilization > 0.0 && r.avg_utilization <= 1.0, "{}", r.network);
+        }
+        let vgg = dataset().rows.iter().find(|r| r.network == "VGG-A").unwrap();
+        assert!(vgg.avg_utilization > 0.7, "VGG maps well: {}", vgg.avg_utilization);
+    }
+
+    #[test]
+    fn detailed_model_never_speeds_compute_up() {
+        for r in &dataset().rows {
+            assert!(r.hypar_slowdown >= 1.0 - 1e-9, "{}: {}", r.network, r.hypar_slowdown);
+        }
+    }
+
+    #[test]
+    fn hypar_still_wins_under_the_detailed_model() {
+        for r in &dataset().rows {
+            assert!(
+                r.speedup_detailed >= 1.0 - 1e-9,
+                "{}: detailed speedup {}",
+                r.network,
+                r.speedup_detailed
+            );
+        }
+    }
+
+    #[test]
+    fn small_map_networks_lose_the_most_utilization() {
+        // Lenet/SCONV have narrow late-layer maps; VGG keeps 14-wide maps.
+        let by_name: std::collections::HashMap<_, _> =
+            dataset().rows.iter().map(|r| (r.network.as_str(), r.avg_utilization)).collect();
+        assert!(by_name["SCONV"] < by_name["VGG-A"]);
+    }
+}

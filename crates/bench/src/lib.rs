@@ -1,0 +1,32 @@
+//! Experiment harness regenerating every table and figure of the HyPar
+//! paper.
+//!
+//! Each submodule of [`experiments`] corresponds to one artifact of the
+//! paper's evaluation (§6) and exposes a `run()` function returning a
+//! serializable result plus table renderers printing the same rows/series
+//! the paper reports:
+//!
+//! | module | paper artifact |
+//! |--------|----------------|
+//! | [`experiments::tables`]  | Tables 1–3 (communication model, SFC/SCONV hyper-parameters) |
+//! | [`experiments::fig5`]    | Figure 5 — optimized parallelisms for ten networks |
+//! | [`experiments::overall`] | Figures 6–8 — performance, energy efficiency, total communication |
+//! | [`experiments::fig9`]    | Figure 9 — Lenet-c parallelism-space exploration |
+//! | [`experiments::fig10`]   | Figure 10 — VGG-A conv5_2 × fc1 exploration |
+//! | [`experiments::fig11`]   | Figure 11 — scalability from 1 to 64 accelerators |
+//! | [`experiments::fig12`]   | Figure 12 — H-tree vs torus topology |
+//! | [`experiments::fig13`]   | Figure 13 — HyPar vs "one weird trick" |
+//!
+//! The `repro` binary drives them all:
+//!
+//! ```text
+//! cargo run -p hypar-bench --bin repro -- --exp all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod context;
+pub mod experiments;
+pub mod report;

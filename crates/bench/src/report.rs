@@ -1,0 +1,190 @@
+//! Text tables and small statistics helpers for the experiment harness.
+
+use std::fmt::Write as _;
+
+/// Geometric mean, the aggregate the paper uses throughout its figures.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains a non-positive value.
+///
+/// # Examples
+///
+/// ```
+/// use hypar_bench::report::gmean;
+/// assert!((gmean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn gmean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "gmean of an empty set");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "gmean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// A simple aligned text table used to print the paper-style rows of every
+/// experiment.
+///
+/// # Examples
+///
+/// ```
+/// use hypar_bench::report::Table;
+///
+/// let mut t = Table::new("demo", &["network", "gain"]);
+/// t.row(&["Lenet-c".to_string(), "3.05".to_string()]);
+/// let text = t.to_string();
+/// assert!(text.contains("Lenet-c"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        for (w, h) in widths.iter().zip(&self.headers) {
+            let _ = write!(out, "{h:>w$}  ");
+        }
+        let _ = writeln!(out);
+        for (w, _) in widths.iter().zip(&self.headers) {
+            let _ = write!(out, "{:->w$}  ", "");
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            for (w, cell) in widths.iter().zip(row) {
+                let _ = write!(out, "{cell:>w$}  ");
+            }
+            let _ = writeln!(out);
+        }
+        f.write_str(&out)
+    }
+}
+
+/// Formats a ratio the way the paper's figures label bars (3 significant
+/// digits).
+#[must_use]
+pub fn ratio(value: f64) -> String {
+    if value >= 100.0 {
+        format!("{value:.0}")
+    } else if value >= 10.0 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:.2}")
+    }
+}
+
+/// Formats a byte count in the paper's Figure 8 unit (GB, 3 significant
+/// digits).
+#[must_use]
+pub fn gigabytes(bytes: f64) -> String {
+    let gb = bytes / 1e9;
+    if gb.abs() < 5e-9 {
+        "0".to_owned()
+    } else if gb >= 100.0 {
+        format!("{gb:.0}")
+    } else if gb >= 10.0 {
+        format!("{gb:.1}")
+    } else if gb >= 1.0 {
+        format!("{gb:.2}")
+    } else {
+        format!("{gb:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_of_identical_values_is_the_value() {
+        assert!((gmean(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gmean_rejects_zero() {
+        let _ = gmean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn table_alignment_and_content() {
+        let mut t = Table::new("x", &["a", "bbbb"]);
+        t.row(&["12345".into(), "1".into()]);
+        let s = t.to_string();
+        assert!(s.contains("12345"));
+        assert!(s.contains("== x =="));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_panics() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn ratio_formats_by_magnitude() {
+        assert_eq!(ratio(3.392), "3.39");
+        assert_eq!(ratio(23.48), "23.5");
+        assert_eq!(ratio(234.8), "235");
+    }
+
+    #[test]
+    fn gigabyte_formats() {
+        assert_eq!(gigabytes(16.9e9), "16.9");
+        assert_eq!(gigabytes(0.0121e9), "0.0121");
+        assert_eq!(gigabytes(1.47e9), "1.47");
+        assert_eq!(gigabytes(157e9), "157");
+    }
+}

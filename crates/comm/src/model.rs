@@ -1,0 +1,263 @@
+//! The intra-layer (Table 1) and inter-layer (Table 2) communication
+//! amounts.
+
+use hypar_tensor::Bytes;
+
+use crate::{LayerCommTensors, LayerScale, Parallelism};
+
+/// Bytes per tensor element: the paper computes with 32-bit floating
+/// point throughout (§6.1).
+pub const PRECISION_BYTES: u32 = 4;
+
+/// Intra-layer communication between the two groups of a partition, in
+/// tensor elements (both directions), for a layer whose tensors are scaled
+/// by `scale` from the levels above (Table 1).
+///
+/// * dp: the gradient `ΔW_l` is computed as partial sums by both groups and
+///   must be exchanged to update the replicated kernels — `2·A(ΔW_l)`.
+/// * mp: the produced output `F_{l+1}` exists as full-width partial sums in
+///   both groups and must be exchanged before the next layer —
+///   `2·A(F_{l+1})` (pre-pooling).
+///
+/// # Examples
+///
+/// The §3.4 convolutional example where data parallelism wins:
+///
+/// ```
+/// use hypar_comm::{intra_elems, LayerCommTensors, LayerScale, Parallelism};
+///
+/// let conv = LayerCommTensors::conv("c", 32, (20, 12, 12), 5, 50, (8, 8), (8, 8));
+/// let dp = intra_elems(Parallelism::Data, &conv, LayerScale::default());
+/// let mp = intra_elems(Parallelism::Model, &conv, LayerScale::default());
+/// assert_eq!(dp, 2.0 * 25_000.0);       // 200 KB at fp32
+/// assert_eq!(mp, 2.0 * 32.0 * 3_200.0); // 819.2 KB at fp32
+/// assert!(dp < mp);
+/// ```
+#[must_use]
+pub fn intra_elems(choice: Parallelism, layer: &LayerCommTensors, scale: LayerScale) -> f64 {
+    match choice {
+        Parallelism::Data => 2.0 * layer.weight_elems * scale.weight_scale(),
+        Parallelism::Model => 2.0 * layer.output_elems * scale.output_scale(),
+    }
+}
+
+/// [`intra_elems`] converted to bytes at the paper's fp32 precision.
+#[must_use]
+pub fn intra_bytes(choice: Parallelism, layer: &LayerCommTensors, scale: LayerScale) -> Bytes {
+    Bytes::from_elems(intra_elems(choice, layer, scale), PRECISION_BYTES)
+}
+
+/// Inter-layer communication between the two groups at the junction
+/// between adjacent layers `l` (parallelism `prev`) and `l+1` (parallelism
+/// `next`), in tensor elements (both directions), per Table 2.
+///
+/// `junction_elems` is the full batched size of the tensor passed between
+/// the layers (`A(F_{l+1}) = A(E_{l+1})`, post-pooling) and
+/// `junction_scale` the fraction of it in the sub-problem's scope.
+///
+/// The four transitions:
+///
+/// | transition | amount (one direction) |
+/// |------------|------------------------|
+/// | dp→dp      | `0`                    |
+/// | dp→mp      | `0.25·A(F) + 0.25·A(E)`|
+/// | mp→mp      | `0.5·A(E)`             |
+/// | mp→dp      | `0.5·A(E)`             |
+///
+/// # Examples
+///
+/// ```
+/// use hypar_comm::{inter_elems, Parallelism};
+///
+/// let j = 1000.0;
+/// assert_eq!(inter_elems(Parallelism::Data, Parallelism::Data, j, 1.0), 0.0);
+/// assert_eq!(inter_elems(Parallelism::Data, Parallelism::Model, j, 1.0), 1000.0);
+/// assert_eq!(inter_elems(Parallelism::Model, Parallelism::Model, j, 1.0), 1000.0);
+/// ```
+#[must_use]
+pub fn inter_elems(
+    prev: Parallelism,
+    next: Parallelism,
+    junction_elems: f64,
+    junction_scale: f64,
+) -> f64 {
+    use Parallelism::{Data, Model};
+    let feature = junction_elems * junction_scale;
+    let error = junction_elems * junction_scale;
+    let one_way = match (prev, next) {
+        (Data, Data) => 0.0,
+        (Data, Model) => 0.25 * feature + 0.25 * error,
+        (Model, Model) | (Model, Data) => 0.5 * error,
+    };
+    2.0 * one_way
+}
+
+/// [`inter_elems`] split into its two temporal components: the
+/// feature-map transfer (`F_{l+1}`, paid during the forward pass) and the
+/// error transfer (`E_{l+1}`, paid during the backward pass).
+///
+/// The sum of the two components equals [`inter_elems`]; the event-driven
+/// simulator schedules them at the points in the training step where they
+/// actually occur.
+///
+/// # Examples
+///
+/// ```
+/// use hypar_comm::{inter_split, Parallelism};
+///
+/// let (f, e) = inter_split(Parallelism::Data, Parallelism::Model, 1000.0, 1.0);
+/// assert_eq!((f, e), (500.0, 500.0));
+/// let (f, e) = inter_split(Parallelism::Model, Parallelism::Data, 1000.0, 1.0);
+/// assert_eq!((f, e), (0.0, 1000.0));
+/// ```
+#[must_use]
+pub fn inter_split(
+    prev: Parallelism,
+    next: Parallelism,
+    junction_elems: f64,
+    junction_scale: f64,
+) -> (f64, f64) {
+    use Parallelism::{Data, Model};
+    let scaled = junction_elems * junction_scale;
+    let (f_one_way, e_one_way) = match (prev, next) {
+        (Data, Data) => (0.0, 0.0),
+        (Data, Model) => (0.25 * scaled, 0.25 * scaled),
+        (Model, Model) | (Model, Data) => (0.0, 0.5 * scaled),
+    };
+    (2.0 * f_one_way, 2.0 * e_one_way)
+}
+
+/// [`inter_elems`] converted to bytes at the paper's fp32 precision.
+#[must_use]
+pub fn inter_bytes(
+    prev: Parallelism,
+    next: Parallelism,
+    junction_elems: f64,
+    junction_scale: f64,
+) -> Bytes {
+    Bytes::from_elems(inter_elems(prev, next, junction_elems, junction_scale), PRECISION_BYTES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use Parallelism::{Data, Model};
+
+    fn paper_fc() -> LayerCommTensors {
+        LayerCommTensors::fully_connected("fc", 32, 70, 100)
+    }
+
+    #[test]
+    fn table1_fc_example_bytes() {
+        // §3.4: dp 56 KB, mp 25.6 KB for the 70x100 fc layer at B=32.
+        assert_eq!(intra_bytes(Data, &paper_fc(), LayerScale::default()).value(), 56_000.0);
+        assert_eq!(intra_bytes(Model, &paper_fc(), LayerScale::default()).value(), 25_600.0);
+    }
+
+    #[test]
+    fn table1_conv_example_bytes() {
+        // §3.4: dp 200 KB, mp 819.2 KB for the 5x5x20x50 conv at B=32.
+        let conv = LayerCommTensors::conv("c", 32, (20, 12, 12), 5, 50, (8, 8), (8, 8));
+        assert_eq!(intra_bytes(Data, &conv, LayerScale::default()).value(), 200_000.0);
+        assert_eq!(intra_bytes(Model, &conv, LayerScale::default()).value(), 819_200.0);
+    }
+
+    #[test]
+    fn section_652_vgg_e_conv5_and_fc3() {
+        // §6.5.2: conv5 of VGG-E at b32: A(ΔW)=2,359,296 < A(F)=3,211,264.
+        let conv5 = LayerCommTensors::conv("conv5", 32, (512, 14, 14), 3, 512, (14, 14), (7, 7));
+        assert_eq!(conv5.weight_elems, 2_359_296.0);
+        assert_eq!(conv5.output_elems, 3_211_264.0);
+        // fc3 at b4096: A(ΔW) = A(F) = 4,096,000.
+        let fc3 = LayerCommTensors::fully_connected("fc3", 4096, 4096, 1000);
+        assert_eq!(fc3.weight_elems, 4_096_000.0);
+        assert_eq!(fc3.output_elems, 4_096_000.0);
+    }
+
+    #[test]
+    fn dp_intra_is_batch_independent() {
+        let b32 = LayerCommTensors::fully_connected("fc", 32, 70, 100);
+        let b4096 = LayerCommTensors::fully_connected("fc", 4096, 70, 100);
+        let s = LayerScale::default();
+        assert_eq!(intra_elems(Data, &b32, s), intra_elems(Data, &b4096, s));
+        assert!(intra_elems(Model, &b32, s) < intra_elems(Model, &b4096, s));
+    }
+
+    #[test]
+    fn scales_shrink_the_right_tensor() {
+        let fc = paper_fc();
+        let after_dp = LayerScale::default().descend(Data);
+        // One dp level above: mp cost halves (batch), dp cost unchanged.
+        assert_eq!(intra_elems(Data, &fc, after_dp), intra_elems(Data, &fc, LayerScale::default()));
+        assert_eq!(
+            intra_elems(Model, &fc, after_dp),
+            intra_elems(Model, &fc, LayerScale::default()) / 2.0
+        );
+        let after_mp = LayerScale::default().descend(Model);
+        // One mp level above: dp cost halves (kernel input dim), mp cost unchanged.
+        assert_eq!(
+            intra_elems(Data, &fc, after_mp),
+            intra_elems(Data, &fc, LayerScale::default()) / 2.0
+        );
+        assert_eq!(intra_elems(Model, &fc, after_mp), intra_elems(Model, &fc, LayerScale::default()));
+    }
+
+    #[test]
+    fn table2_transitions() {
+        let j = 4000.0;
+        assert_eq!(inter_elems(Data, Data, j, 1.0), 0.0);
+        assert_eq!(inter_elems(Data, Model, j, 1.0), 2.0 * (0.25 * j + 0.25 * j));
+        assert_eq!(inter_elems(Model, Model, j, 1.0), 2.0 * 0.5 * j);
+        assert_eq!(inter_elems(Model, Data, j, 1.0), 2.0 * 0.5 * j);
+    }
+
+    #[test]
+    fn inter_bytes_uses_fp32() {
+        assert_eq!(inter_bytes(Model, Data, 1000.0, 1.0).value(), 4000.0);
+    }
+
+    proptest! {
+        #[test]
+        fn intra_is_nonnegative_and_scales_linearly(
+            w in 1.0f64..1e9, o in 1.0f64..1e9, k in 0u32..8
+        ) {
+            let layer = LayerCommTensors {
+                name: "l".into(), is_conv: true,
+                weight_elems: w, input_elems: o, output_elems: o, junction_elems: o,
+            };
+            let mut scale = LayerScale::default();
+            for _ in 0..k { scale = scale.descend(Data); }
+            let dp = intra_elems(Data, &layer, scale);
+            let mp = intra_elems(Model, &layer, scale);
+            prop_assert!(dp >= 0.0 && mp >= 0.0);
+            prop_assert_eq!(dp, 2.0 * w); // dp never shrinks under dp-only descent
+            prop_assert_eq!(mp, 2.0 * o * 0.5f64.powi(k as i32));
+        }
+
+        #[test]
+        fn inter_split_sums_to_inter(
+            a in any::<bool>(), b in any::<bool>(), j in 1.0f64..1e9, k in 0u32..8
+        ) {
+            let prev = Parallelism::from_bit(a);
+            let next = Parallelism::from_bit(b);
+            let scale = 0.5f64.powi(k as i32);
+            let (f, e) = inter_split(prev, next, j, scale);
+            prop_assert!(f >= 0.0 && e >= 0.0);
+            prop_assert_eq!(f + e, inter_elems(prev, next, j, scale));
+        }
+
+        #[test]
+        fn inter_is_zero_iff_dp_dp(a in any::<bool>(), b in any::<bool>(), j in 1.0f64..1e9) {
+            let prev = Parallelism::from_bit(a);
+            let next = Parallelism::from_bit(b);
+            let cost = inter_elems(prev, next, j, 1.0);
+            if prev == Data && next == Data {
+                prop_assert_eq!(cost, 0.0);
+            } else {
+                prop_assert!(cost > 0.0);
+                prop_assert_eq!(cost, j); // all non-dp-dp transitions cost exactly A(junction)
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! The per-layer parallelism choice.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The parallelism assigned to one weighted layer at one hierarchy level.
+///
+/// Lowercase "data/model parallelism" in the paper: under **data
+/// parallelism** both groups hold a full copy of the layer's kernel and
+/// split the mini-batch; under **model parallelism** the kernel is split
+/// along its input dimension (Figure 1) and both groups see the full
+/// batch.
+///
+/// # Examples
+///
+/// ```
+/// use hypar_comm::Parallelism;
+///
+/// assert_eq!(Parallelism::Data.to_string(), "dp");
+/// assert_eq!(Parallelism::Model.flipped(), Parallelism::Data);
+/// assert_eq!(Parallelism::from_bit(true), Parallelism::Model);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// Data parallelism: batch partitioned, kernels replicated.
+    Data,
+    /// Model parallelism: kernels partitioned, batch replicated.
+    Model,
+}
+
+impl Parallelism {
+    /// Both variants, in `{dp, mp}` order — handy for exhaustive sweeps.
+    pub const BOTH: [Self; 2] = [Self::Data, Self::Model];
+
+    /// The other choice.
+    #[must_use]
+    pub fn flipped(self) -> Self {
+        match self {
+            Self::Data => Self::Model,
+            Self::Model => Self::Data,
+        }
+    }
+
+    /// Decodes the figure-9/10 bit convention of the paper: `0` is dp, `1`
+    /// is mp.
+    #[must_use]
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            Self::Model
+        } else {
+            Self::Data
+        }
+    }
+
+    /// Encodes to the paper's bit convention: dp is `0`, mp is `1`.
+    #[must_use]
+    pub fn bit(self) -> u8 {
+        match self {
+            Self::Data => 0,
+            Self::Model => 1,
+        }
+    }
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Data => write!(f, "dp"),
+            Self::Model => write!(f, "mp"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_shorthand() {
+        assert_eq!(Parallelism::Data.to_string(), "dp");
+        assert_eq!(Parallelism::Model.to_string(), "mp");
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        for p in Parallelism::BOTH {
+            assert_eq!(p.flipped().flipped(), p);
+            assert_ne!(p.flipped(), p);
+        }
+    }
+
+    #[test]
+    fn bit_round_trip() {
+        for p in Parallelism::BOTH {
+            assert_eq!(Parallelism::from_bit(p.bit() == 1), p);
+        }
+    }
+
+    #[test]
+    fn both_covers_two_distinct_variants() {
+        assert_eq!(Parallelism::BOTH.len(), 2);
+        assert_ne!(Parallelism::BOTH[0], Parallelism::BOTH[1]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Baseline parallelism plans: Data Parallelism, Model Parallelism, and
+//! Krizhevsky's "one weird trick".
+//!
+//! Uppercase "Data/Model Parallelism" in the paper means *every* layer at
+//! *every* hierarchy level uses that parallelism.  The "one weird trick"
+//! [Krizhevsky 2014] assigns data parallelism to convolutional layers and
+//! model parallelism to fully-connected layers, at every level; the paper's
+//! §6.5.2 shows why this is sub-optimal (it ignores both the batch-scale
+//! crossover at deep levels and the inter-layer junction traffic).
+
+use hypar_comm::{NetworkCommTensors, Parallelism};
+
+use crate::evaluate::evaluate_plan;
+use crate::HierarchicalPlan;
+
+fn uniform_plan(
+    net: &NetworkCommTensors,
+    num_levels: usize,
+    choose: impl Fn(&hypar_comm::LayerCommTensors) -> Parallelism,
+) -> HierarchicalPlan {
+    let level: Vec<Parallelism> = net.layers().iter().map(choose).collect();
+    let levels = vec![level; num_levels];
+    let total = evaluate_plan(net, &levels).total_elems();
+    HierarchicalPlan::from_parts(
+        net.name(),
+        net.layers().iter().map(|l| l.name.clone()).collect(),
+        levels,
+        total,
+    )
+}
+
+/// The default **Data Parallelism** baseline: dp everywhere.
+#[must_use]
+pub fn all_data(net: &NetworkCommTensors, num_levels: usize) -> HierarchicalPlan {
+    uniform_plan(net, num_levels, |_| Parallelism::Data)
+}
+
+/// The default **Model Parallelism** baseline: mp everywhere.
+#[must_use]
+pub fn all_model(net: &NetworkCommTensors, num_levels: usize) -> HierarchicalPlan {
+    uniform_plan(net, num_levels, |_| Parallelism::Model)
+}
+
+/// Krizhevsky's **"one weird trick"**: conv layers dp, fc layers mp, at
+/// every level.
+///
+/// # Examples
+///
+/// ```
+/// use hypar_comm::{NetworkCommTensors, Parallelism};
+/// use hypar_core::baselines;
+/// use hypar_models::zoo;
+///
+/// let net = NetworkCommTensors::from_network(&zoo::alexnet(), 256)?;
+/// let owt = baselines::one_weird_trick(&net, 4);
+/// assert_eq!(owt.choice(0, 0), Parallelism::Data);   // conv1
+/// assert_eq!(owt.choice(3, 7), Parallelism::Model);  // fc3 at H4
+/// # Ok::<(), hypar_models::NetworkError>(())
+/// ```
+#[must_use]
+pub fn one_weird_trick(net: &NetworkCommTensors, num_levels: usize) -> HierarchicalPlan {
+    uniform_plan(net, num_levels, |layer| {
+        if layer.is_conv {
+            Parallelism::Data
+        } else {
+            Parallelism::Model
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchical;
+    use hypar_models::zoo;
+
+    fn view(name: &str) -> NetworkCommTensors {
+        NetworkCommTensors::from_network(&zoo::by_name(name).unwrap(), 256).unwrap()
+    }
+
+    #[test]
+    fn hypar_never_loses_to_any_baseline_on_the_zoo() {
+        // The paper's headline claim, checked under the cost model for all
+        // ten networks: hybrid ≤ min(DP, MP, OWT).
+        for name in zoo::NAMES {
+            let net = view(name);
+            let hypar = hierarchical::partition(&net, 4).total_comm_elems();
+            let dp = all_data(&net, 4).total_comm_elems();
+            let mp = all_model(&net, 4).total_comm_elems();
+            let owt = one_weird_trick(&net, 4).total_comm_elems();
+            let best = dp.min(mp).min(owt);
+            assert!(
+                hypar <= best * (1.0 + 1e-12),
+                "{name}: HyPar {hypar} worse than best baseline {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn mp_beats_dp_only_for_sfc() {
+        // Figures 6/8: Model Parallelism wins over Data Parallelism only for
+        // the all-fc extreme network SFC.
+        for name in zoo::NAMES {
+            let net = view(name);
+            let dp = all_data(&net, 4).total_comm_elems();
+            let mp = all_model(&net, 4).total_comm_elems();
+            if name == "SFC" {
+                assert!(mp < dp, "SFC: mp {mp} should beat dp {dp}");
+            } else {
+                assert!(dp < mp, "{name}: dp {dp} should beat mp {mp}");
+            }
+        }
+    }
+
+    #[test]
+    fn owt_equals_dp_for_pure_conv_and_mp_for_pure_fc() {
+        let sconv = view("SCONV");
+        assert_eq!(
+            one_weird_trick(&sconv, 4).total_comm_elems(),
+            all_data(&sconv, 4).total_comm_elems()
+        );
+        let sfc = view("SFC");
+        assert_eq!(
+            one_weird_trick(&sfc, 4).total_comm_elems(),
+            all_model(&sfc, 4).total_comm_elems()
+        );
+    }
+
+    #[test]
+    fn baselines_have_requested_shape() {
+        let net = view("AlexNet");
+        let plan = all_data(&net, 3);
+        assert_eq!(plan.num_levels(), 3);
+        assert_eq!(plan.num_layers(), 8);
+        assert_eq!(plan.network(), "AlexNet");
+    }
+
+    #[test]
+    fn hypar_strictly_beats_owt_somewhere() {
+        // §6.5.2: the trick is beatable. At least one zoo network must show
+        // a strict win for the optimizer.
+        let mut strict = 0;
+        for name in zoo::NAMES {
+            let net = view(name);
+            let hypar = hierarchical::partition(&net, 4).total_comm_elems();
+            let owt = one_weird_trick(&net, 4).total_comm_elems();
+            if hypar < owt * (1.0 - 1e-9) {
+                strict += 1;
+            }
+        }
+        assert!(strict > 0, "HyPar should strictly beat the trick on some network");
+    }
+}

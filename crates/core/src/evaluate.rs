@@ -1,0 +1,166 @@
+//! Costing an arbitrary hierarchical plan under the communication model.
+
+use hypar_comm::{
+    level_cost_with, JunctionScaling, LevelCost, NetworkCommTensors, Parallelism, ScaleState,
+};
+use hypar_tensor::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// The itemized cost of a hierarchical plan.
+///
+/// `per_level[h]` is the communication of one group pair at level `h`
+/// (top = 0); there are `2^h` such pairs, so the recursion
+/// `com = com_h + 2·com_n` of Algorithm 2 weights level `h` by `2^h` in
+/// [`PlanCost::total_elems`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlanCost {
+    /// Itemized cost of one group pair at each level, top first.
+    pub per_level: Vec<LevelCost>,
+}
+
+impl PlanCost {
+    /// Communication of one group pair at level `h`, in elements.
+    #[must_use]
+    pub fn level_elems(&self, h: usize) -> f64 {
+        self.per_level[h].total_elems()
+    }
+
+    /// Total array-wide communication in elements: level `h` has `2^h`
+    /// group pairs.
+    #[must_use]
+    pub fn total_elems(&self) -> f64 {
+        self.per_level
+            .iter()
+            .enumerate()
+            .map(|(h, c)| (1u64 << h) as f64 * c.total_elems())
+            .sum()
+    }
+
+    /// Array-wide communication per level (pair cost × pair count), in
+    /// elements.
+    #[must_use]
+    pub fn weighted_level_elems(&self) -> Vec<f64> {
+        self.per_level
+            .iter()
+            .enumerate()
+            .map(|(h, c)| (1u64 << h) as f64 * c.total_elems())
+            .collect()
+    }
+
+    /// Total array-wide communication in bytes (fp32).
+    #[must_use]
+    pub fn total_bytes(&self) -> Bytes {
+        Bytes::from_elems(self.total_elems(), hypar_comm::PRECISION_BYTES)
+    }
+}
+
+/// Costs an arbitrary hierarchical assignment (`levels[h][l]`, top level
+/// first) under the communication model, evolving the tensor scales exactly
+/// as the planner does.
+///
+/// # Panics
+///
+/// Panics if any level does not cover every weighted layer.
+///
+/// # Examples
+///
+/// ```
+/// use hypar_comm::{NetworkCommTensors, Parallelism};
+/// use hypar_core::evaluate::evaluate_plan;
+/// use hypar_models::zoo;
+///
+/// let net = NetworkCommTensors::from_network(&zoo::sfc(), 256)?;
+/// let all_dp = vec![vec![Parallelism::Data; net.len()]; 4];
+/// let cost = evaluate_plan(&net, &all_dp);
+/// // Data Parallelism communicates 2·A(W) per pair at every level:
+/// // (1+2+4+8) pairs x 2 x 140,722,176 weights.
+/// assert_eq!(cost.total_elems(), 15.0 * 2.0 * 140_722_176.0);
+/// # Ok::<(), hypar_models::NetworkError>(())
+/// ```
+#[must_use]
+pub fn evaluate_plan(net: &NetworkCommTensors, levels: &[Vec<Parallelism>]) -> PlanCost {
+    evaluate_plan_with(net, levels, JunctionScaling::Consumer)
+}
+
+/// [`evaluate_plan`] under an explicit [`JunctionScaling`] interpretation
+/// (used by the model-ablation experiment).
+///
+/// # Panics
+///
+/// Same as [`evaluate_plan`].
+#[must_use]
+pub fn evaluate_plan_with(
+    net: &NetworkCommTensors,
+    levels: &[Vec<Parallelism>],
+    mode: JunctionScaling,
+) -> PlanCost {
+    let mut scales = ScaleState::identity(net.len());
+    let mut per_level = Vec::with_capacity(levels.len());
+    for assignment in levels {
+        per_level.push(level_cost_with(net, &scales, assignment, mode));
+        scales = scales.descend(assignment);
+    }
+    PlanCost { per_level }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypar_models::zoo;
+    use Parallelism::{Data, Model};
+
+    #[test]
+    fn figure8_all_dp_totals_match_paper_exactly() {
+        // Paper Figure 8, Data Parallelism column: SFC 16.9 GB,
+        // SCONV 0.0121 GB, Lenet-c 0.0517 GB at B=256, H=4.
+        let cases = [("SFC", 16.9), ("SCONV", 0.0121), ("Lenet-c", 0.0517)];
+        for (name, gb) in cases {
+            let net =
+                NetworkCommTensors::from_network(&zoo::by_name(name).unwrap(), 256).unwrap();
+            let plan = vec![vec![Data; net.len()]; 4];
+            let measured = evaluate_plan(&net, &plan).total_bytes().gigabytes();
+            assert!(
+                (measured - gb).abs() / gb < 0.01,
+                "{name}: measured {measured:.4} GB, paper {gb} GB"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_plan_costs_nothing() {
+        let net = NetworkCommTensors::from_network(&zoo::lenet_c(), 256).unwrap();
+        let cost = evaluate_plan(&net, &[]);
+        assert_eq!(cost.total_elems(), 0.0);
+        assert!(cost.per_level.is_empty());
+    }
+
+    #[test]
+    fn level_weighting_is_power_of_two() {
+        let net = NetworkCommTensors::from_network(&zoo::sfc(), 256).unwrap();
+        let plan = vec![vec![Data; net.len()]; 3];
+        let cost = evaluate_plan(&net, &plan);
+        // dp never shrinks weights, so every level pair costs the same.
+        let per_pair = cost.level_elems(0);
+        assert_eq!(cost.level_elems(1), per_pair);
+        assert_eq!(cost.total_elems(), (1.0 + 2.0 + 4.0) * per_pair);
+        assert_eq!(cost.weighted_level_elems(), vec![per_pair, 2.0 * per_pair, 4.0 * per_pair]);
+    }
+
+    #[test]
+    fn mixed_plan_scales_descend_between_levels() {
+        let net = NetworkCommTensors::from_network(&zoo::lenet_c(), 256).unwrap();
+        let level = vec![Data, Data, Model, Model];
+        let cost = evaluate_plan(&net, &[level.clone(), level]);
+        // Same assignment, smaller tensors: the second level's pair cost
+        // must be strictly cheaper.
+        assert!(cost.level_elems(1) < cost.level_elems(0));
+    }
+
+    #[test]
+    fn all_mp_junction_traffic_present() {
+        let net = NetworkCommTensors::from_network(&zoo::sfc(), 256).unwrap();
+        let plan = vec![vec![Model; net.len()]; 2];
+        let cost = evaluate_plan(&net, &plan);
+        assert!(cost.per_level[0].inter.iter().all(|&x| x > 0.0));
+    }
+}

@@ -1,0 +1,198 @@
+//! Brute-force search over parallelism assignments.
+//!
+//! The paper motivates the dynamic program by noting that naive enumeration
+//! is `O(2^L)` per level (§3.4).  This module implements that enumeration —
+//! it validates the DP's optimality in tests and quantifies the *greedy
+//! gap* of the level-by-level recursion against the joint optimum over all
+//! levels at once (the effect visible in Figure 10, where HyPar attains
+//! 4.97× against a sweep peak of 5.05×).
+
+use hypar_comm::{level_cost, NetworkCommTensors, Parallelism, ScaleState};
+
+use crate::evaluate::evaluate_plan;
+
+/// Decodes a bit pattern into a per-layer assignment; bit `l` (LSB first)
+/// is layer `l`, `0` = dp, `1` = mp.
+///
+/// # Examples
+///
+/// ```
+/// use hypar_comm::Parallelism::{Data, Model};
+/// use hypar_core::exhaustive::assignment_from_bits;
+///
+/// assert_eq!(assignment_from_bits(0b0110, 4), vec![Data, Model, Model, Data]);
+/// ```
+#[must_use]
+pub fn assignment_from_bits(bits: u64, len: usize) -> Vec<Parallelism> {
+    (0..len).map(|l| Parallelism::from_bit(bits >> l & 1 == 1)).collect()
+}
+
+/// Exhaustively finds the minimum-communication assignment for **one**
+/// level (`O(2^L)`), for validating [`crate::two_group::partition`].
+///
+/// # Panics
+///
+/// Panics if the network is empty or has more than 24 layers (the
+/// enumeration would be infeasible — use the dynamic program).
+#[must_use]
+pub fn best_level(net: &NetworkCommTensors, scales: &ScaleState) -> (f64, Vec<Parallelism>) {
+    let len = net.len();
+    assert!(len > 0, "cannot partition an empty network");
+    assert!(len <= 24, "exhaustive level search is infeasible beyond 24 layers");
+    let mut best_cost = f64::INFINITY;
+    let mut best_bits = 0u64;
+    for bits in 0..(1u64 << len) {
+        let assignment = assignment_from_bits(bits, len);
+        let cost = level_cost(net, scales, &assignment).total_elems();
+        if cost < best_cost {
+            best_cost = cost;
+            best_bits = bits;
+        }
+    }
+    (best_cost, assignment_from_bits(best_bits, len))
+}
+
+/// Exhaustively finds the minimum-communication **joint** plan over all
+/// `num_levels` levels at once (`O(2^{L·H})`), for quantifying the greedy
+/// gap of Algorithm 2.
+///
+/// # Panics
+///
+/// Panics if the network is empty or `L·H > 24`.
+#[must_use]
+pub fn best_joint(
+    net: &NetworkCommTensors,
+    num_levels: usize,
+) -> (f64, Vec<Vec<Parallelism>>) {
+    let len = net.len();
+    assert!(len > 0, "cannot partition an empty network");
+    let total_bits = len * num_levels;
+    assert!(total_bits <= 24, "exhaustive joint search is infeasible beyond 24 slots");
+    let mut best_cost = f64::INFINITY;
+    let mut best_bits = 0u64;
+    for bits in 0..(1u64 << total_bits) {
+        let levels: Vec<Vec<Parallelism>> = (0..num_levels)
+            .map(|h| assignment_from_bits(bits >> (h * len), len))
+            .collect();
+        let cost = evaluate_plan(net, &levels).total_elems();
+        if cost < best_cost {
+            best_cost = cost;
+            best_bits = bits;
+        }
+    }
+    let levels = (0..num_levels)
+        .map(|h| assignment_from_bits(best_bits >> (h * len), len))
+        .collect();
+    (best_cost, levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hierarchical, two_group};
+    use hypar_comm::LayerCommTensors;
+    use hypar_models::zoo;
+    use proptest::prelude::*;
+
+    fn view(name: &str) -> NetworkCommTensors {
+        NetworkCommTensors::from_network(&zoo::by_name(name).unwrap(), 256).unwrap()
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_on_small_zoo_networks() {
+        // All networks with L <= 13: 2^13 points is still instant.
+        for name in ["SFC", "SCONV", "Lenet-c", "Cifar-c", "AlexNet", "VGG-A", "VGG-B"] {
+            let net = view(name);
+            let scales = ScaleState::identity(net.len());
+            let dp = two_group::partition(&net, &scales);
+            let (brute_cost, _) = best_level(&net, &scales);
+            assert!(
+                (dp.comm_elems - brute_cost).abs() <= 1e-9 * brute_cost.max(1.0),
+                "{name}: DP {} vs exhaustive {brute_cost}",
+                dp.comm_elems
+            );
+        }
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_at_descended_scales() {
+        let net = view("AlexNet");
+        let mut scales = ScaleState::identity(net.len());
+        for _ in 0..3 {
+            let dp = two_group::partition(&net, &scales);
+            let (brute_cost, _) = best_level(&net, &scales);
+            assert!((dp.comm_elems - brute_cost).abs() <= 1e-9 * brute_cost.max(1.0));
+            scales = scales.descend(&dp.assignment);
+        }
+    }
+
+    #[test]
+    fn greedy_is_close_to_joint_optimum_on_lenet() {
+        // L=4, H=3 -> 2^12 joint plans.
+        let net = view("Lenet-c");
+        let greedy = hierarchical::partition(&net, 3).total_comm_elems();
+        let (joint, _) = best_joint(&net, 3);
+        assert!(joint <= greedy + 1e-9);
+        // The paper's greedy gap is small (4.97 vs 5.05 in Figure 10).
+        assert!(greedy <= joint * 1.25, "greedy {greedy} too far from joint {joint}");
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        for bits in 0..16u64 {
+            let a = assignment_from_bits(bits, 4);
+            let back = a
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (l, p)| acc | (u64::from(p.bit()) << l));
+            assert_eq!(back, bits);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn joint_search_guards_size() {
+        let net = view("VGG-E");
+        let _ = best_joint(&net, 4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The dynamic program is optimal for arbitrary synthetic networks.
+        #[test]
+        fn dp_is_optimal_on_random_networks(
+            layer_params in proptest::collection::vec(
+                (1u64..2000, 1u64..2000, any::<bool>()), 1..9
+            ),
+            batch in 1u64..512,
+            descents in proptest::collection::vec(any::<bool>(), 0..4),
+        ) {
+            let layers: Vec<LayerCommTensors> = layer_params
+                .iter()
+                .enumerate()
+                .map(|(i, &(w_in, out, is_conv))| LayerCommTensors {
+                    name: format!("l{i}"),
+                    is_conv,
+                    weight_elems: (w_in * out) as f64,
+                    input_elems: (batch * w_in) as f64,
+                    output_elems: (batch * out) as f64,
+                    junction_elems: (batch * out) as f64,
+                })
+                .collect();
+            let len = layers.len();
+            let net = NetworkCommTensors::from_layers("rand", batch, layers);
+            let mut scales = ScaleState::identity(len);
+            for &d in &descents {
+                let assignment: Vec<_> = (0..len)
+                    .map(|l| Parallelism::from_bit(d ^ (l % 2 == 0)))
+                    .collect();
+                scales = scales.descend(&assignment);
+            }
+            let dp = two_group::partition(&net, &scales);
+            let (brute, _) = best_level(&net, &scales);
+            prop_assert!((dp.comm_elems - brute).abs() <= 1e-9 * brute.max(1.0),
+                "DP {} vs exhaustive {}", dp.comm_elems, brute);
+        }
+    }
+}

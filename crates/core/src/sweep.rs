@@ -1,0 +1,147 @@
+//! Restricted design-space sweeps (Figures 9 and 10).
+//!
+//! Full enumeration of the parallelism space is `2^{L·H}`; the paper's
+//! case studies instead fix most of the optimized plan and sweep a subset
+//! of *(level, layer)* slots: Figure 9 frees all four Lenet-c layers at
+//! levels H1 and H4 (256 points), Figure 10 frees `conv5_2` and `fc1` of
+//! VGG-A at all four levels (256 points).
+//! [`enumerate_overrides`] expresses both.
+
+use hypar_comm::{NetworkCommTensors, Parallelism};
+use serde::{Deserialize, Serialize};
+
+use crate::evaluate::evaluate_plan;
+
+/// One point of a design-space sweep.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Bit `i` is the choice of slot `i` (`0` = dp, `1` = mp).
+    pub slot_bits: u64,
+    /// The complete per-level assignment of this point.
+    pub levels: Vec<Vec<Parallelism>>,
+    /// Total communication of the point, in tensor elements.
+    pub comm_elems: f64,
+}
+
+/// Enumerates every combination of dp/mp over the given *(level, layer)*
+/// `slots`, holding all other choices at `base_levels`, and costs each
+/// resulting plan under the communication model.
+///
+/// Points are returned in `slot_bits` order (`0..2^slots`).
+///
+/// # Panics
+///
+/// Panics if more than 20 slots are requested (the sweep would exceed a
+/// million points), if a slot is out of range, or if `base_levels` is
+/// ragged.
+///
+/// # Examples
+///
+/// ```
+/// use hypar_comm::{NetworkCommTensors, Parallelism};
+/// use hypar_core::{hierarchical, sweep};
+/// use hypar_models::zoo;
+///
+/// let net = NetworkCommTensors::from_network(&zoo::lenet_c(), 256)?;
+/// let base = hierarchical::partition(&net, 4);
+/// // Figure 9: sweep all four layers at H1 and H4.
+/// let slots: Vec<(usize, usize)> =
+///     (0..4).map(|l| (0, l)).chain((0..4).map(|l| (3, l))).collect();
+/// let points = sweep::enumerate_overrides(&net, base.levels(), &slots);
+/// assert_eq!(points.len(), 256);
+/// # Ok::<(), hypar_models::NetworkError>(())
+/// ```
+#[must_use]
+pub fn enumerate_overrides(
+    net: &NetworkCommTensors,
+    base_levels: &[Vec<Parallelism>],
+    slots: &[(usize, usize)],
+) -> Vec<SweepPoint> {
+    assert!(slots.len() <= 20, "sweep beyond 2^20 points is infeasible");
+    for &(h, l) in slots {
+        assert!(h < base_levels.len(), "slot level {h} out of range");
+        assert!(l < net.len(), "slot layer {l} out of range");
+    }
+
+    let mut points = Vec::with_capacity(1 << slots.len());
+    for bits in 0..(1u64 << slots.len()) {
+        let mut levels = base_levels.to_vec();
+        for (i, &(h, l)) in slots.iter().enumerate() {
+            levels[h][l] = Parallelism::from_bit(bits >> i & 1 == 1);
+        }
+        let comm_elems = evaluate_plan(net, &levels).total_elems();
+        points.push(SweepPoint { slot_bits: bits, levels, comm_elems });
+    }
+    points
+}
+
+/// The minimum-communication point of a sweep.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+#[must_use]
+pub fn best_point(points: &[SweepPoint]) -> &SweepPoint {
+    points
+        .iter()
+        .min_by(|a, b| a.comm_elems.total_cmp(&b.comm_elems))
+        .expect("sweep must contain at least one point")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchical;
+    use hypar_models::zoo;
+
+    fn lenet() -> NetworkCommTensors {
+        NetworkCommTensors::from_network(&zoo::lenet_c(), 256).unwrap()
+    }
+
+    fn figure9_slots() -> Vec<(usize, usize)> {
+        (0..4).map(|l| (0, l)).chain((0..4).map(|l| (3, l))).collect()
+    }
+
+    #[test]
+    fn sweep_covers_all_points_and_contains_base() {
+        let net = lenet();
+        let base = hierarchical::partition(&net, 4);
+        let points = enumerate_overrides(&net, base.levels(), &figure9_slots());
+        assert_eq!(points.len(), 256);
+        // The base (HyPar) plan appears at the bits matching its own choices.
+        let hit = points
+            .iter()
+            .find(|p| p.levels == base.levels())
+            .expect("base plan must be in the sweep");
+        assert_eq!(hit.comm_elems, base.total_comm_elems());
+    }
+
+    #[test]
+    fn sweep_minimum_is_the_hypar_plan_for_lenet() {
+        // Figure 9: the peak of the swept space coincides with HyPar's plan.
+        let net = lenet();
+        let base = hierarchical::partition(&net, 4);
+        let points = enumerate_overrides(&net, base.levels(), &figure9_slots());
+        let best = best_point(&points);
+        assert_eq!(best.comm_elems, base.total_comm_elems());
+    }
+
+    #[test]
+    fn slot_bits_map_to_levels() {
+        let net = lenet();
+        let base = hierarchical::partition(&net, 4);
+        let slots = [(1usize, 2usize)];
+        let points = enumerate_overrides(&net, base.levels(), &slots);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].levels[1][2], Parallelism::Data);
+        assert_eq!(points[1].levels[1][2], Parallelism::Model);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_slot_panics() {
+        let net = lenet();
+        let base = hierarchical::partition(&net, 4);
+        let _ = enumerate_overrides(&net, base.levels(), &[(9, 0)]);
+    }
+}

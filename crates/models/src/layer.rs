@@ -1,0 +1,270 @@
+//! Weighted-layer descriptions: convolutional and fully-connected layers
+//! with their pooling and activation attachments.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a convolutional layer.
+///
+/// The kernel tensor `W_l` has size `[K × K × C_l] × C_{l+1}` (paper §2.1):
+/// `K = kernel`, `C_l` is inherited from the previous layer during shape
+/// inference, and `C_{l+1} = out_channels`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvSpec {
+    /// Number of output channels `C_{l+1}` (the number of filters).
+    pub out_channels: u64,
+    /// Kernel height/width `K` (kernels are square, as in the paper).
+    pub kernel: u64,
+    /// Convolution stride.
+    pub stride: u64,
+    /// Zero padding added to each spatial border.
+    pub padding: u64,
+}
+
+impl ConvSpec {
+    /// A stride-1, unpadded ("valid") convolution, the common case in the
+    /// paper's small networks.
+    #[must_use]
+    pub fn valid(out_channels: u64, kernel: u64) -> Self {
+        Self { out_channels, kernel, stride: 1, padding: 0 }
+    }
+
+    /// A stride-1 convolution padded to preserve the spatial extent
+    /// (`padding = (kernel - 1) / 2`), the VGG configuration.
+    #[must_use]
+    pub fn same(out_channels: u64, kernel: u64) -> Self {
+        Self { out_channels, kernel, stride: 1, padding: (kernel - 1) / 2 }
+    }
+}
+
+/// Hyper-parameters of a fully-connected layer.
+///
+/// The kernel (weight matrix) has size `C_l × C_{l+1}` where `C_l` is the
+/// flattened input feature count.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FcSpec {
+    /// Number of output neurons `C_{l+1}`.
+    pub out_features: u64,
+}
+
+/// The kind of a weighted layer: the paper's partition algorithm only
+/// distinguishes `conv` and `fc` (its `HP[l]` input).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// A convolutional layer.
+    Conv(ConvSpec),
+    /// A fully-connected layer.
+    FullyConnected(FcSpec),
+}
+
+impl LayerKind {
+    /// Whether this is a convolutional layer.
+    #[must_use]
+    pub fn is_conv(&self) -> bool {
+        matches!(self, Self::Conv(_))
+    }
+
+    /// Whether this is a fully-connected layer.
+    #[must_use]
+    pub fn is_fc(&self) -> bool {
+        matches!(self, Self::FullyConnected(_))
+    }
+}
+
+/// Pooling flavour attached after a weighted layer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Max pooling (all pooling in the paper's networks).
+    Max,
+    /// Average pooling.
+    Average,
+}
+
+/// A pooling attachment: `size × size` windows with the given stride.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoolSpec {
+    /// Pooling window extent.
+    pub size: u64,
+    /// Pooling stride.
+    pub stride: u64,
+    /// Max or average pooling.
+    pub kind: PoolKind,
+}
+
+impl PoolSpec {
+    /// The ubiquitous non-overlapping `2×2` max pool.
+    #[must_use]
+    pub fn max2() -> Self {
+        Self { size: 2, stride: 2, kind: PoolKind::Max }
+    }
+
+    /// An overlapping max pool (`size`, `stride`) as used by AlexNet (3/2).
+    #[must_use]
+    pub fn max(size: u64, stride: u64) -> Self {
+        Self { size, stride, kind: PoolKind::Max }
+    }
+}
+
+/// Element-wise activation following a weighted layer.
+///
+/// Activations are element-wise and therefore never introduce communication
+/// (paper §3.1); they only contribute element-wise operations to the
+/// simulator's compute model.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit.
+    #[default]
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// No activation (identity), e.g. before a softmax loss.
+    None,
+}
+
+/// One *weighted* layer of a network: the unit over which HyPar chooses a
+/// parallelism, together with its pooling and activation attachments.
+///
+/// # Examples
+///
+/// ```
+/// use hypar_models::{ConvSpec, Layer, PoolSpec};
+///
+/// let conv1 = Layer::conv("conv1", ConvSpec::valid(20, 5)).with_pool(PoolSpec::max2());
+/// assert!(conv1.kind().is_conv());
+/// assert_eq!(conv1.name(), "conv1");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Layer {
+    name: String,
+    kind: LayerKind,
+    pool: Option<PoolSpec>,
+    activation: Activation,
+}
+
+impl Layer {
+    /// Creates a convolutional layer with the default ReLU activation and no
+    /// pooling.
+    #[must_use]
+    pub fn conv(name: impl Into<String>, spec: ConvSpec) -> Self {
+        Self { name: name.into(), kind: LayerKind::Conv(spec), pool: None, activation: Activation::Relu }
+    }
+
+    /// Creates a fully-connected layer with the default ReLU activation.
+    #[must_use]
+    pub fn fully_connected(name: impl Into<String>, out_features: u64) -> Self {
+        Self {
+            name: name.into(),
+            kind: LayerKind::FullyConnected(FcSpec { out_features }),
+            pool: None,
+            activation: Activation::Relu,
+        }
+    }
+
+    /// Attaches a pooling stage after this layer.
+    #[must_use]
+    pub fn with_pool(mut self, pool: PoolSpec) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Replaces the activation function.
+    #[must_use]
+    pub fn with_activation(mut self, activation: Activation) -> Self {
+        self.activation = activation;
+        self
+    }
+
+    /// The layer's name, e.g. `conv5_2` or `fc1`.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer kind (conv or fc) with its hyper-parameters.
+    #[must_use]
+    pub fn kind(&self) -> &LayerKind {
+        &self.kind
+    }
+
+    /// The pooling attachment, if any.
+    #[must_use]
+    pub fn pool(&self) -> Option<&PoolSpec> {
+        self.pool.as_ref()
+    }
+
+    /// The activation function.
+    #[must_use]
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            LayerKind::Conv(c) => write!(
+                f,
+                "{}: conv {}@{}x{}/s{}p{}",
+                self.name, c.out_channels, c.kernel, c.kernel, c.stride, c.padding
+            )?,
+            LayerKind::FullyConnected(fc) => {
+                write!(f, "{}: fc {}", self.name, fc.out_features)?;
+            }
+        }
+        if let Some(p) = &self.pool {
+            write!(f, " + pool {}x{}/s{}", p.size, p.size, p.stride)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_spec_constructors() {
+        let v = ConvSpec::valid(20, 5);
+        assert_eq!((v.stride, v.padding), (1, 0));
+        let s = ConvSpec::same(64, 3);
+        assert_eq!(s.padding, 1);
+        let one = ConvSpec::same(256, 1);
+        assert_eq!(one.padding, 0);
+    }
+
+    #[test]
+    fn layer_builders_chain() {
+        let l = Layer::conv("conv2", ConvSpec::valid(50, 5))
+            .with_pool(PoolSpec::max2())
+            .with_activation(Activation::Tanh);
+        assert_eq!(l.pool().unwrap().size, 2);
+        assert_eq!(l.activation(), Activation::Tanh);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(Layer::conv("c", ConvSpec::valid(1, 1)).kind().is_conv());
+        assert!(Layer::fully_connected("f", 10).kind().is_fc());
+        assert!(!Layer::fully_connected("f", 10).kind().is_conv());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = Layer::conv("conv1", ConvSpec::valid(96, 11)).with_pool(PoolSpec::max(3, 2));
+        let s = c.to_string();
+        assert!(s.contains("conv1"));
+        assert!(s.contains("96@11x11"));
+        assert!(s.contains("pool 3x3/s2"));
+        let f = Layer::fully_connected("fc1", 4096);
+        assert_eq!(f.to_string(), "fc1: fc 4096");
+    }
+
+    #[test]
+    fn default_activation_is_relu() {
+        assert_eq!(Activation::default(), Activation::Relu);
+        assert_eq!(Layer::fully_connected("f", 1).activation(), Activation::Relu);
+    }
+}

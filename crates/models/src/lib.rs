@@ -1,0 +1,45 @@
+//! DNN model descriptions and shape inference for the HyPar reproduction.
+//!
+//! HyPar's partition search (Algorithm 1 in the paper) takes exactly the
+//! hyper-parameters of a mini-batch training run: the batch size, the number
+//! of weighted layers, and per-layer hyper-parameters (layer type, kernel
+//! sizes, pooling parameters, activation function).  This crate models that
+//! input:
+//!
+//! * [`Layer`] / [`LayerKind`] — one *weighted* layer (convolutional or
+//!   fully-connected) with its optional pooling and activation attachments,
+//!   mirroring the paper's `HP[l]` list;
+//! * [`Network`] / [`NetworkBuilder`] — a validated chain of weighted
+//!   layers with an input shape;
+//! * [`LayerShapes`] / [`NetworkShapes`] — the inferred tensor sizes
+//!   (`F_l`, `W_l`, `F_{l+1}`, junction maps, MAC counts) every other crate
+//!   consumes;
+//! * [`zoo`] — the ten evaluation networks of the paper (`SFC`, `SCONV`,
+//!   `Lenet-c`, `Cifar-c`, `AlexNet`, `VGG-A/B/C/D/E`).
+//!
+//! # Examples
+//!
+//! ```
+//! use hypar_models::{zoo, NetworkShapes};
+//!
+//! let net = zoo::lenet_c();
+//! let shapes = NetworkShapes::infer(&net, 256)?;
+//! assert_eq!(shapes.len(), 4); // conv1, conv2, fc1, fc2
+//! assert_eq!(shapes.total_weight_elems(), 430_500);
+//! # Ok::<(), hypar_models::NetworkError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod layer;
+mod network;
+mod shapes;
+pub mod zoo;
+
+pub use error::NetworkError;
+pub use layer::{Activation, ConvSpec, FcSpec, Layer, LayerKind, PoolKind, PoolSpec};
+pub use network::{Network, NetworkBuilder};
+pub use shapes::{LayerShapes, NetworkShapes};

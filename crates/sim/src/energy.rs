@@ -1,0 +1,135 @@
+//! The energy model (paper §6.1 constants, from Horowitz ISSCC'14).
+
+use hypar_tensor::Joules;
+use serde::{Deserialize, Serialize};
+
+/// Per-operation energy constants and accounting helpers.
+///
+/// The paper gives: 0.9 pJ per 32-bit float ADD, 3.7 pJ per 32-bit float
+/// MULT, 5.0 pJ per 32-bit SRAM access, 640 pJ per 32-bit DRAM access.  Two
+/// knobs the paper leaves implicit are exposed here:
+///
+/// * `sram_accesses_per_mac` — the effective on-chip traffic per MAC after
+///   row-stationary reuse (default 1.0: each operand word is fetched from
+///   SRAM roughly once per MAC thanks to the Eyeriss reuse pattern);
+/// * `link_pj_per_byte` — energy of traversing an inter-accelerator link
+///   (default 0: the paper accounts remote accesses as DRAM accesses at
+///   both ends, which [`EnergyModel::link`] always includes).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy of a 32-bit floating-point addition, in picojoules.
+    pub add_pj: f64,
+    /// Energy of a 32-bit floating-point multiplication, in picojoules.
+    pub mult_pj: f64,
+    /// Energy of one 32-bit SRAM access, in picojoules.
+    pub sram_access_pj: f64,
+    /// Energy of one 32-bit DRAM access, in picojoules.
+    pub dram_access_pj: f64,
+    /// Effective SRAM accesses per MAC after row-stationary reuse.
+    pub sram_accesses_per_mac: f64,
+    /// Extra energy per byte crossing an inter-accelerator link, in
+    /// picojoules.
+    pub link_pj_per_byte: f64,
+}
+
+const PJ: f64 = 1e-12;
+/// Bytes per 32-bit word.
+const WORD_BYTES: f64 = 4.0;
+
+impl EnergyModel {
+    /// The paper's constants.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            add_pj: 0.9,
+            mult_pj: 3.7,
+            sram_access_pj: 5.0,
+            dram_access_pj: 640.0,
+            sram_accesses_per_mac: 1.0,
+            link_pj_per_byte: 0.0,
+        }
+    }
+
+    /// Energy of `macs` multiply-accumulates including their SRAM traffic.
+    #[must_use]
+    pub fn compute(&self, macs: f64) -> Joules {
+        self.compute_with_sram(macs, self.sram_accesses_per_mac)
+    }
+
+    /// [`EnergyModel::compute`] with an explicit per-MAC SRAM traffic
+    /// count, e.g. from a [`crate::pe::Mapping`].
+    #[must_use]
+    pub fn compute_with_sram(&self, macs: f64, sram_accesses_per_mac: f64) -> Joules {
+        let per_mac = self.mult_pj + self.add_pj + sram_accesses_per_mac * self.sram_access_pj;
+        Joules(macs * per_mac * PJ)
+    }
+
+    /// Energy of `ops` element-wise operations (activations, pooling,
+    /// weight updates), costed as additions plus one SRAM access each.
+    #[must_use]
+    pub fn elementwise(&self, ops: f64) -> Joules {
+        Joules(ops * (self.add_pj + self.sram_access_pj) * PJ)
+    }
+
+    /// Energy of moving `bytes` to or from local DRAM (HMC vault).
+    #[must_use]
+    pub fn dram(&self, bytes: f64) -> Joules {
+        Joules(bytes / WORD_BYTES * self.dram_access_pj * PJ)
+    }
+
+    /// Energy of moving `bytes` across an inter-accelerator link: a DRAM
+    /// access at each end plus the per-byte link cost.
+    #[must_use]
+    pub fn link(&self, bytes: f64) -> Joules {
+        let dram_both_ends = 2.0 * bytes / WORD_BYTES * self.dram_access_pj;
+        Joules((dram_both_ends + bytes * self.link_pj_per_byte) * PJ)
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let e = EnergyModel::paper();
+        assert_eq!(e.add_pj, 0.9);
+        assert_eq!(e.mult_pj, 3.7);
+        assert_eq!(e.sram_access_pj, 5.0);
+        assert_eq!(e.dram_access_pj, 640.0);
+    }
+
+    #[test]
+    fn one_mac_costs_mult_plus_add_plus_sram() {
+        let e = EnergyModel::paper();
+        assert!((e.compute(1.0).value() - 9.6e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn dram_is_per_word() {
+        let e = EnergyModel::paper();
+        // 4 bytes = one 32-bit access = 640 pJ.
+        assert!((e.dram(4.0).value() - 640e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn link_includes_both_end_drams() {
+        let e = EnergyModel::paper();
+        assert!((e.link(4.0).value() - 1280e-12).abs() < 1e-24);
+        let with_link = EnergyModel { link_pj_per_byte: 10.0, ..EnergyModel::paper() };
+        assert!((with_link.link(4.0).value() - (1280e-12 + 40e-12)).abs() < 1e-24);
+    }
+
+    #[test]
+    fn energies_scale_linearly() {
+        let e = EnergyModel::paper();
+        assert!((e.compute(100.0).value() - 100.0 * e.compute(1.0).value()).abs() < 1e-20);
+        assert!((e.elementwise(10.0).value() - 10.0 * 5.9e-12).abs() < 1e-22);
+    }
+}

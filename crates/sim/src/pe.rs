@@ -1,0 +1,262 @@
+//! Row-stationary processing-unit model (paper Figure 4(b)).
+//!
+//! The paper's accelerator uses Eyeriss-style row-stationary processing
+//! units: a 12×14 grid of processing engines in which *weight rows* are
+//! shared horizontally, *feature-map rows* diagonally, and *partial-sum
+//! rows* accumulate vertically.  This module provides an analytical
+//! mapping of convolutional and fully-connected layers onto that grid,
+//! yielding:
+//!
+//! * **utilization** — the fraction of PEs doing useful work, which
+//!   degrades for kernels taller than the array or output rows narrower
+//!   than it;
+//! * **cycle counts** — one MAC per PE per cycle over the mapped passes;
+//! * **SRAM traffic per MAC** — the on-chip accesses that survive the
+//!   row-stationary reuse (feature rows reused across the `K` filter rows
+//!   diagonally, filter rows broadcast across output columns, partial sums
+//!   accumulated through the array).
+//!
+//! The flat-roofline model used by default in [`crate::training`] assumes
+//! perfect utilization; [`crate::ArchConfig::with_detailed_pe`] switches
+//! the simulator to this mapping (the `pe` ablation experiment quantifies
+//! the difference).
+//!
+//! # Examples
+//!
+//! ```
+//! use hypar_sim::pe::PeArray;
+//!
+//! let array = PeArray::paper();
+//! // A VGG-style 3x3 conv with 14-wide output maps fills the array well.
+//! let conv = array.map_conv(3, 512, 512, 14, 14, 32);
+//! assert!(conv.utilization > 0.8);
+//! // A 5x5 kernel over a 4-row output leaves most of the array idle.
+//! let small = array.map_conv(5, 50, 10, 4, 4, 32);
+//! assert!(small.utilization < conv.utilization);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// The physical PE grid of one processing unit.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PeArray {
+    /// PE rows (paper: 12).
+    pub rows: u64,
+    /// PE columns (paper: 14).
+    pub cols: u64,
+    /// Clock frequency in Hz (paper: 250 MHz).
+    pub clock_hz: f64,
+    /// On-chip buffer in bytes (paper: 108 KB).
+    pub buffer_bytes: u64,
+}
+
+/// The outcome of mapping one layer onto the PE grid.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// Fraction of PEs active during a pass (0, 1].
+    pub utilization: f64,
+    /// Total cycles to execute the layer's MACs on one processing unit.
+    pub cycles: f64,
+    /// Effective on-chip accesses per MAC after row-stationary reuse.
+    pub sram_accesses_per_mac: f64,
+}
+
+impl PeArray {
+    /// The paper's 168-PE row-stationary unit: 12×14 at 250 MHz with a
+    /// 108 KB buffer (84 GOPS/s counting a MAC as two ops).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self { rows: 12, cols: 14, clock_hz: 250e6, buffer_bytes: 108 * 1024 }
+    }
+
+    /// Total PEs in the grid.
+    #[must_use]
+    pub fn num_pes(&self) -> u64 {
+        self.rows * self.cols
+    }
+
+    /// Peak throughput in MACs/s.
+    #[must_use]
+    pub fn peak_macs_per_sec(&self) -> f64 {
+        self.num_pes() as f64 * self.clock_hz
+    }
+
+    /// Maps a convolutional layer: `k`×`k` kernels, `c_in`→`c_out`
+    /// channels, `h_out`×`w_out` output maps, mini-batch `batch`.
+    ///
+    /// A *PE set* is `k` rows (one filter row each) by `min(h_out, cols)`
+    /// columns (one output row each); sets for different filter/channel
+    /// pairs stack vertically, kernels taller than the array fold into
+    /// multiple vertical passes, and output maps wider than the array
+    /// process in strips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    #[must_use]
+    pub fn map_conv(
+        &self,
+        k: u64,
+        c_in: u64,
+        c_out: u64,
+        h_out: u64,
+        w_out: u64,
+        batch: u64,
+    ) -> Mapping {
+        assert!(
+            k > 0 && c_in > 0 && c_out > 0 && h_out > 0 && w_out > 0 && batch > 0,
+            "conv mapping requires positive dimensions"
+        );
+        // Vertical: kernels taller than the array fold over several passes.
+        let k_eff = k.min(self.rows);
+        let vertical_folds = k.div_ceil(self.rows);
+        let sets_stacked = (self.rows / k_eff).max(1);
+        // Horizontal: output rows process in strips of the array width.
+        let strip_w = h_out.min(self.cols);
+        let strips = h_out.div_ceil(self.cols);
+
+        let used_pes = sets_stacked * k_eff * strip_w;
+        let utilization = used_pes as f64 / self.num_pes() as f64;
+
+        // One work unit: one (sample, c_in, c_out, fold) filter-row set
+        // applied to one strip. Each PE performs a 1-D convolution of a
+        // filter row over a feature row: k_eff MACs per output element,
+        // w_out outputs.
+        let work_units = batch as f64 * c_in as f64 * c_out as f64 * vertical_folds as f64;
+        let passes = (work_units / sets_stacked as f64).ceil() * strips as f64;
+        let cycles_per_pass = (k_eff * w_out) as f64;
+        let cycles = passes * cycles_per_pass;
+
+        // Row-stationary reuse: a feature-map value feeds k filter rows
+        // (diagonal reuse), a weight value feeds up to `strip_w` output
+        // rows (horizontal broadcast), and partial sums accumulate through
+        // the column with one read + one write at the array edge per k
+        // contributions.
+        let sram_accesses_per_mac =
+            1.0 / k as f64 + 1.0 / strip_w as f64 + 2.0 / k as f64;
+
+        Mapping { utilization, cycles, sram_accesses_per_mac }
+    }
+
+    /// Maps a fully-connected layer: `c_in`→`c_out` neurons at mini-batch
+    /// `batch`.
+    ///
+    /// Fully-connected layers have no convolutional reuse; PEs each own a
+    /// slice of output neurons, with weight rows reused across the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    #[must_use]
+    pub fn map_fc(&self, c_in: u64, c_out: u64, batch: u64) -> Mapping {
+        assert!(c_in > 0 && c_out > 0 && batch > 0, "fc mapping requires positive dimensions");
+        // Parallel work items: one per (output neuron, sample).
+        let items = c_out * batch;
+        let used = items.min(self.num_pes());
+        let utilization = used as f64 / self.num_pes() as f64;
+        let total_macs = (c_in * c_out * batch) as f64;
+        let cycles = total_macs / used as f64;
+        // Every MAC reads a fresh weight; the input activation is reused
+        // across the c_out outputs mapped on-chip, and each output writes
+        // its accumulator once per c_in chunk (amortized to ~0).
+        let sram_accesses_per_mac = 1.0 + 1.0 / (batch as f64).min(self.cols as f64);
+        Mapping { utilization, cycles, sram_accesses_per_mac }
+    }
+}
+
+impl Default for PeArray {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl Mapping {
+    /// Execution time on one processing unit at the given clock.
+    #[must_use]
+    pub fn seconds(&self, array: &PeArray) -> f64 {
+        self.cycles / array.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_array_peaks_at_42_gmacs() {
+        let array = PeArray::paper();
+        assert_eq!(array.num_pes(), 168);
+        // 42 GMAC/s = 84 GOPS/s at 2 ops per MAC.
+        assert_eq!(array.peak_macs_per_sec(), 42e9);
+        assert_eq!(array.buffer_bytes, 110_592);
+    }
+
+    #[test]
+    fn mapping_cycle_counts_are_consistent_with_mac_counts() {
+        // cycles x utilization x num_pes ≈ total MACs (up to edge effects).
+        let array = PeArray::paper();
+        let (k, c_in, c_out, h, w, b) = (3u64, 64, 128, 28, 28, 16);
+        let m = array.map_conv(k, c_in, c_out, h, w, b);
+        let total_macs = (k * k * c_in * c_out * h * w * b) as f64;
+        let modeled = m.cycles * m.utilization * array.num_pes() as f64;
+        let ratio = modeled / total_macs;
+        assert!((0.9..1.6).contains(&ratio), "cycle/MAC consistency ratio {ratio}");
+    }
+
+    #[test]
+    fn tall_kernels_fold() {
+        let array = PeArray::paper();
+        // A 24-row kernel needs two vertical folds on a 12-row array.
+        let folded = array.map_conv(24, 1, 1, 14, 14, 1);
+        let flat = array.map_conv(12, 1, 1, 14, 14, 1);
+        assert!(folded.cycles > flat.cycles);
+        assert_eq!(folded.utilization, 1.0);
+    }
+
+    #[test]
+    fn narrow_outputs_waste_columns() {
+        let array = PeArray::paper();
+        let narrow = array.map_conv(3, 8, 8, 4, 4, 8); // 4-wide strips on 14 columns
+        let wide = array.map_conv(3, 8, 8, 14, 14, 8);
+        assert!(narrow.utilization < wide.utilization);
+    }
+
+    #[test]
+    fn row_stationary_reuse_beats_fc() {
+        let array = PeArray::paper();
+        let conv = array.map_conv(3, 64, 64, 14, 14, 8);
+        let fc = array.map_fc(4096, 4096, 8);
+        assert!(conv.sram_accesses_per_mac < fc.sram_accesses_per_mac);
+        // 3x3 conv: 1/3 + 1/14 + 2/3 ≈ 1.07 accesses per MAC.
+        assert!((conv.sram_accesses_per_mac - (1.0 / 3.0 + 1.0 / 14.0 + 2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fc_with_tiny_fanout_underutilizes() {
+        let array = PeArray::paper();
+        // 10 outputs x 4 samples = 40 busy PEs of 168.
+        let m = array.map_fc(500, 10, 4);
+        assert!((m.utilization - 40.0 / 168.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn big_batches_saturate_fc() {
+        let array = PeArray::paper();
+        let m = array.map_fc(4096, 1000, 256);
+        assert_eq!(m.utilization, 1.0);
+        assert_eq!(m.cycles, (4096u64 * 1000 * 256) as f64 / 168.0);
+    }
+
+    #[test]
+    fn seconds_uses_the_clock() {
+        let array = PeArray::paper();
+        let m = array.map_fc(1000, 168, 1);
+        assert!((m.seconds(&array) - m.cycles / 250e6).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive dimensions")]
+    fn zero_dimension_panics() {
+        let _ = PeArray::paper().map_conv(0, 1, 1, 1, 1, 1);
+    }
+}

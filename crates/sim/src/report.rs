@@ -1,0 +1,102 @@
+//! Simulation results for one training step.
+
+use hypar_tensor::{Bytes, Joules, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Measured outcome of simulating one synchronous training step on the
+/// accelerator array.
+///
+/// The paper's metrics map onto this struct as:
+/// * **performance** (Figure 6/11/12/13) — `1 / step_time`, compared via
+///   [`StepReport::performance_gain_over`];
+/// * **energy efficiency** (Figure 7/13) — energy *saving*, compared via
+///   [`StepReport::energy_efficiency_over`];
+/// * **total communication** (Figure 8/11) — `comm_bytes`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StepReport {
+    /// Simulated wall-clock time of the training step.
+    pub step_time: Seconds,
+    /// Total energy of the step (compute + DRAM + network).
+    pub energy: Joules,
+    /// Energy spent in MACs and element-wise compute (incl. SRAM traffic).
+    pub compute_energy: Joules,
+    /// Energy spent in local DRAM (HMC vault) accesses.
+    pub dram_energy: Joules,
+    /// Energy spent moving tensors between accelerators.
+    pub link_energy: Joules,
+    /// Array-wide bytes moved between accelerators.
+    pub comm_bytes: Bytes,
+    /// `comm_bytes` broken down by hierarchy level (top first).
+    pub comm_bytes_per_level: Vec<Bytes>,
+    /// Array-wide bytes moved to/from local DRAM.
+    pub dram_bytes: Bytes,
+    /// Busy time of one accelerator's processing unit (the workload is
+    /// symmetric across accelerators).
+    pub compute_busy: Seconds,
+    /// Busy time of the most-loaded network link.
+    pub link_busy: Seconds,
+    /// Per-accelerator DRAM footprint of weights + activations.
+    pub dram_footprint_bytes: Bytes,
+    /// Number of accelerators simulated.
+    pub num_accelerators: u64,
+}
+
+impl StepReport {
+    /// Speedup of `self` relative to `baseline` (`> 1` means `self` is
+    /// faster) — the y-axis of Figures 6, 11, 12 and 13.
+    #[must_use]
+    pub fn performance_gain_over(&self, baseline: &Self) -> f64 {
+        baseline.step_time.value() / self.step_time.value()
+    }
+
+    /// Energy saving of `self` relative to `baseline` (`> 1` means `self`
+    /// uses less energy) — the y-axis of Figure 7.
+    #[must_use]
+    pub fn energy_efficiency_over(&self, baseline: &Self) -> f64 {
+        baseline.energy.value() / self.energy.value()
+    }
+
+    /// Whether the per-accelerator footprint fits the given DRAM capacity.
+    #[must_use]
+    pub fn fits_capacity(&self, capacity_bytes: f64) -> bool {
+        self.dram_footprint_bytes.value() <= capacity_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(time: f64, energy: f64) -> StepReport {
+        StepReport {
+            step_time: Seconds(time),
+            energy: Joules(energy),
+            compute_energy: Joules(energy),
+            dram_energy: Joules::ZERO,
+            link_energy: Joules::ZERO,
+            comm_bytes: Bytes::ZERO,
+            comm_bytes_per_level: vec![],
+            dram_bytes: Bytes::ZERO,
+            compute_busy: Seconds(time),
+            link_busy: Seconds::ZERO,
+            dram_footprint_bytes: Bytes(100.0),
+            num_accelerators: 16,
+        }
+    }
+
+    #[test]
+    fn gains_are_ratios() {
+        let fast = report(1.0, 2.0);
+        let slow = report(4.0, 3.0);
+        assert_eq!(fast.performance_gain_over(&slow), 4.0);
+        assert_eq!(fast.energy_efficiency_over(&slow), 1.5);
+        assert_eq!(slow.performance_gain_over(&fast), 0.25);
+    }
+
+    #[test]
+    fn capacity_check() {
+        let r = report(1.0, 1.0);
+        assert!(r.fits_capacity(100.0));
+        assert!(!r.fits_capacity(99.0));
+    }
+}

@@ -1,0 +1,678 @@
+//! Builds and runs the task graph of one synchronous training step.
+//!
+//! One step processes a mini-batch through forward propagation, error
+//! backward propagation, gradient computation, and weight update (paper
+//! §2.1, Equations 1–3), on every accelerator of the array.  The
+//! parallelism plan injects communication:
+//!
+//! * **mp output reductions** — a layer in model parallelism produces
+//!   full-width partial sums of `F_{l+1}` that the two groups of each mp
+//!   level exchange before the next layer (Table 1);
+//! * **junction redistributions** — adjacent layers with mismatched
+//!   layouts exchange slices of `F_{l+1}` during forward and `E_{l+1}`
+//!   during backward (Table 2);
+//! * **dp gradient all-reduces** — a layer in data parallelism exchanges
+//!   gradient partial sums before updating its replicated kernels
+//!   (Table 1).
+//!
+//! With `overlap_comm = false` (the paper's setting) the step executes as
+//! a strict sequence of stages separated by barriers; with `true`, tasks
+//! are ordered only by their data dependencies, letting e.g. a gradient
+//! all-reduce hide underneath the remaining backward pass.
+
+use hypar_comm::{inter_split, intra_elems, NetworkCommTensors, Parallelism, ScaleState};
+use hypar_core::HierarchicalPlan;
+use hypar_models::NetworkShapes;
+use hypar_tensor::{Bytes, Joules, Seconds};
+
+use crate::des::{Engine, ResourceId, TaskId, TaskSpec};
+use crate::pe::Mapping;
+use crate::{ArchConfig, StepReport};
+
+/// Simulates one training step of `shapes` under `plan` on the array
+/// described by `cfg`.
+///
+/// # Panics
+///
+/// Panics if the plan's layer count does not match the network's.
+///
+/// # Examples
+///
+/// ```
+/// use hypar_comm::NetworkCommTensors;
+/// use hypar_core::baselines;
+/// use hypar_models::{zoo, NetworkShapes};
+/// use hypar_sim::{training, ArchConfig};
+///
+/// let shapes = NetworkShapes::infer(&zoo::sconv(), 256)?;
+/// let net = NetworkCommTensors::from_shapes(&shapes);
+/// let report = training::simulate_step(&shapes, &baselines::all_data(&net, 4), &ArchConfig::paper());
+/// assert!(report.step_time.value() > 0.0);
+/// assert_eq!(report.num_accelerators, 16);
+/// # Ok::<(), hypar_models::NetworkError>(())
+/// ```
+#[must_use]
+pub fn simulate_step(
+    shapes: &NetworkShapes,
+    plan: &HierarchicalPlan,
+    cfg: &ArchConfig,
+) -> StepReport {
+    assert_eq!(
+        plan.num_layers(),
+        shapes.len(),
+        "plan and network must have the same number of weighted layers"
+    );
+    Builder::new(shapes, plan, cfg, false).run().0
+}
+
+/// Like [`simulate_step`], additionally returning the executed schedule as
+/// a Chrome trace (see [`crate::des::Schedule::chrome_trace`]) for
+/// visualization in `chrome://tracing` or Perfetto.
+///
+/// # Panics
+///
+/// Same as [`simulate_step`].
+#[must_use]
+pub fn simulate_step_traced(
+    shapes: &NetworkShapes,
+    plan: &HierarchicalPlan,
+    cfg: &ArchConfig,
+) -> (StepReport, String) {
+    assert_eq!(
+        plan.num_layers(),
+        shapes.len(),
+        "plan and network must have the same number of weighted layers"
+    );
+    let (report, trace) = Builder::new(shapes, plan, cfg, true).run();
+    (report, trace.expect("trace requested"))
+}
+
+/// Simulates one training step on a **single** accelerator (an empty
+/// hierarchy) — the normalization baseline of the paper's Figure 11.
+#[must_use]
+pub fn simulate_single_accelerator(shapes: &NetworkShapes, cfg: &ArchConfig) -> StepReport {
+    let net = NetworkCommTensors::from_shapes(shapes);
+    let plan = HierarchicalPlan::from_parts(
+        net.name(),
+        net.layers().iter().map(|l| l.name.clone()).collect(),
+        Vec::new(),
+        0.0,
+    );
+    simulate_step(shapes, &plan, cfg)
+}
+
+/// Incrementally assembles the step's task graph.
+struct Builder<'a> {
+    shapes: &'a NetworkShapes,
+    net: NetworkCommTensors,
+    plan: &'a HierarchicalPlan,
+    cfg: &'a ArchConfig,
+    engine: Engine,
+    accels: Vec<ResourceId>,
+    /// `links[h][p]`: the pair-`p` channel at hierarchy level `h`.
+    links: Vec<Vec<ResourceId>>,
+    barrier_res: ResourceId,
+    /// Whether to label tasks for trace export.
+    trace: bool,
+    /// Scale state *above* each level (index `h`), plus the leaf state at
+    /// index `H`.
+    scales_at: Vec<ScaleState>,
+    // Accounting.
+    compute_energy: Joules,
+    dram_energy: Joules,
+    link_energy: Joules,
+    comm_bytes_per_level: Vec<f64>,
+    dram_bytes: f64,
+}
+
+impl<'a> Builder<'a> {
+    fn new(
+        shapes: &'a NetworkShapes,
+        plan: &'a HierarchicalPlan,
+        cfg: &'a ArchConfig,
+        trace: bool,
+    ) -> Self {
+        let levels = plan.num_levels();
+        let n = plan.num_accelerators() as usize;
+        let net = NetworkCommTensors::from_shapes(shapes);
+        let mut engine = Engine::new();
+        let accels = (0..n).map(|i| engine.add_resource(format!("accel{i}"))).collect();
+        let links = (0..levels)
+            .map(|h| {
+                (0..(1usize << h))
+                    .map(|p| engine.add_resource(format!("link{h}.{p}")))
+                    .collect()
+            })
+            .collect();
+        let barrier_res = engine.add_resource("barrier");
+
+        let mut scales_at = Vec::with_capacity(levels + 1);
+        let mut s = ScaleState::identity(shapes.len());
+        scales_at.push(s.clone());
+        for level in plan.levels() {
+            s = s.descend(level);
+            scales_at.push(s.clone());
+        }
+
+        Self {
+            shapes,
+            net,
+            plan,
+            cfg,
+            engine,
+            accels,
+            links,
+            barrier_res,
+            trace,
+            scales_at,
+            compute_energy: Joules::ZERO,
+            dram_energy: Joules::ZERO,
+            link_energy: Joules::ZERO,
+            comm_bytes_per_level: vec![0.0; levels],
+            dram_bytes: 0.0,
+        }
+    }
+
+    fn num_accels(&self) -> usize {
+        self.accels.len()
+    }
+
+    fn leaf(&self, l: usize) -> hypar_comm::LayerScale {
+        self.scales_at[self.plan.num_levels()].layer(l)
+    }
+
+    /// A zero-duration join of `deps` on the dedicated barrier resource.
+    fn barrier(&mut self, deps: &[TaskId]) -> TaskId {
+        self.engine
+            .add_task(TaskSpec::new(self.barrier_res, Seconds(0.0)).after_all(deps.iter().copied()))
+    }
+
+    /// The row-stationary mapping for layer `l`'s per-accelerator slice,
+    /// when the detailed PE model is enabled.
+    fn layer_mapping(&self, l: usize) -> Option<Mapping> {
+        if !self.cfg.detailed_pe {
+            return None;
+        }
+        let shape = self.shapes.layer(l);
+        let leaf = self.leaf(l);
+        let scaled = |v: u64, frac: f64| ((v as f64 * frac).ceil() as u64).max(1);
+        let batch = scaled(shape.batch, leaf.batch_fraction().value());
+        Some(if shape.is_conv {
+            self.cfg.pe_array.map_conv(
+                shape.kernel_extent,
+                scaled(shape.input.channels, leaf.input_fraction().value()),
+                shape.conv_out.channels,
+                shape.conv_out.height,
+                shape.conv_out.width,
+                batch,
+            )
+        } else {
+            self.cfg.pe_array.map_fc(
+                scaled(shape.input.volume(), leaf.input_fraction().value()),
+                shape.conv_out.channels,
+                batch,
+            )
+        })
+    }
+
+    /// One compute phase replicated on every accelerator.
+    fn compute_stage(
+        &mut self,
+        macs_total: f64,
+        elementwise_total: f64,
+        dram_bytes_per_accel: f64,
+        mapping: Option<Mapping>,
+        label: &str,
+        deps: &[TaskId],
+    ) -> Vec<TaskId> {
+        let n = self.num_accels() as f64;
+        let macs = macs_total / n;
+        let elementwise = elementwise_total / n;
+        let compute_time = match mapping {
+            Some(m) => {
+                // Row-stationary mapping: the PE grid runs at its mapped
+                // utilization; element-wise work proceeds at peak.
+                let pus = f64::from(self.cfg.pus_per_accelerator);
+                let eff = self.cfg.pe_array.peak_macs_per_sec() * m.utilization * pus;
+                macs / eff + elementwise / self.cfg.node_ops_per_sec()
+            }
+            None => (2.0 * macs + elementwise) / self.cfg.node_ops_per_sec(),
+        };
+        let duration =
+            Seconds(compute_time.max(dram_bytes_per_accel / self.cfg.dram_bytes_per_sec));
+        let sram_per_mac = mapping
+            .map_or(self.cfg.energy.sram_accesses_per_mac, |m| m.sram_accesses_per_mac);
+        self.compute_energy += (self.cfg.energy.compute_with_sram(macs, sram_per_mac)
+            + self.cfg.energy.elementwise(elementwise))
+            * n;
+        self.dram_energy += self.cfg.energy.dram(dram_bytes_per_accel) * n;
+        self.dram_bytes += dram_bytes_per_accel * n;
+
+        (0..self.num_accels())
+            .map(|i| {
+                let mut spec =
+                    TaskSpec::new(self.accels[i], duration).after_all(deps.iter().copied());
+                if self.trace {
+                    spec = spec.label(label);
+                }
+                self.engine.add_task(spec)
+            })
+            .collect()
+    }
+
+    /// One transfer of `elems` tensor elements (both directions combined)
+    /// on every pair-channel of level `h`.
+    fn comm_stage(&mut self, h: usize, elems: f64, label: &str, deps: &[TaskId]) -> Vec<TaskId> {
+        let bytes_pair = elems * f64::from(self.cfg.precision_bytes);
+        let bw = self.cfg.topology.pair_bandwidth(
+            h,
+            self.plan.num_levels(),
+            self.cfg.leaf_link_bytes_per_sec,
+        );
+        // Full-duplex channel: the two directions flow simultaneously.
+        let duration = Seconds(bytes_pair / 2.0 / bw);
+        let pairs = self.links[h].len();
+        self.comm_bytes_per_level[h] += bytes_pair * pairs as f64;
+        self.link_energy += self.cfg.energy.link(bytes_pair) * pairs as f64;
+
+        (0..pairs)
+            .map(|p| {
+                let mut spec =
+                    TaskSpec::new(self.links[h][p], duration).after_all(deps.iter().copied());
+                if self.trace {
+                    spec = spec.label(label);
+                }
+                self.engine.add_task(spec)
+            })
+            .collect()
+    }
+
+    /// Levels at which layer `l` is assigned `p`, deepest level first (the
+    /// order partial sums combine up the tree).
+    fn levels_with(&self, l: usize, p: Parallelism) -> Vec<usize> {
+        (0..self.plan.num_levels())
+            .rev()
+            .filter(|&h| self.plan.choice(h, l) == p)
+            .collect()
+    }
+
+    fn run(mut self) -> (StepReport, Option<String>) {
+        let num_layers = self.shapes.len();
+        let precision = f64::from(self.cfg.precision_bytes);
+        let barrier_mode = !self.cfg.overlap_comm;
+
+        // `frontier[i]`: the tasks an accelerator-`i` task must wait for in
+        // overlap mode. In barrier mode a single shared frontier is used.
+        let mut stage_end: Vec<TaskId> = Vec::new();
+        let mut allreduce_tails: Vec<Vec<TaskId>> = vec![Vec::new(); num_layers];
+
+        // ---------------- Forward pass ----------------
+        for l in 0..num_layers {
+            let layer = self.shapes.layer(l).clone();
+            let leaf = self.leaf(l);
+            let view = self.net.layer(l).clone();
+
+            // Forward compute: read W and F_l slices, write F_{l+1} slice.
+            let dram = (view.weight_elems * leaf.weight_scale()
+                + view.input_elems * leaf.input_scale()
+                + view.output_elems * leaf.output_scale())
+                * precision;
+            let deps = stage_end.clone();
+            let mapping = self.layer_mapping(l);
+            let mut tasks = self.compute_stage(
+                layer.macs_forward as f64,
+                layer.elementwise_ops as f64,
+                dram,
+                mapping,
+                &format!("fwd {}", layer.name),
+                &deps,
+            );
+
+            // mp output reductions, deepest level first (partial sums
+            // combine pairwise up the tree, each level on its own links).
+            for h in self.levels_with(l, Parallelism::Model) {
+                let elems = intra_elems(Parallelism::Model, &view, self.scales_at[h].layer(l));
+                let deps = vec![self.barrier(&tasks)];
+                tasks = self.comm_stage(h, elems, &format!("reduce F {}", layer.name), &deps);
+            }
+
+            // Forward junction redistribution to layer l+1.
+            if l + 1 < num_layers {
+                let mut junction_tasks = Vec::new();
+                for h in 0..self.plan.num_levels() {
+                    let (f_elems, _) = inter_split(
+                        self.plan.choice(h, l),
+                        self.plan.choice(h, l + 1),
+                        view.junction_elems,
+                        self.scales_at[h].junction_scale(l),
+                    );
+                    if f_elems > 0.0 {
+                        let deps = vec![self.barrier(&tasks)];
+                        let label = format!("xfer F {}", layer.name);
+                        junction_tasks.extend(self.comm_stage(h, f_elems, &label, &deps));
+                    }
+                }
+                if !junction_tasks.is_empty() {
+                    tasks = junction_tasks;
+                }
+            }
+
+            stage_end = vec![self.barrier(&tasks)];
+        }
+
+        // ---------------- Backward + gradient ----------------
+        // The loss turnaround: backward starts once forward completes.
+        let mut bwd_frontier = stage_end.clone();
+
+        for l in (0..num_layers).rev() {
+            let layer = self.shapes.layer(l).clone();
+            let leaf = self.leaf(l);
+            let view = self.net.layer(l).clone();
+
+            // Backward junction: E_{l+1} redistribution from layer l+1.
+            if l + 1 < num_layers {
+                let mut junction_tasks = Vec::new();
+                for h in 0..self.plan.num_levels() {
+                    let (_, e_elems) = inter_split(
+                        self.plan.choice(h, l),
+                        self.plan.choice(h, l + 1),
+                        view.junction_elems,
+                        self.scales_at[h].junction_scale(l),
+                    );
+                    if e_elems > 0.0 {
+                        let deps = vec![self.barrier(&bwd_frontier)];
+                        let label = format!("xfer E {}", layer.name);
+                        junction_tasks.extend(self.comm_stage(h, e_elems, &label, &deps));
+                    }
+                }
+                if !junction_tasks.is_empty() {
+                    bwd_frontier = vec![self.barrier(&junction_tasks)];
+                }
+            }
+
+            // Error backward (not for the first layer) and gradient
+            // computation; both need E_{l+1} (and locally retained F_l/W_l).
+            let mut phase_tasks = Vec::new();
+            let mapping = self.layer_mapping(l);
+            if l > 0 {
+                let dram = (view.weight_elems * leaf.weight_scale()
+                    + view.output_elems * leaf.output_scale()
+                    + view.input_elems * leaf.input_scale())
+                    * precision;
+                let deps = bwd_frontier.clone();
+                phase_tasks.extend(self.compute_stage(
+                    layer.macs_backward() as f64,
+                    0.0,
+                    dram,
+                    mapping,
+                    &format!("bwd {}", layer.name),
+                    &deps,
+                ));
+            }
+            let dram = (view.input_elems * leaf.input_scale()
+                + view.output_elems * leaf.output_scale()
+                + view.weight_elems * leaf.weight_scale())
+                * precision;
+            let deps = bwd_frontier.clone();
+            let grad_tasks = self.compute_stage(
+                layer.macs_gradient() as f64,
+                0.0,
+                dram,
+                mapping,
+                &format!("grad {}", layer.name),
+                &deps,
+            );
+            phase_tasks.extend(grad_tasks.iter().copied());
+
+            // In barrier mode everything downstream waits here; in overlap
+            // mode only the all-reduce chain depends on the gradients while
+            // the backward error continues independently.
+            let grad_barrier = self.barrier(&grad_tasks);
+            let phase_barrier = self.barrier(&phase_tasks);
+
+            // dp gradient all-reduce, deepest level first.
+            let mut reduce_tail = vec![grad_barrier];
+            for h in self.levels_with(l, Parallelism::Data) {
+                let elems = intra_elems(Parallelism::Data, &view, self.scales_at[h].layer(l));
+                let deps = reduce_tail.clone();
+                let label = format!("allreduce dW {}", layer.name);
+                let tasks = self.comm_stage(h, elems, &label, &deps);
+                reduce_tail = vec![self.barrier(&tasks)];
+            }
+
+            // Weight update: read ΔW, write W (element-wise add).
+            let w_slice = view.weight_elems * leaf.weight_scale();
+            let update_deps = if barrier_mode {
+                // Serialize: update waits for this layer's comm and compute.
+                vec![self.barrier(&[reduce_tail[0], phase_barrier])]
+            } else {
+                reduce_tail.clone()
+            };
+            let update_tasks = self.compute_stage(
+                0.0,
+                w_slice,
+                2.0 * w_slice * precision,
+                None,
+                &format!("update {}", layer.name),
+                &update_deps,
+            );
+            allreduce_tails[l] = update_tasks;
+
+            // Next (shallower) layer's backward frontier.
+            bwd_frontier = if barrier_mode {
+                vec![self.barrier(&[reduce_tail[0], phase_barrier])]
+            } else {
+                vec![phase_barrier]
+            };
+        }
+
+        // The step completes when every update (and the final backward
+        // frontier) has finished.
+        let mut finale: Vec<TaskId> = bwd_frontier;
+        for tails in &allreduce_tails {
+            finale.extend(tails.iter().copied());
+        }
+        let _ = self.barrier(&finale);
+
+        self.finish()
+    }
+
+    fn finish(self) -> (StepReport, Option<String>) {
+        let Self {
+            shapes,
+            net,
+            plan,
+            cfg,
+            engine,
+            accels,
+            links,
+            trace,
+            compute_energy,
+            dram_energy,
+            link_energy,
+            comm_bytes_per_level,
+            dram_bytes,
+            scales_at,
+            ..
+        } = self;
+
+        let schedule = engine.run();
+        let chrome_trace = trace.then(|| schedule.chrome_trace());
+        let compute_busy = schedule.busy_time(accels[0]);
+        let link_busy = links
+            .iter()
+            .flatten()
+            .map(|&r| schedule.busy_time(r))
+            .fold(Seconds::ZERO, |a, b| if b > a { b } else { a });
+
+        // Per-accelerator resident footprint: weight, input and output
+        // slices of every layer (activations are retained for the backward
+        // pass).
+        let leaf_state = &scales_at[plan.num_levels()];
+        let precision = f64::from(cfg.precision_bytes);
+        let footprint: f64 = net
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(l, v)| {
+                let s = leaf_state.layer(l);
+                (v.weight_elems * s.weight_scale()
+                    + v.input_elems * s.input_scale()
+                    + v.output_elems * s.output_scale())
+                    * precision
+            })
+            .sum();
+        let _ = shapes;
+
+        let comm_total: f64 = comm_bytes_per_level.iter().sum();
+        let report = StepReport {
+            step_time: schedule.makespan(),
+            energy: compute_energy + dram_energy + link_energy,
+            compute_energy,
+            dram_energy,
+            link_energy,
+            comm_bytes: Bytes(comm_total),
+            comm_bytes_per_level: comm_bytes_per_level.into_iter().map(Bytes).collect(),
+            dram_bytes: Bytes(dram_bytes),
+            compute_busy,
+            link_busy,
+            dram_footprint_bytes: Bytes(footprint),
+            num_accelerators: plan.num_accelerators(),
+        };
+        (report, chrome_trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypar_core::{baselines, hierarchical};
+    use hypar_models::zoo;
+
+    fn setup(name: &str, batch: u64) -> (NetworkShapes, NetworkCommTensors) {
+        let shapes = NetworkShapes::infer(&zoo::by_name(name).unwrap(), batch).unwrap();
+        let net = NetworkCommTensors::from_shapes(&shapes);
+        (shapes, net)
+    }
+
+    #[test]
+    fn single_accelerator_has_no_communication() {
+        let (shapes, _) = setup("Lenet-c", 256);
+        let report = simulate_single_accelerator(&shapes, &ArchConfig::paper());
+        assert_eq!(report.num_accelerators, 1);
+        assert!(report.comm_bytes.is_zero());
+        assert!(report.link_energy.is_zero());
+        assert!(report.step_time.value() > 0.0);
+    }
+
+    #[test]
+    fn comm_bytes_match_the_cost_model() {
+        // The simulator's traffic accounting must equal evaluate_plan's.
+        let (shapes, net) = setup("Lenet-c", 256);
+        for plan in [
+            hierarchical::partition(&net, 4),
+            baselines::all_data(&net, 4),
+            baselines::all_model(&net, 4),
+            baselines::one_weird_trick(&net, 4),
+        ] {
+            let report = simulate_step(&shapes, &plan, &ArchConfig::paper());
+            let expected = plan.total_comm_bytes();
+            assert!(
+                (report.comm_bytes.value() - expected.value()).abs() <= 1e-6 * expected.value().max(1.0),
+                "sim {} vs model {}",
+                report.comm_bytes,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn hypar_is_faster_than_data_parallelism_on_lenet() {
+        let (shapes, net) = setup("Lenet-c", 256);
+        let cfg = ArchConfig::paper();
+        let hypar = simulate_step(&shapes, &hierarchical::partition(&net, 4), &cfg);
+        let dp = simulate_step(&shapes, &baselines::all_data(&net, 4), &cfg);
+        let mp = simulate_step(&shapes, &baselines::all_model(&net, 4), &cfg);
+        assert!(hypar.performance_gain_over(&dp) > 1.0);
+        assert!(dp.performance_gain_over(&mp) > 1.0, "mp should be worst for Lenet-c");
+    }
+
+    #[test]
+    fn sixteen_accelerators_beat_one_for_vgg() {
+        let (shapes, net) = setup("VGG-A", 256);
+        let cfg = ArchConfig::paper();
+        let one = simulate_single_accelerator(&shapes, &cfg);
+        let hypar = simulate_step(&shapes, &hierarchical::partition(&net, 4), &cfg);
+        let gain = hypar.performance_gain_over(&one);
+        assert!(gain > 4.0, "16 accelerators should give a solid speedup, got {gain:.2}");
+        assert!(gain <= 16.0, "speedup cannot exceed the accelerator count, got {gain:.2}");
+    }
+
+    #[test]
+    fn overlap_never_hurts() {
+        let (shapes, net) = setup("AlexNet", 256);
+        let plan = baselines::all_data(&net, 4);
+        let serial = simulate_step(&shapes, &plan, &ArchConfig::paper());
+        let overlap = simulate_step(&shapes, &plan, &ArchConfig::paper().with_overlap(true));
+        assert!(overlap.step_time <= serial.step_time);
+        // Traffic and energy are schedule-independent.
+        assert_eq!(overlap.comm_bytes, serial.comm_bytes);
+        assert_eq!(overlap.energy, serial.energy);
+    }
+
+    #[test]
+    fn torus_is_never_faster_than_htree() {
+        let (shapes, net) = setup("Cifar-c", 256);
+        let plan = hierarchical::partition(&net, 4);
+        let htree = simulate_step(&shapes, &plan, &ArchConfig::paper());
+        let torus =
+            simulate_step(&shapes, &plan, &ArchConfig::paper().with_topology(crate::Topology::Torus));
+        assert!(torus.step_time >= htree.step_time);
+        assert_eq!(torus.comm_bytes, htree.comm_bytes);
+    }
+
+    #[test]
+    fn energy_components_sum() {
+        let (shapes, net) = setup("Cifar-c", 256);
+        let report = simulate_step(&shapes, &hierarchical::partition(&net, 4), &ArchConfig::paper());
+        let sum = report.compute_energy + report.dram_energy + report.link_energy;
+        assert!((report.energy.value() - sum.value()).abs() < 1e-12);
+        assert!(report.compute_energy.value() > 0.0);
+        assert!(report.dram_energy.value() > 0.0);
+        assert!(report.link_energy.value() > 0.0);
+    }
+
+    #[test]
+    fn determinism() {
+        let (shapes, net) = setup("AlexNet", 256);
+        let plan = hierarchical::partition(&net, 4);
+        let a = simulate_step(&shapes, &plan, &ArchConfig::paper());
+        let b = simulate_step(&shapes, &plan, &ArchConfig::paper());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_labels_phases() {
+        let (shapes, net) = setup("Lenet-c", 256);
+        let plan = hierarchical::partition(&net, 4);
+        let cfg = ArchConfig::paper();
+        let plain = simulate_step(&shapes, &plan, &cfg);
+        let (traced, trace) = simulate_step_traced(&shapes, &plan, &cfg);
+        assert_eq!(plain, traced);
+        for needle in ["fwd conv1", "grad fc2", "allreduce dW conv1", "reduce F fc1", "accel0"] {
+            assert!(trace.contains(needle), "trace missing `{needle}`");
+        }
+        // Valid-enough JSON: balanced brackets, one event per line.
+        assert!(trace.trim_start().starts_with('['));
+        assert!(trace.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of weighted layers")]
+    fn mismatched_plan_panics() {
+        let (shapes, _) = setup("Lenet-c", 256);
+        let (_, other_net) = setup("AlexNet", 256);
+        let plan = baselines::all_data(&other_net, 4);
+        let _ = simulate_step(&shapes, &plan, &ArchConfig::paper());
+    }
+}

@@ -1,0 +1,186 @@
+//! Exact power-of-two fractions.
+
+use std::fmt;
+use std::ops::Mul;
+
+use serde::{Deserialize, Serialize};
+
+/// An exact fraction of the form `2^-k`, `k ≥ 0`.
+///
+/// HyPar's hierarchical partition (Algorithm 2 in the paper) divides work
+/// between two groups at every level, so every tensor dimension seen by a
+/// sub-level is the full dimension multiplied by a power-of-two fraction:
+/// the **batch fraction** accumulates data-parallel choices and the
+/// **input-feature fraction** accumulates model-parallel choices.  Storing
+/// the exponent instead of a float keeps the algebra exact and `Ord`-able.
+///
+/// # Examples
+///
+/// ```
+/// use hypar_tensor::Frac;
+///
+/// let batch = Frac::ONE.halved().halved().halved();
+/// assert_eq!(batch.value(), 0.125);
+/// assert_eq!(batch.denominator(), 8);
+/// assert_eq!((batch * Frac::ONE.halved()).denominator(), 16);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Frac {
+    /// The exponent `k` of the denominator `2^k`. `Ord` is derived on this
+    /// field, so *larger* `Frac` values compare *greater* when they denote a
+    /// smaller fraction; use [`Frac::value`] for numeric comparisons.
+    log2_denom: u32,
+}
+
+impl Frac {
+    /// The whole fraction `1` (nothing has been partitioned yet).
+    pub const ONE: Self = Self { log2_denom: 0 };
+
+    /// Creates the fraction `2^-log2_denom`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hypar_tensor::Frac;
+    /// assert_eq!(Frac::new(4).value(), 1.0 / 16.0);
+    /// ```
+    #[must_use]
+    pub fn new(log2_denom: u32) -> Self {
+        Self { log2_denom }
+    }
+
+    /// This fraction divided by two — the effect of one more binary
+    /// partition level.
+    #[must_use]
+    pub fn halved(self) -> Self {
+        Self { log2_denom: self.log2_denom + 1 }
+    }
+
+    /// The exponent `k` such that the fraction equals `2^-k`.
+    #[must_use]
+    pub fn log2_denom(self) -> u32 {
+        self.log2_denom
+    }
+
+    /// The denominator `2^k` as an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the denominator does not fit in a `u64` (k > 63), which
+    /// would require a 2^64-accelerator array.
+    #[must_use]
+    pub fn denominator(self) -> u64 {
+        assert!(self.log2_denom < 64, "fraction denominator overflows u64");
+        1u64 << self.log2_denom
+    }
+
+    /// The exact numeric value of the fraction.
+    ///
+    /// Powers of two are represented exactly by `f64` for every realistic
+    /// hierarchy depth, so scaling element counts by this value is exact.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        (-(f64::from(self.log2_denom))).exp2()
+    }
+
+    /// Scales a quantity by this fraction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hypar_tensor::Frac;
+    /// assert_eq!(Frac::new(2).scale(1024.0), 256.0);
+    /// ```
+    #[must_use]
+    pub fn scale(self, quantity: f64) -> f64 {
+        quantity * self.value()
+    }
+}
+
+impl Default for Frac {
+    fn default() -> Self {
+        Self::ONE
+    }
+}
+
+impl Mul for Frac {
+    type Output = Self;
+
+    // Multiplying `2^-a` by `2^-b` adds the exponents.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn mul(self, rhs: Self) -> Self {
+        Self { log2_denom: self.log2_denom + rhs.log2_denom }
+    }
+}
+
+impl fmt::Display for Frac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.log2_denom == 0 {
+            write!(f, "1")
+        } else {
+            write!(f, "1/{}", self.denominator())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn one_is_identity() {
+        assert_eq!(Frac::ONE.value(), 1.0);
+        assert_eq!(Frac::ONE.denominator(), 1);
+        assert_eq!(Frac::ONE * Frac::new(3), Frac::new(3));
+        assert_eq!(Frac::default(), Frac::ONE);
+    }
+
+    #[test]
+    fn halving_doubles_denominator() {
+        let f = Frac::ONE.halved();
+        assert_eq!(f.denominator(), 2);
+        assert_eq!(f.halved().denominator(), 4);
+    }
+
+    #[test]
+    fn scale_is_exact_for_powers_of_two() {
+        // 2^-10 of 3 * 2^20 elements must be exactly 3 * 2^10.
+        let f = Frac::new(10);
+        assert_eq!(f.scale(3.0 * 1024.0 * 1024.0), 3.0 * 1024.0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Frac::ONE.to_string(), "1");
+        assert_eq!(Frac::new(4).to_string(), "1/16");
+    }
+
+    #[test]
+    fn ordering_follows_exponent() {
+        // Note: Ord is on the exponent, so the *smaller* fraction is Greater.
+        assert!(Frac::new(2) > Frac::new(1));
+        assert!(Frac::new(2).value() < Frac::new(1).value());
+    }
+
+    proptest! {
+        #[test]
+        fn multiplication_matches_value_product(a in 0u32..30, b in 0u32..30) {
+            let fa = Frac::new(a);
+            let fb = Frac::new(b);
+            prop_assert_eq!((fa * fb).value(), fa.value() * fb.value());
+        }
+
+        #[test]
+        fn value_round_trips_denominator(k in 0u32..60) {
+            let f = Frac::new(k);
+            prop_assert_eq!(f.value(), 1.0 / f.denominator() as f64);
+        }
+
+        #[test]
+        fn halved_is_multiplication_by_half(k in 0u32..60) {
+            let f = Frac::new(k);
+            prop_assert_eq!(f.halved(), f * Frac::new(1));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Unit newtypes for quantities exchanged between the simulator crates.
+//!
+//! Communication volumes, simulated times, and energies flow through many
+//! APIs in this workspace; wrapping them in newtypes prevents a byte count
+//! from being added to a joule count and gives every quantity a
+//! human-readable [`std::fmt::Display`] used by the experiment harness.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! unit_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Copy, Clone, Debug, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// The raw numeric value in base units.
+            #[must_use]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Whether the quantity is exactly zero.
+            #[must_use]
+            pub fn is_zero(self) -> bool {
+                self.0 == 0.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+unit_newtype! {
+    /// A count of bytes moved or stored.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hypar_tensor::Bytes;
+    /// let total: Bytes = [Bytes(500.0), Bytes(500.0)].into_iter().sum();
+    /// assert_eq!(total.value(), 1000.0);
+    /// assert_eq!(total.to_string(), "1.00 KB");
+    /// ```
+    Bytes
+}
+
+unit_newtype! {
+    /// A simulated duration in seconds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hypar_tensor::Seconds;
+    /// assert_eq!((Seconds(0.5) + Seconds(1.5)).value(), 2.0);
+    /// ```
+    Seconds
+}
+
+unit_newtype! {
+    /// An energy in joules.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hypar_tensor::Joules;
+    /// assert_eq!((Joules(2.0) * 0.5).value(), 1.0);
+    /// ```
+    Joules
+}
+
+impl Bytes {
+    /// Bytes for an element count at the given per-element precision.
+    ///
+    /// The paper computes throughout with 32-bit floating point, i.e. a
+    /// precision of 4 bytes per element.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hypar_tensor::Bytes;
+    /// // 70x100 fc kernel at fp32: the paper's 28 KB (x2 directions = 56 KB).
+    /// assert_eq!(Bytes::from_elems(70.0 * 100.0, 4).value(), 28_000.0);
+    /// ```
+    #[must_use]
+    pub fn from_elems(elems: f64, precision_bytes: u32) -> Self {
+        Self(elems * f64::from(precision_bytes))
+    }
+
+    /// The value expressed in gigabytes (10^9 bytes), the unit of the
+    /// paper's Figure 8.
+    #[must_use]
+    pub fn gigabytes(self) -> f64 {
+        self.0 / 1e9
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.0;
+        if v.abs() >= 1e9 {
+            write!(f, "{:.2} GB", v / 1e9)
+        } else if v.abs() >= 1e6 {
+            write!(f, "{:.2} MB", v / 1e6)
+        } else if v.abs() >= 1e3 {
+            write!(f, "{:.2} KB", v / 1e3)
+        } else {
+            write!(f, "{v:.0} B")
+        }
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.0;
+        if v.abs() >= 1.0 {
+            write!(f, "{v:.3} s")
+        } else if v.abs() >= 1e-3 {
+            write!(f, "{:.3} ms", v * 1e3)
+        } else {
+            write!(f, "{:.3} us", v * 1e6)
+        }
+    }
+}
+
+impl fmt::Display for Joules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.0;
+        if v.abs() >= 1.0 {
+            write!(f, "{v:.3} J")
+        } else if v.abs() >= 1e-3 {
+            write!(f, "{:.3} mJ", v * 1e3)
+        } else {
+            write!(f, "{:.3} uJ", v * 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_display_scales() {
+        assert_eq!(Bytes(12.0).to_string(), "12 B");
+        assert_eq!(Bytes(56_000.0).to_string(), "56.00 KB");
+        assert_eq!(Bytes(25.6e6).to_string(), "25.60 MB");
+        assert_eq!(Bytes(16.9e9).to_string(), "16.90 GB");
+    }
+
+    #[test]
+    fn seconds_display_scales() {
+        assert_eq!(Seconds(2.5).to_string(), "2.500 s");
+        assert_eq!(Seconds(2.5e-3).to_string(), "2.500 ms");
+        assert_eq!(Seconds(2.5e-6).to_string(), "2.500 us");
+    }
+
+    #[test]
+    fn joules_display_scales() {
+        assert_eq!(Joules(3.0).to_string(), "3.000 J");
+        assert_eq!(Joules(0.5e-3).to_string(), "500.000 uJ");
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let mut b = Bytes::ZERO;
+        b += Bytes(10.0);
+        assert_eq!((b + Bytes(5.0)).value(), 15.0);
+        assert!(Bytes::ZERO.is_zero());
+        assert!(!b.is_zero());
+    }
+
+    #[test]
+    fn from_elems_uses_precision() {
+        assert_eq!(Bytes::from_elems(100.0, 4).value(), 400.0);
+        assert_eq!(Bytes::from_elems(100.0, 2).value(), 200.0);
+    }
+
+    #[test]
+    fn gigabytes_matches_paper_unit() {
+        assert!((Bytes(16.9e9).gigabytes() - 16.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,63 @@
+//! Partition a network that is not in the paper's zoo: a speech-style
+//! model with a convolutional front-end and a deep fully-connected stack —
+//! exactly the mixed workload where neither pure data nor pure model
+//! parallelism is right.
+//!
+//! ```text
+//! cargo run --release -p hypar-bench --example custom_network
+//! ```
+
+use hypar_comm::NetworkCommTensors;
+use hypar_core::{baselines, hierarchical};
+use hypar_models::{ConvSpec, Network, NetworkShapes, PoolSpec};
+use hypar_sim::{training, ArchConfig};
+use hypar_tensor::FeatureDims;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 2-D "spectrogram" input: 3 x 128 x 128.
+    let network = Network::builder("speech-hybrid", FeatureDims::new(3, 128, 128))
+        .conv("conv1", ConvSpec::same(64, 5))
+        .pool(PoolSpec::max2())
+        .conv("conv2", ConvSpec::same(128, 3))
+        .pool(PoolSpec::max2())
+        .conv("conv3", ConvSpec::same(128, 3))
+        .pool(PoolSpec::max2())
+        .fully_connected("fc1", 2048)
+        .fully_connected("fc2", 2048)
+        .fully_connected("fc3", 2048)
+        .fully_connected("fc4", 512)
+        .build()?;
+
+    let shapes = NetworkShapes::infer(&network, 128)?;
+    let tensors = NetworkCommTensors::from_shapes(&shapes);
+
+    // An eight-accelerator array: three hierarchy levels.
+    let levels = 3;
+    let plan = hierarchical::partition(&tensors, levels);
+    println!("{plan}");
+
+    let cfg = ArchConfig::paper();
+    let hypar = training::simulate_step(&shapes, &plan, &cfg);
+    for (name, baseline) in [
+        ("Data Parallelism", baselines::all_data(&tensors, levels)),
+        ("Model Parallelism", baselines::all_model(&tensors, levels)),
+        ("one weird trick", baselines::one_weird_trick(&tensors, levels)),
+    ] {
+        let report = training::simulate_step(&shapes, &baseline, &cfg);
+        println!(
+            "vs {name:>18}: {:.2}x faster, {:.2}x more energy efficient ({} vs {} comm)",
+            hypar.performance_gain_over(&report),
+            hypar.energy_efficiency_over(&report),
+            plan.total_comm_bytes(),
+            baseline.total_comm_bytes(),
+        );
+    }
+
+    // The per-accelerator memory footprint must fit the HMC's 8 GB.
+    println!(
+        "per-accelerator footprint: {} (fits 8 GB HMC: {})",
+        hypar.dram_footprint_bytes,
+        hypar.fits_capacity(cfg.dram_capacity_bytes)
+    );
+    Ok(())
+}

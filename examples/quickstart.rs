@@ -1,0 +1,66 @@
+//! Quickstart: partition a network for an accelerator array and compare
+//! the result against the standard baselines.
+//!
+//! ```text
+//! cargo run --release -p hypar-bench --example quickstart
+//! ```
+
+use hypar_comm::NetworkCommTensors;
+use hypar_core::{baselines, hierarchical};
+use hypar_models::{zoo, NetworkShapes};
+use hypar_sim::{training, ArchConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a network and a batch size. The zoo has the paper's ten
+    //    models; `Network::builder` makes custom ones.
+    let network = zoo::alexnet();
+    let batch = 256;
+    let shapes = NetworkShapes::infer(&network, batch)?;
+    println!(
+        "{}: {} weighted layers, {:.1} M weights, {:.1} GMAC per training step",
+        network.name(),
+        network.num_layers(),
+        shapes.total_weight_elems() as f64 / 1e6,
+        shapes.total_macs_training() as f64 / 1e9,
+    );
+
+    // 2. Run HyPar's hierarchical partition for a 16-accelerator array
+    //    (four binary levels).
+    let tensors = NetworkCommTensors::from_shapes(&shapes);
+    let plan = hierarchical::partition(&tensors, 4);
+    println!("\n{plan}");
+
+    // 3. Compare the communication of the plan against the baselines.
+    let dp = baselines::all_data(&tensors, 4);
+    let mp = baselines::all_model(&tensors, 4);
+    let owt = baselines::one_weird_trick(&tensors, 4);
+    println!("total communication per step:");
+    for p in [&dp, &mp, &owt, &plan] {
+        println!("  {:>24}: {}", label(p, &plan), p.total_comm_bytes());
+    }
+
+    // 4. Simulate one training step on the paper's HMC-based array.
+    let cfg = ArchConfig::paper();
+    let hypar_report = training::simulate_step(&shapes, &plan, &cfg);
+    let dp_report = training::simulate_step(&shapes, &dp, &cfg);
+    println!(
+        "\nsimulated step: HyPar {} vs Data Parallelism {}  ({:.2}x speedup, {:.2}x energy)",
+        hypar_report.step_time,
+        dp_report.step_time,
+        hypar_report.performance_gain_over(&dp_report),
+        hypar_report.energy_efficiency_over(&dp_report),
+    );
+    Ok(())
+}
+
+fn label(plan: &hypar_core::HierarchicalPlan, hypar: &hypar_core::HierarchicalPlan) -> String {
+    if std::ptr::eq(plan, hypar) {
+        "HyPar".to_owned()
+    } else if plan.levels().iter().flatten().all(|&p| p == hypar_comm::Parallelism::Data) {
+        "Data Parallelism".to_owned()
+    } else if plan.levels().iter().flatten().all(|&p| p == hypar_comm::Parallelism::Model) {
+        "Model Parallelism".to_owned()
+    } else {
+        "one weird trick".to_owned()
+    }
+}

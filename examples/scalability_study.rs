@@ -1,0 +1,46 @@
+//! Scalability study (the paper's Figure 11 methodology) for any zoo
+//! network: how do HyPar and Data Parallelism scale from 1 to 64
+//! accelerators?
+//!
+//! ```text
+//! cargo run --release -p hypar-bench --example scalability_study [network]
+//! ```
+
+use hypar_bench::report::{ratio, Table};
+use hypar_comm::NetworkCommTensors;
+use hypar_core::{baselines, hierarchical};
+use hypar_models::{zoo, NetworkShapes};
+use hypar_sim::{training, ArchConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "AlexNet".to_owned());
+    let Some(network) = zoo::by_name(&name) else {
+        eprintln!("unknown network `{name}`; choose one of {:?}", zoo::NAMES);
+        std::process::exit(1);
+    };
+
+    let shapes = NetworkShapes::infer(&network, 256)?;
+    let tensors = NetworkCommTensors::from_shapes(&shapes);
+    let cfg = ArchConfig::paper();
+    let single = training::simulate_single_accelerator(&shapes, &cfg);
+
+    let mut table = Table::new(
+        format!("{name}: scaling from 1 to 64 accelerators (batch 256)"),
+        &["accels", "HyPar gain", "DP gain", "HyPar step", "DP step"],
+    );
+    for levels in 0..=6usize {
+        let hypar = hierarchical::partition(&tensors, levels);
+        let dp = baselines::all_data(&tensors, levels);
+        let hypar_report = training::simulate_step(&shapes, &hypar, &cfg);
+        let dp_report = training::simulate_step(&shapes, &dp, &cfg);
+        table.row(&[
+            (1u64 << levels).to_string(),
+            ratio(hypar_report.performance_gain_over(&single)),
+            ratio(dp_report.performance_gain_over(&single)),
+            hypar_report.step_time.to_string(),
+            dp_report.step_time.to_string(),
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Simulate VGG-A training on the paper's sixteen-accelerator HMC array,
+//! with every parallelism scheme and both network topologies.
+//!
+//! ```text
+//! cargo run --release -p hypar-bench --example train_vgg_on_array
+//! ```
+
+use hypar_bench::report::Table;
+use hypar_comm::NetworkCommTensors;
+use hypar_core::{baselines, hierarchical, HierarchicalPlan};
+use hypar_models::{zoo, NetworkShapes};
+use hypar_sim::{training, ArchConfig, Topology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let shapes = NetworkShapes::infer(&zoo::vgg_a(), 256)?;
+    let tensors = NetworkCommTensors::from_shapes(&shapes);
+
+    let schemes: Vec<(&str, HierarchicalPlan)> = vec![
+        ("Model Parallelism", baselines::all_model(&tensors, 4)),
+        ("Data Parallelism", baselines::all_data(&tensors, 4)),
+        ("one weird trick", baselines::one_weird_trick(&tensors, 4)),
+        ("HyPar", hierarchical::partition(&tensors, 4)),
+    ];
+
+    let cfg = ArchConfig::paper();
+    let mut table = Table::new(
+        "VGG-A, batch 256, 16 accelerators (H tree)",
+        &["scheme", "step time", "energy", "comm/step", "link busy"],
+    );
+    let mut step_times = Vec::new();
+    for (name, plan) in &schemes {
+        let report = training::simulate_step(&shapes, plan, &cfg);
+        table.row(&[
+            (*name).to_owned(),
+            report.step_time.to_string(),
+            report.energy.to_string(),
+            report.comm_bytes.to_string(),
+            report.link_busy.to_string(),
+        ]);
+        step_times.push((name, report.step_time));
+    }
+    println!("{table}");
+
+    // Topology study: the same HyPar plan on a torus.
+    let hypar = &schemes.last().expect("schemes is non-empty").1;
+    let torus_cfg = ArchConfig::paper().with_topology(Topology::Torus);
+    let htree = training::simulate_step(&shapes, hypar, &cfg);
+    let torus = training::simulate_step(&shapes, hypar, &torus_cfg);
+    println!(
+        "HyPar on torus: {} vs H tree {} ({:.2}x slower)",
+        torus.step_time,
+        htree.step_time,
+        torus.step_time.value() / htree.step_time.value()
+    );
+
+    // Comm/compute overlap ablation.
+    let overlap = training::simulate_step(&shapes, hypar, &cfg.clone().with_overlap(true));
+    println!(
+        "comm/compute overlap ablation: {} -> {} ({:.1}% faster)",
+        htree.step_time,
+        overlap.step_time,
+        100.0 * (1.0 - overlap.step_time.value() / htree.step_time.value())
+    );
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! End-to-end tests of the `repro` and `plan` command-line tools.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> (bool, String, String) {
+    let exe = match bin {
+        "repro" => env!("CARGO_BIN_EXE_repro"),
+        "plan" => env!("CARGO_BIN_EXE_plan"),
+        other => panic!("unknown binary {other}"),
+    };
+    let output = Command::new(exe).args(args).output().expect("binary runs");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn repro_prints_table1() {
+    let (ok, stdout, _) = run("repro", &["--exp", "table1"]);
+    assert!(ok);
+    assert!(stdout.contains("Table 1"));
+    assert!(stdout.contains("56.00 KB"));
+    assert!(stdout.contains("819.20 KB"));
+}
+
+#[test]
+fn repro_writes_json() {
+    let path = std::env::temp_dir().join("hypar_repro_table2.json");
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let (ok, _, _) = run("repro", &["--exp", "table2", "--json", path_str]);
+    assert!(ok);
+    let payload = std::fs::read_to_string(&path).expect("json written");
+    let value: serde_json::Value = serde_json::from_str(&payload).expect("valid json");
+    assert!(value.get("table2").is_some());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn repro_rejects_unknown_experiment() {
+    let (ok, _, stderr) = run("repro", &["--exp", "fig99"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown experiment"));
+}
+
+#[test]
+fn plan_prints_grid_and_report() {
+    let (ok, stdout, _) = run("plan", &["Lenet-c", "--levels", "2", "--batch", "64"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("H1"));
+    assert!(stdout.contains("step time"));
+    assert!(stdout.contains("communication"));
+}
+
+#[test]
+fn plan_writes_chrome_trace() {
+    let path = std::env::temp_dir().join("hypar_plan_trace.json");
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let (ok, stdout, _) =
+        run("plan", &["SCONV", "--levels", "2", "--batch", "32", "--trace", path_str]);
+    assert!(ok, "{stdout}");
+    let trace = std::fs::read_to_string(&path).expect("trace written");
+    assert!(trace.contains("fwd conv1"));
+    assert!(trace.contains("thread_name"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn plan_rejects_unknown_network() {
+    let (ok, _, stderr) = run("plan", &["ResNet-50"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown network"));
+}
+
+#[test]
+fn plan_supports_all_schemes() {
+    for scheme in ["hypar", "dp", "mp", "owt"] {
+        let (ok, stdout, _) =
+            run("plan", &["SFC", "--levels", "2", "--batch", "32", "--scheme", scheme]);
+        assert!(ok, "scheme {scheme}: {stdout}");
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end integration: model zoo → shape inference → communication
+//! model → partition search → event-driven simulation, for every network
+//! of the paper's evaluation.
+
+use hypar_comm::NetworkCommTensors;
+use hypar_core::{baselines, hierarchical};
+use hypar_models::{zoo, NetworkShapes};
+use hypar_sim::{training, ArchConfig, Topology};
+
+const BATCH: u64 = 256;
+const LEVELS: usize = 4;
+
+fn pipeline(name: &str) -> (NetworkShapes, NetworkCommTensors) {
+    let net = zoo::by_name(name).expect("zoo network");
+    let shapes = NetworkShapes::infer(&net, BATCH).expect("valid network");
+    let tensors = NetworkCommTensors::from_shapes(&shapes);
+    (shapes, tensors)
+}
+
+#[test]
+fn full_pipeline_runs_for_every_zoo_network() {
+    for name in zoo::NAMES {
+        let (shapes, tensors) = pipeline(name);
+        let plan = hierarchical::partition(&tensors, LEVELS);
+        assert_eq!(plan.num_levels(), LEVELS, "{name}");
+        assert_eq!(plan.num_layers(), shapes.len(), "{name}");
+        let report = training::simulate_step(&shapes, &plan, &ArchConfig::paper());
+        assert!(report.step_time.value() > 0.0, "{name}");
+        assert!(report.energy.value() > 0.0, "{name}");
+    }
+}
+
+#[test]
+fn simulated_traffic_always_matches_the_analytic_model() {
+    for name in zoo::NAMES {
+        let (shapes, tensors) = pipeline(name);
+        for plan in [
+            hierarchical::partition(&tensors, LEVELS),
+            baselines::all_data(&tensors, LEVELS),
+            baselines::all_model(&tensors, LEVELS),
+            baselines::one_weird_trick(&tensors, LEVELS),
+        ] {
+            let report = training::simulate_step(&shapes, &plan, &ArchConfig::paper());
+            let model = plan.total_comm_bytes().value();
+            assert!(
+                (report.comm_bytes.value() - model).abs() <= 1e-6 * model.max(1.0),
+                "{name}: simulator {} vs model {}",
+                report.comm_bytes.value(),
+                model,
+            );
+        }
+    }
+}
+
+#[test]
+fn hypar_is_never_slower_than_the_best_baseline() {
+    let cfg = ArchConfig::paper();
+    for name in zoo::NAMES {
+        let (shapes, tensors) = pipeline(name);
+        let hypar = training::simulate_step(&shapes, &hierarchical::partition(&tensors, LEVELS), &cfg);
+        for baseline in [
+            baselines::all_data(&tensors, LEVELS),
+            baselines::all_model(&tensors, LEVELS),
+        ] {
+            let report = training::simulate_step(&shapes, &baseline, &cfg);
+            assert!(
+                hypar.step_time.value() <= report.step_time.value() * 1.0001,
+                "{name}: HyPar {} vs baseline {}",
+                hypar.step_time,
+                report.step_time,
+            );
+        }
+    }
+}
+
+#[test]
+fn htree_meets_or_beats_torus_under_hypar_plans() {
+    let htree_cfg = ArchConfig::paper();
+    let torus_cfg = ArchConfig::paper().with_topology(Topology::Torus);
+    for name in zoo::NAMES {
+        let (shapes, tensors) = pipeline(name);
+        let plan = hierarchical::partition(&tensors, LEVELS);
+        let htree = training::simulate_step(&shapes, &plan, &htree_cfg);
+        let torus = training::simulate_step(&shapes, &plan, &torus_cfg);
+        assert!(htree.step_time.value() <= torus.step_time.value() * 1.0001, "{name}");
+    }
+}
+
+#[test]
+fn deeper_hierarchies_reduce_per_accelerator_footprint() {
+    let (shapes, tensors) = pipeline("VGG-A");
+    let cfg = ArchConfig::paper();
+    let mut last = f64::INFINITY;
+    for levels in [0usize, 2, 4, 6] {
+        let plan = hierarchical::partition(&tensors, levels);
+        let report = training::simulate_step(&shapes, &plan, &cfg);
+        let footprint = report.dram_footprint_bytes.value();
+        assert!(footprint < last, "footprint must shrink with more levels");
+        last = footprint;
+    }
+}
+
+#[test]
+fn plans_serialize_and_deserialize() {
+    let (_, tensors) = pipeline("Lenet-c");
+    let plan = hierarchical::partition(&tensors, LEVELS);
+    let json = serde_json::to_string(&plan).expect("plans serialize");
+    let back: hypar_core::HierarchicalPlan = serde_json::from_str(&json).expect("plans deserialize");
+    assert_eq!(back, plan);
+}
+
+#[test]
+fn one_weird_trick_sits_between_dp_and_hypar_for_imagenet_models() {
+    // §6.5.2: the trick beats default Data Parallelism but loses to HyPar.
+    let cfg = ArchConfig::paper();
+    for name in ["AlexNet", "VGG-A", "VGG-E"] {
+        let (shapes, tensors) = pipeline(name);
+        let dp = training::simulate_step(&shapes, &baselines::all_data(&tensors, LEVELS), &cfg);
+        let owt =
+            training::simulate_step(&shapes, &baselines::one_weird_trick(&tensors, LEVELS), &cfg);
+        let hypar =
+            training::simulate_step(&shapes, &hierarchical::partition(&tensors, LEVELS), &cfg);
+        assert!(owt.step_time.value() < dp.step_time.value(), "{name}: trick should beat DP");
+        assert!(
+            hypar.step_time.value() <= owt.step_time.value() * 1.0001,
+            "{name}: HyPar should meet or beat the trick"
+        );
+    }
+}
