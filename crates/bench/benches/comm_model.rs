@@ -21,8 +21,17 @@ fn bench_table1_table2(c: &mut Criterion) {
     });
     c.bench_function("table2_inter", |b| {
         b.iter(|| {
-            inter_elems(Parallelism::Data, Parallelism::Model, black_box(3.2e6), 0.25)
-                + inter_elems(Parallelism::Model, Parallelism::Data, black_box(3.2e6), 0.25)
+            inter_elems(
+                Parallelism::Data,
+                Parallelism::Model,
+                black_box(3.2e6),
+                0.25,
+            ) + inter_elems(
+                Parallelism::Model,
+                Parallelism::Data,
+                black_box(3.2e6),
+                0.25,
+            )
         });
     });
 }
@@ -35,7 +44,13 @@ fn bench_level_cost(c: &mut Criterion) {
         let assignment: Vec<Parallelism> = net
             .layers()
             .iter()
-            .map(|l| if l.is_conv { Parallelism::Data } else { Parallelism::Model })
+            .map(|l| {
+                if l.is_conv {
+                    Parallelism::Data
+                } else {
+                    Parallelism::Model
+                }
+            })
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(name), &net, |b, net| {
             b.iter(|| level_cost(black_box(net), &scales, &assignment));
@@ -52,5 +67,10 @@ fn bench_evaluate_plan(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_table1_table2, bench_level_cost, bench_evaluate_plan);
+criterion_group!(
+    benches,
+    bench_table1_table2,
+    bench_level_cost,
+    bench_evaluate_plan
+);
 criterion_main!(benches);

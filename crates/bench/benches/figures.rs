@@ -15,7 +15,9 @@ fn bench_tables(c: &mut Criterion) {
 }
 
 fn bench_fig5(c: &mut Criterion) {
-    c.bench_function("fig5_optimized_parallelisms", |b| b.iter(|| black_box(fig5::run())));
+    c.bench_function("fig5_optimized_parallelisms", |b| {
+        b.iter(|| black_box(fig5::run()))
+    });
 }
 
 fn bench_overall(c: &mut Criterion) {

@@ -113,7 +113,11 @@ fn main() -> ExitCode {
     } else {
         training::simulate_step(&shapes, &plan, &cfg)
     };
-    println!("simulated training step on {} accelerators ({}):", plan.num_accelerators(), cfg.topology);
+    println!(
+        "simulated training step on {} accelerators ({}):",
+        plan.num_accelerators(),
+        cfg.topology
+    );
     println!("  step time      : {}", report.step_time);
     println!("  energy         : {}", report.energy);
     println!(

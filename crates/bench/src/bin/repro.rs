@@ -12,8 +12,7 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use hypar_bench::experiments::{
-    self, ablation, batch_study, fig10, fig11, fig12, fig13, fig5, fig9, overall, pe_model,
-    tables,
+    self, ablation, batch_study, fig10, fig11, fig12, fig13, fig5, fig9, overall, pe_model, tables,
 };
 
 fn usage() -> String {
@@ -55,7 +54,10 @@ fn main() -> ExitCode {
         }
     }
     if requested.is_empty() || requested.iter().any(|r| r == "all") {
-        requested = experiments::all_ids().iter().map(|s| (*s).to_owned()).collect();
+        requested = experiments::all_ids()
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
     }
 
     let mut json: BTreeMap<String, serde_json::Value> = BTreeMap::new();

@@ -1,7 +1,10 @@
 //! Shared setup helpers for the experiments.
 
+use std::sync::OnceLock;
+
 use hypar_comm::{NetworkCommTensors, Parallelism};
 use hypar_core::{evaluate::evaluate_plan, HierarchicalPlan};
+use hypar_engine::PlanEngine;
 use hypar_models::{zoo, NetworkShapes};
 
 /// The paper's evaluation batch size (§6.1).
@@ -9,6 +12,18 @@ pub const PAPER_BATCH: u64 = 256;
 
 /// The paper's hierarchy depth: four levels, sixteen accelerators.
 pub const PAPER_LEVELS: usize = 4;
+
+/// The shared planning engine behind the experiments.
+///
+/// One process-wide instance means every experiment (and every repetition
+/// inside a benchmark loop) shares one plan cache: the Figure 11/12
+/// campaigns re-evaluate overlapping `(network, strategy, levels)` points,
+/// and repeated points are served in O(1) instead of re-planning and
+/// re-simulating.
+pub fn engine() -> &'static PlanEngine {
+    static ENGINE: OnceLock<PlanEngine> = OnceLock::new();
+    ENGINE.get_or_init(PlanEngine::new)
+}
 
 /// Inferred shapes for a zoo network.
 ///

@@ -74,8 +74,11 @@ pub fn run() -> Ablation {
         .iter()
         .map(|name| {
             let net = view(name, PAPER_BATCH);
-            let modes =
-                [JunctionScaling::Consumer, JunctionScaling::Producer, JunctionScaling::Unscaled];
+            let modes = [
+                JunctionScaling::Consumer,
+                JunctionScaling::Producer,
+                JunctionScaling::Unscaled,
+            ];
             let plans: Vec<_> = modes
                 .iter()
                 .map(|&m| hierarchical::partition_with(&net, PAPER_LEVELS, m))
@@ -117,17 +120,31 @@ pub fn run() -> Ablation {
         })
         .collect();
 
-    let greedy = [("SFC", 3usize), ("SCONV", 3), ("Lenet-c", 4), ("Cifar-c", 4)]
-        .iter()
-        .map(|&(name, levels)| {
-            let net = view(name, PAPER_BATCH);
-            let greedy = hierarchical::partition(&net, levels).total_comm_elems();
-            let (joint, _) = exhaustive::best_joint(&net, levels);
-            GreedyRow { network: name.to_owned(), levels, greedy, joint }
-        })
-        .collect();
+    let greedy = [
+        ("SFC", 3usize),
+        ("SCONV", 3),
+        ("Lenet-c", 4),
+        ("Cifar-c", 4),
+    ]
+    .iter()
+    .map(|&(name, levels)| {
+        let net = view(name, PAPER_BATCH);
+        let greedy = hierarchical::partition(&net, levels).total_comm_elems();
+        let (joint, _) = exhaustive::best_joint(&net, levels);
+        GreedyRow {
+            network: name.to_owned(),
+            levels,
+            greedy,
+            joint,
+        }
+    })
+    .collect();
 
-    Ablation { junction, overlap, greedy }
+    Ablation {
+        junction,
+        overlap,
+        greedy,
+    }
 }
 
 /// Renders the three ablation tables.
@@ -135,7 +152,13 @@ pub fn run() -> Ablation {
 pub fn render(a: &Ablation) -> String {
     let mut junction = Table::new(
         "Ablation 1: junction-scaling interpretation (HyPar comm, GB)",
-        &["network", "consumer", "producer", "unscaled", "same plan (prod/unscaled)"],
+        &[
+            "network",
+            "consumer",
+            "producer",
+            "unscaled",
+            "same plan (prod/unscaled)",
+        ],
     );
     for r in &a.junction {
         junction.row(&[
@@ -152,7 +175,11 @@ pub fn render(a: &Ablation) -> String {
         &["network", "HyPar", "Data Par."],
     );
     for r in &a.overlap {
-        overlap.row(&[r.network.clone(), ratio(r.hypar_speedup), ratio(r.dp_speedup)]);
+        overlap.row(&[
+            r.network.clone(),
+            ratio(r.hypar_speedup),
+            ratio(r.dp_speedup),
+        ]);
     }
 
     let mut greedy = Table::new(
@@ -160,7 +187,11 @@ pub fn render(a: &Ablation) -> String {
         &["network", "levels", "greedy/joint"],
     );
     for r in &a.greedy {
-        greedy.row(&[r.network.clone(), r.levels.to_string(), format!("{:.4}", r.greedy / r.joint)]);
+        greedy.row(&[
+            r.network.clone(),
+            r.levels.to_string(),
+            format!("{:.4}", r.greedy / r.joint),
+        ]);
     }
 
     format!("{junction}\n{overlap}\n{greedy}")
@@ -186,10 +217,17 @@ mod tests {
         for r in &a.junction {
             let lo = r.comm_gb.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = r.comm_gb.iter().cloned().fold(0.0, f64::max);
-            assert!(hi / lo < 2.0, "{}: junction interpretation changed comm {lo} -> {hi}", r.network);
+            assert!(
+                hi / lo < 2.0,
+                "{}: junction interpretation changed comm {lo} -> {hi}",
+                r.network
+            );
             same += usize::from(r.same_plan[0]);
         }
-        assert!(same >= 5, "most producer-scope plans should match consumer-scope plans");
+        assert!(
+            same >= 5,
+            "most producer-scope plans should match consumer-scope plans"
+        );
     }
 
     #[test]
@@ -207,14 +245,21 @@ mod tests {
                 meaningful += 1;
             }
         }
-        assert!(meaningful >= 5, "overlap should matter for several networks");
+        assert!(
+            meaningful >= 5,
+            "overlap should matter for several networks"
+        );
     }
 
     #[test]
     fn greedy_gap_is_small() {
         for r in &dataset().greedy {
             let gap = r.greedy / r.joint;
-            assert!((1.0..1.25).contains(&gap), "{}: greedy gap {gap}", r.network);
+            assert!(
+                (1.0..1.25).contains(&gap),
+                "{}: greedy gap {gap}",
+                r.network
+            );
         }
     }
 

@@ -72,7 +72,10 @@ pub fn run_for(name: &str) -> BatchStudy {
             }
         })
         .collect();
-    BatchStudy { network: name.to_owned(), rows }
+    BatchStudy {
+        network: name.to_owned(),
+        rows,
+    }
 }
 
 /// Renders the study.
@@ -124,7 +127,12 @@ mod tests {
     #[test]
     fn hypar_always_communicates_less_than_dp() {
         for r in &dataset().rows {
-            assert!(r.comm_fraction <= 1.0 + 1e-12, "b{}: {}", r.batch, r.comm_fraction);
+            assert!(
+                r.comm_fraction <= 1.0 + 1e-12,
+                "b{}: {}",
+                r.batch,
+                r.comm_fraction
+            );
             assert!(r.speedup >= 1.0 - 1e-9, "b{}: {}", r.batch, r.speedup);
         }
     }

@@ -36,7 +36,10 @@ pub struct Fig10 {
 }
 
 fn layer_bits(plan_levels: &[Vec<hypar_comm::Parallelism>], layer: usize) -> String {
-    plan_levels.iter().map(|level| char::from(b'0' + level[layer].bit())).collect()
+    plan_levels
+        .iter()
+        .map(|level| char::from(b'0' + level[layer].bit()))
+        .collect()
 }
 
 /// Runs the 256-point sweep.
@@ -53,11 +56,17 @@ pub fn run() -> Fig10 {
         .iter()
         .position(|n| n == "conv5_2")
         .expect("VGG-A has conv5_2");
-    let fc1 = base.layer_names().iter().position(|n| n == "fc1").expect("VGG-A has fc1");
+    let fc1 = base
+        .layer_names()
+        .iter()
+        .position(|n| n == "fc1")
+        .expect("VGG-A has fc1");
 
     // Slots 0..4: conv5_2 at H1..H4; slots 4..8: fc1 at H1..H4.
-    let slots: Vec<(usize, usize)> =
-        (0..PAPER_LEVELS).map(|h| (h, conv5_2)).chain((0..PAPER_LEVELS).map(|h| (h, fc1))).collect();
+    let slots: Vec<(usize, usize)> = (0..PAPER_LEVELS)
+        .map(|h| (h, conv5_2))
+        .chain((0..PAPER_LEVELS).map(|h| (h, fc1)))
+        .collect();
     let swept = sweep::enumerate_overrides(&net, base.levels(), &slots);
 
     let points: Vec<Fig10Point> = std::thread::scope(|scope| {
@@ -84,7 +93,10 @@ pub fn run() -> Fig10 {
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("sweep worker")).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker"))
+            .collect()
     });
 
     let peak = points
@@ -99,7 +111,11 @@ pub fn run() -> Fig10 {
         .find(|p| p.conv5_2 == hypar_conv && p.fc1 == hypar_fc)
         .expect("HyPar's plan is inside the swept space")
         .clone();
-    Fig10 { points, peak, hypar }
+    Fig10 {
+        points,
+        peak,
+        hypar,
+    }
 }
 
 /// Renders the sweep summary.
@@ -109,7 +125,12 @@ pub fn summary_table(fig: &Fig10) -> Table {
         "Figure 10: VGG-A parallelism space (conv5_2 x fc1 over H1..H4)",
         &["point", "conv5_2", "fc1", "perf vs DP"],
     );
-    t.row(&["peak".into(), fig.peak.conv5_2.clone(), fig.peak.fc1.clone(), ratio(fig.peak.perf)]);
+    t.row(&[
+        "peak".into(),
+        fig.peak.conv5_2.clone(),
+        fig.peak.fc1.clone(),
+        ratio(fig.peak.perf),
+    ]);
     t.row(&[
         "HyPar".into(),
         fig.hypar.conv5_2.clone(),
@@ -121,7 +142,12 @@ pub fn summary_table(fig: &Fig10) -> Table {
         .iter()
         .min_by(|a, b| a.perf.total_cmp(&b.perf))
         .expect("non-empty sweep");
-    t.row(&["worst".into(), worst.conv5_2.clone(), worst.fc1.clone(), ratio(worst.perf)]);
+    t.row(&[
+        "worst".into(),
+        worst.conv5_2.clone(),
+        worst.fc1.clone(),
+        ratio(worst.perf),
+    ]);
     t
 }
 

@@ -3,12 +3,17 @@
 //!
 //! Performance gains are normalized to a single accelerator; the second
 //! series is the total communication per step.
+//!
+//! The campaign goes through the shared [`crate::context::engine`]: the
+//! fourteen `(strategy, levels)` points are planned and simulated as one
+//! parallel batch, and repeated runs (e.g. benchmark loops) are served
+//! from the plan cache.
 
-use hypar_core::{baselines, hierarchical};
-use hypar_sim::{training, ArchConfig};
+use hypar_engine::{PlanRequest, Strategy};
+use hypar_sim::StepReport;
 use serde::Serialize;
 
-use crate::context::{shapes, view, PAPER_BATCH};
+use crate::context::{engine, PAPER_BATCH};
 use crate::report::{gigabytes, ratio, Table};
 
 /// One array size.
@@ -40,25 +45,46 @@ pub fn run() -> Fig11 {
 }
 
 /// Runs the scalability study for any zoo network.
+///
+/// # Panics
+///
+/// Panics if the engine rejects a request (zoo sweeps are always valid).
 #[must_use]
 pub fn run_for(name: &str) -> Fig11 {
-    let shapes = shapes(name, PAPER_BATCH);
-    let net = view(name, PAPER_BATCH);
-    let cfg = ArchConfig::paper();
-    let single = training::simulate_single_accelerator(&shapes, &cfg);
+    let requests: Vec<PlanRequest> = (0..=6usize)
+        .flat_map(|levels| {
+            let base = PlanRequest::zoo(name)
+                .batch(PAPER_BATCH)
+                .levels(levels)
+                .simulate(true);
+            [base.clone(), base.strategy(Strategy::Dp)]
+        })
+        .collect();
+    let simulations: Vec<StepReport> = engine()
+        .plan_many(&requests)
+        .into_iter()
+        .map(|result| {
+            result
+                .expect("zoo sweeps plan")
+                .simulation
+                .expect("simulation requested")
+        })
+        .collect();
 
-    let rows = (0..=6usize)
-        .map(|levels| {
-            let hypar = hierarchical::partition(&net, levels);
-            let dp = baselines::all_data(&net, levels);
-            let hypar_report = training::simulate_step(&shapes, &hypar, &cfg);
-            let dp_report = training::simulate_step(&shapes, &dp, &cfg);
+    // The levels = 0 plan runs the whole step on one accelerator: it is
+    // the normalization baseline for both series.
+    let single = simulations[0].clone();
+    let rows = simulations
+        .chunks(2)
+        .enumerate()
+        .map(|(levels, pair)| {
+            let (hypar, dp) = (&pair[0], &pair[1]);
             Fig11Row {
                 accelerators: 1 << levels,
-                hypar_gain: hypar_report.performance_gain_over(&single),
-                dp_gain: dp_report.performance_gain_over(&single),
-                hypar_comm_gb: hypar_report.comm_bytes.gigabytes(),
-                dp_comm_gb: dp_report.comm_bytes.gigabytes(),
+                hypar_gain: hypar.performance_gain_over(&single),
+                dp_gain: dp.performance_gain_over(&single),
+                hypar_comm_gb: hypar.comm_bytes.gigabytes(),
+                dp_comm_gb: dp.comm_bytes.gigabytes(),
             }
         })
         .collect();
@@ -70,7 +96,13 @@ pub fn run_for(name: &str) -> Fig11 {
 pub fn table(fig: &Fig11) -> Table {
     let mut t = Table::new(
         "Figure 11: scalability on VGG-A (gain vs 1 accelerator; comm per step)",
-        &["accels", "HyPar gain", "DP gain", "HyPar comm (GB)", "DP comm (GB)"],
+        &[
+            "accels",
+            "HyPar gain",
+            "DP gain",
+            "HyPar comm (GB)",
+            "DP comm (GB)",
+        ],
     );
     for r in &fig.rows {
         t.row(&[
@@ -119,15 +151,24 @@ mod tests {
         // The paper: DP's gain decreases beyond 8 accelerators.
         let rows = &dataset().rows;
         let dp_at = |n: u64| rows.iter().find(|r| r.accelerators == n).unwrap().dp_gain;
-        assert!(dp_at(64) < dp_at(8) * 1.5, "DP should not keep scaling: {:?}",
-            rows.iter().map(|r| r.dp_gain).collect::<Vec<_>>());
+        assert!(
+            dp_at(64) < dp_at(8) * 1.5,
+            "DP should not keep scaling: {:?}",
+            rows.iter().map(|r| r.dp_gain).collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn hypar_scales_further_than_dp() {
         let rows = &dataset().rows;
-        let best_hypar = rows.iter().max_by(|a, b| a.hypar_gain.total_cmp(&b.hypar_gain)).unwrap();
-        let best_dp = rows.iter().max_by(|a, b| a.dp_gain.total_cmp(&b.dp_gain)).unwrap();
+        let best_hypar = rows
+            .iter()
+            .max_by(|a, b| a.hypar_gain.total_cmp(&b.hypar_gain))
+            .unwrap();
+        let best_dp = rows
+            .iter()
+            .max_by(|a, b| a.dp_gain.total_cmp(&b.dp_gain))
+            .unwrap();
         assert!(best_hypar.hypar_gain > best_dp.dp_gain);
         assert!(best_hypar.accelerators >= best_dp.accelerators);
     }

@@ -3,13 +3,18 @@
 //! Both series use HyPar's per-layer parallelisms; only the interconnect
 //! differs.  Performance is normalized to Data Parallelism on the H-tree
 //! (the paper's standard baseline).
+//!
+//! All thirty `(network, strategy, topology)` simulations run as one
+//! parallel batch through the shared [`crate::context::engine`]; the
+//! HyPar-on-H-tree and DP-on-H-tree points overlap with the Figure 6-8
+//! campaign, so a combined run serves them from the plan cache.
 
-use hypar_core::{baselines, hierarchical};
+use hypar_engine::{PlanRequest, Strategy};
 use hypar_models::zoo;
-use hypar_sim::{training, ArchConfig, Topology};
+use hypar_sim::{StepReport, Topology};
 use serde::Serialize;
 
-use crate::context::{shapes, view, PAPER_BATCH, PAPER_LEVELS};
+use crate::context::{engine, PAPER_BATCH, PAPER_LEVELS};
 use crate::report::{gmean, ratio, Table};
 
 /// One network's topology comparison.
@@ -33,25 +38,46 @@ pub struct Fig12 {
 }
 
 /// Runs the topology comparison over the ten networks.
+///
+/// # Panics
+///
+/// Panics if the engine rejects a request (zoo sweeps are always valid).
 #[must_use]
 pub fn run() -> Fig12 {
-    let htree_cfg = ArchConfig::paper();
-    let torus_cfg = ArchConfig::paper().with_topology(Topology::Torus);
+    let requests: Vec<PlanRequest> = zoo::NAMES
+        .iter()
+        .flat_map(|name| {
+            let base = PlanRequest::zoo(*name)
+                .batch(PAPER_BATCH)
+                .levels(PAPER_LEVELS)
+                .simulate(true);
+            [
+                base.clone(),                           // HyPar on the H-tree
+                base.clone().topology(Topology::Torus), // HyPar on the torus
+                base.strategy(Strategy::Dp),            // the DP baseline
+            ]
+        })
+        .collect();
+    let simulations: Vec<StepReport> = engine()
+        .plan_many(&requests)
+        .into_iter()
+        .map(|result| {
+            result
+                .expect("zoo sweeps plan")
+                .simulation
+                .expect("simulation requested")
+        })
+        .collect();
 
     let rows: Vec<Fig12Row> = zoo::NAMES
         .iter()
-        .map(|name| {
-            let shapes = shapes(name, PAPER_BATCH);
-            let net = view(name, PAPER_BATCH);
-            let plan = hierarchical::partition(&net, PAPER_LEVELS);
-            let dp = baselines::all_data(&net, PAPER_LEVELS);
-            let dp_htree = training::simulate_step(&shapes, &dp, &htree_cfg);
-            let on_htree = training::simulate_step(&shapes, &plan, &htree_cfg);
-            let on_torus = training::simulate_step(&shapes, &plan, &torus_cfg);
+        .zip(simulations.chunks(3))
+        .map(|(name, sims)| {
+            let (on_htree, on_torus, dp_htree) = (&sims[0], &sims[1], &sims[2]);
             Fig12Row {
                 network: (*name).to_owned(),
-                torus: on_torus.performance_gain_over(&dp_htree),
-                htree: on_htree.performance_gain_over(&dp_htree),
+                torus: on_torus.performance_gain_over(dp_htree),
+                htree: on_htree.performance_gain_over(dp_htree),
             }
         })
         .collect();
@@ -90,7 +116,12 @@ mod tests {
     #[test]
     fn htree_wins_on_gmean() {
         let fig = dataset();
-        assert!(fig.gmean.1 > fig.gmean.0, "H-tree {} vs torus {}", fig.gmean.1, fig.gmean.0);
+        assert!(
+            fig.gmean.1 > fig.gmean.0,
+            "H-tree {} vs torus {}",
+            fig.gmean.1,
+            fig.gmean.0
+        );
     }
 
     #[test]

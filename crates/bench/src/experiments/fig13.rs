@@ -62,8 +62,10 @@ pub fn fc3_network() -> Network {
 #[must_use]
 pub fn run() -> Fig13 {
     let cfg = ArchConfig::paper();
-    let cases: [(&str, Network, u64); 2] =
-        [("conv5-b32", conv5_network(), 32), ("fc3-b4096", fc3_network(), 4096)];
+    let cases: [(&str, Network, u64); 2] = [
+        ("conv5-b32", conv5_network(), 32),
+        ("fc3-b4096", fc3_network(), 4096),
+    ];
 
     let mut rows = Vec::new();
     for (label, network, batch) in &cases {
@@ -78,8 +80,12 @@ pub fn run() -> Fig13 {
                 label: format!("{label}-h{levels}"),
                 perf: hypar_report.performance_gain_over(&trick_report),
                 energy: hypar_report.energy_efficiency_over(&trick_report),
-                hypar_bits: (0..levels).map(|h| char::from(b'0' + hypar.choice(h, 0).bit())).collect(),
-                trick_bits: (0..levels).map(|h| char::from(b'0' + trick.choice(h, 0).bit())).collect(),
+                hypar_bits: (0..levels)
+                    .map(|h| char::from(b'0' + hypar.choice(h, 0).bit()))
+                    .collect(),
+                trick_bits: (0..levels)
+                    .map(|h| char::from(b'0' + trick.choice(h, 0).bit()))
+                    .collect(),
             });
         }
     }
@@ -149,7 +155,14 @@ mod tests {
     fn deeper_hierarchies_widen_the_conv5_gap() {
         // Figure 13: conv5-b32 gains grow with hierarchy depth (1.16 ->
         // 1.54 -> 2.20 in the paper).
-        let perf_at = |label: &str| dataset().rows.iter().find(|r| r.label == label).unwrap().perf;
+        let perf_at = |label: &str| {
+            dataset()
+                .rows
+                .iter()
+                .find(|r| r.label == label)
+                .unwrap()
+                .perf
+        };
         assert!(perf_at("conv5-b32-h3") >= perf_at("conv5-b32-h2"));
         assert!(perf_at("conv5-b32-h4") >= perf_at("conv5-b32-h3"));
     }
@@ -158,7 +171,11 @@ mod tests {
     fn hypar_flips_parallelism_at_deep_levels() {
         // §6.5.2: with the batch halved by upper dp levels, conv5 flips to
         // mp somewhere below the top.
-        let h4 = dataset().rows.iter().find(|r| r.label == "conv5-b32-h4").unwrap();
+        let h4 = dataset()
+            .rows
+            .iter()
+            .find(|r| r.label == "conv5-b32-h4")
+            .unwrap();
         assert_eq!(h4.trick_bits, "0000");
         assert!(h4.hypar_bits.contains('1'), "HyPar plan {}", h4.hypar_bits);
     }

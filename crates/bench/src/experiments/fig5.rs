@@ -28,7 +28,8 @@ pub fn run() -> Fig5 {
 /// Renders every plan as the Figure-5-style dp/mp grid.
 #[must_use]
 pub fn render(fig: &Fig5) -> String {
-    let mut out = String::from("== Figure 5: optimized parallelisms (dp/mp per layer per level) ==\n");
+    let mut out =
+        String::from("== Figure 5: optimized parallelisms (dp/mp per layer per level) ==\n");
     for plan in &fig.plans {
         out.push('\n');
         out.push_str(&plan.to_string());

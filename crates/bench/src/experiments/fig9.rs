@@ -43,8 +43,10 @@ pub fn run() -> Fig9 {
     let base = hierarchical::partition(&net, PAPER_LEVELS);
     let dp = training::simulate_step(&shapes, &baselines::all_data(&net, PAPER_LEVELS), &cfg);
 
-    let slots: Vec<(usize, usize)> =
-        (0..net.len()).map(|l| (0, l)).chain((0..net.len()).map(|l| (3, l))).collect();
+    let slots: Vec<(usize, usize)> = (0..net.len())
+        .map(|l| (0, l))
+        .chain((0..net.len()).map(|l| (3, l)))
+        .collect();
     let swept = sweep::enumerate_overrides(&net, base.levels(), &slots);
 
     let points: Vec<Fig9Point> = std::thread::scope(|scope| {
@@ -71,7 +73,10 @@ pub fn run() -> Fig9 {
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("sweep worker")).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker"))
+            .collect()
     });
 
     let peak = points
@@ -84,7 +89,11 @@ pub fn run() -> Fig9 {
         .find(|p| p.h1 == base.level_bits(0) && p.h4 == base.level_bits(3))
         .expect("HyPar's plan is inside the swept space")
         .clone();
-    Fig9 { points, peak, hypar }
+    Fig9 {
+        points,
+        peak,
+        hypar,
+    }
 }
 
 /// Renders the sweep summary (peak, HyPar point, and the extremes).
@@ -94,14 +103,29 @@ pub fn summary_table(fig: &Fig9) -> Table {
         "Figure 9: Lenet-c parallelism space (H1 x H4 sweep, H2/H3 fixed)",
         &["point", "H1", "H4", "perf vs DP"],
     );
-    t.row(&["peak".into(), fig.peak.h1.clone(), fig.peak.h4.clone(), ratio(fig.peak.perf)]);
-    t.row(&["HyPar".into(), fig.hypar.h1.clone(), fig.hypar.h4.clone(), ratio(fig.hypar.perf)]);
+    t.row(&[
+        "peak".into(),
+        fig.peak.h1.clone(),
+        fig.peak.h4.clone(),
+        ratio(fig.peak.perf),
+    ]);
+    t.row(&[
+        "HyPar".into(),
+        fig.hypar.h1.clone(),
+        fig.hypar.h4.clone(),
+        ratio(fig.hypar.perf),
+    ]);
     let worst = fig
         .points
         .iter()
         .min_by(|a, b| a.perf.total_cmp(&b.perf))
         .expect("non-empty sweep");
-    t.row(&["worst".into(), worst.h1.clone(), worst.h4.clone(), ratio(worst.perf)]);
+    t.row(&[
+        "worst".into(),
+        worst.h1.clone(),
+        worst.h4.clone(),
+        ratio(worst.perf),
+    ]);
     t
 }
 
@@ -137,7 +161,11 @@ mod tests {
         // Both conv layers dp and fc1 mp at H1; the tiny fc2 (5,000
         // weights) ties between dp and mp and is left free.
         let peak = &dataset().peak;
-        assert!(peak.h1.starts_with("001"), "peak H1 should be 001x: {}", peak.h1);
+        assert!(
+            peak.h1.starts_with("001"),
+            "peak H1 should be 001x: {}",
+            peak.h1
+        );
     }
 
     #[test]
@@ -145,7 +173,11 @@ mod tests {
         // The all-dp point at H1/H4 with optimized H2/H3 is near 1x or
         // better; the worst point should be clearly below the peak.
         let fig = dataset();
-        let worst = fig.points.iter().map(|p| p.perf).fold(f64::INFINITY, f64::min);
+        let worst = fig
+            .points
+            .iter()
+            .map(|p| p.perf)
+            .fold(f64::INFINITY, f64::min);
         assert!(worst < fig.peak.perf * 0.8);
     }
 }

@@ -3,20 +3,19 @@
 pub mod ablation;
 pub mod batch_study;
 pub mod fig10;
-pub mod pe_model;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig5;
 pub mod fig9;
 pub mod overall;
+pub mod pe_model;
 pub mod tables;
 
 /// The identifiers accepted by the `repro` binary's `--exp` flag, in paper
 /// order.
 pub const EXPERIMENT_IDS: [&str; 11] = [
-    "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12",
+    "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 ];
 
 /// Full identifier list including fig13 and the beyond-the-paper ablation

@@ -81,7 +81,10 @@ pub fn run_with(cfg: &ArchConfig) -> Overall {
     // positive so gmean is well-defined.
     Overall {
         gmean_perf: (gmean(&col(|r| r.mp_perf)), gmean(&col(|r| r.hypar_perf))),
-        gmean_energy: (gmean(&col(|r| r.mp_energy)), gmean(&col(|r| r.hypar_energy))),
+        gmean_energy: (
+            gmean(&col(|r| r.mp_energy)),
+            gmean(&col(|r| r.hypar_energy)),
+        ),
         gmean_comm_gb: (
             gmean(&col(|r| r.mp_comm_gb)),
             gmean(&col(|r| r.dp_comm_gb)),
@@ -105,7 +108,12 @@ pub fn fig6_table(o: &Overall) -> Table {
         &["network", "Model Par.", "Data Par.", "HyPar"],
     );
     for r in &o.rows {
-        t.row(&[r.network.clone(), ratio(r.mp_perf), "1.00".into(), ratio(r.hypar_perf)]);
+        t.row(&[
+            r.network.clone(),
+            ratio(r.mp_perf),
+            "1.00".into(),
+            ratio(r.hypar_perf),
+        ]);
     }
     t.row(&[
         "Gmean".into(),
@@ -124,7 +132,12 @@ pub fn fig7_table(o: &Overall) -> Table {
         &["network", "Model Par.", "Data Par.", "HyPar"],
     );
     for r in &o.rows {
-        t.row(&[r.network.clone(), ratio(r.mp_energy), "1.00".into(), ratio(r.hypar_energy)]);
+        t.row(&[
+            r.network.clone(),
+            ratio(r.mp_energy),
+            "1.00".into(),
+            ratio(r.hypar_energy),
+        ]);
     }
     t.row(&[
         "Gmean".into(),
@@ -176,7 +189,12 @@ mod tests {
             if r.network == "SCONV" {
                 assert!((r.hypar_perf - 1.0).abs() < 1e-9, "SCONV should equal DP");
             } else {
-                assert!(r.hypar_perf > 1.0, "{}: HyPar perf {}", r.network, r.hypar_perf);
+                assert!(
+                    r.hypar_perf > 1.0,
+                    "{}: HyPar perf {}",
+                    r.network,
+                    r.hypar_perf
+                );
             }
         }
     }
@@ -200,7 +218,11 @@ mod tests {
             if r.network == "SFC" {
                 assert!(r.mp_comm_gb < r.dp_comm_gb, "SFC: mp comm should be lower");
             } else {
-                assert!(r.mp_comm_gb > r.dp_comm_gb, "{}: mp comm should be higher", r.network);
+                assert!(
+                    r.mp_comm_gb > r.dp_comm_gb,
+                    "{}: mp comm should be higher",
+                    r.network
+                );
             }
         }
     }

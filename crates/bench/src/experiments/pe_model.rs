@@ -97,7 +97,13 @@ pub fn run() -> PeAblation {
 pub fn table(a: &PeAblation) -> Table {
     let mut t = Table::new(
         "PE ablation: flat roofline vs row-stationary mapping",
-        &["network", "avg util.", "HyPar/DP flat", "HyPar/DP detailed", "HyPar slowdown"],
+        &[
+            "network",
+            "avg util.",
+            "HyPar/DP flat",
+            "HyPar/DP detailed",
+            "HyPar slowdown",
+        ],
     );
     for r in &a.rows {
         t.row(&[
@@ -124,16 +130,33 @@ mod tests {
     #[test]
     fn utilization_is_a_fraction_and_vgg_is_high() {
         for r in &dataset().rows {
-            assert!(r.avg_utilization > 0.0 && r.avg_utilization <= 1.0, "{}", r.network);
+            assert!(
+                r.avg_utilization > 0.0 && r.avg_utilization <= 1.0,
+                "{}",
+                r.network
+            );
         }
-        let vgg = dataset().rows.iter().find(|r| r.network == "VGG-A").unwrap();
-        assert!(vgg.avg_utilization > 0.7, "VGG maps well: {}", vgg.avg_utilization);
+        let vgg = dataset()
+            .rows
+            .iter()
+            .find(|r| r.network == "VGG-A")
+            .unwrap();
+        assert!(
+            vgg.avg_utilization > 0.7,
+            "VGG maps well: {}",
+            vgg.avg_utilization
+        );
     }
 
     #[test]
     fn detailed_model_never_speeds_compute_up() {
         for r in &dataset().rows {
-            assert!(r.hypar_slowdown >= 1.0 - 1e-9, "{}: {}", r.network, r.hypar_slowdown);
+            assert!(
+                r.hypar_slowdown >= 1.0 - 1e-9,
+                "{}: {}",
+                r.network,
+                r.hypar_slowdown
+            );
         }
     }
 
@@ -152,8 +175,11 @@ mod tests {
     #[test]
     fn small_map_networks_lose_the_most_utilization() {
         // Lenet/SCONV have narrow late-layer maps; VGG keeps 14-wide maps.
-        let by_name: std::collections::HashMap<_, _> =
-            dataset().rows.iter().map(|r| (r.network.as_str(), r.avg_utilization)).collect();
+        let by_name: std::collections::HashMap<_, _> = dataset()
+            .rows
+            .iter()
+            .map(|r| (r.network.as_str(), r.avg_utilization))
+            .collect();
         assert!(by_name["SCONV"] < by_name["VGG-A"]);
     }
 }

@@ -20,8 +20,15 @@ pub struct Table1 {
 #[must_use]
 pub fn table1() -> Table1 {
     let fc = LayerCommTensors::fully_connected("fc 70x100 @B=32", 32, 70, 100);
-    let conv =
-        LayerCommTensors::conv("conv 5x5x20x50 @B=32", 32, (20, 12, 12), 5, 50, (8, 8), (8, 8));
+    let conv = LayerCommTensors::conv(
+        "conv 5x5x20x50 @B=32",
+        32,
+        (20, 12, 12),
+        5,
+        50,
+        (8, 8),
+        (8, 8),
+    );
     let rows = [fc, conv]
         .iter()
         .map(|layer| {
@@ -116,7 +123,10 @@ pub fn table3() -> Table3 {
 /// Renders Table 3.
 #[must_use]
 pub fn table3_table(t: &Table3) -> Table {
-    let mut out = Table::new("Table 3: hyper-parameters for SFC and SCONV", &["network", "layer"]);
+    let mut out = Table::new(
+        "Table 3: hyper-parameters for SFC and SCONV",
+        &["network", "layer"],
+    );
     for (net, layer) in &t.rows {
         out.row(&[net.clone(), layer.clone()]);
     }

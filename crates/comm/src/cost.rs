@@ -84,8 +84,16 @@ pub fn level_cost_with(
     assignment: &[Parallelism],
     mode: JunctionScaling,
 ) -> LevelCost {
-    assert_eq!(assignment.len(), net.len(), "assignment must cover every weighted layer");
-    assert_eq!(scales.len(), net.len(), "scales must cover every weighted layer");
+    assert_eq!(
+        assignment.len(),
+        net.len(),
+        "assignment must cover every weighted layer"
+    );
+    assert_eq!(
+        scales.len(),
+        net.len(),
+        "scales must cover every weighted layer"
+    );
 
     let intra = net
         .layers()

@@ -135,7 +135,10 @@ pub fn inter_bytes(
     junction_elems: f64,
     junction_scale: f64,
 ) -> Bytes {
-    Bytes::from_elems(inter_elems(prev, next, junction_elems, junction_scale), PRECISION_BYTES)
+    Bytes::from_elems(
+        inter_elems(prev, next, junction_elems, junction_scale),
+        PRECISION_BYTES,
+    )
 }
 
 #[cfg(test)]
@@ -151,16 +154,28 @@ mod tests {
     #[test]
     fn table1_fc_example_bytes() {
         // §3.4: dp 56 KB, mp 25.6 KB for the 70x100 fc layer at B=32.
-        assert_eq!(intra_bytes(Data, &paper_fc(), LayerScale::default()).value(), 56_000.0);
-        assert_eq!(intra_bytes(Model, &paper_fc(), LayerScale::default()).value(), 25_600.0);
+        assert_eq!(
+            intra_bytes(Data, &paper_fc(), LayerScale::default()).value(),
+            56_000.0
+        );
+        assert_eq!(
+            intra_bytes(Model, &paper_fc(), LayerScale::default()).value(),
+            25_600.0
+        );
     }
 
     #[test]
     fn table1_conv_example_bytes() {
         // §3.4: dp 200 KB, mp 819.2 KB for the 5x5x20x50 conv at B=32.
         let conv = LayerCommTensors::conv("c", 32, (20, 12, 12), 5, 50, (8, 8), (8, 8));
-        assert_eq!(intra_bytes(Data, &conv, LayerScale::default()).value(), 200_000.0);
-        assert_eq!(intra_bytes(Model, &conv, LayerScale::default()).value(), 819_200.0);
+        assert_eq!(
+            intra_bytes(Data, &conv, LayerScale::default()).value(),
+            200_000.0
+        );
+        assert_eq!(
+            intra_bytes(Model, &conv, LayerScale::default()).value(),
+            819_200.0
+        );
     }
 
     #[test]
@@ -189,7 +204,10 @@ mod tests {
         let fc = paper_fc();
         let after_dp = LayerScale::default().descend(Data);
         // One dp level above: mp cost halves (batch), dp cost unchanged.
-        assert_eq!(intra_elems(Data, &fc, after_dp), intra_elems(Data, &fc, LayerScale::default()));
+        assert_eq!(
+            intra_elems(Data, &fc, after_dp),
+            intra_elems(Data, &fc, LayerScale::default())
+        );
         assert_eq!(
             intra_elems(Model, &fc, after_dp),
             intra_elems(Model, &fc, LayerScale::default()) / 2.0
@@ -200,14 +218,20 @@ mod tests {
             intra_elems(Data, &fc, after_mp),
             intra_elems(Data, &fc, LayerScale::default()) / 2.0
         );
-        assert_eq!(intra_elems(Model, &fc, after_mp), intra_elems(Model, &fc, LayerScale::default()));
+        assert_eq!(
+            intra_elems(Model, &fc, after_mp),
+            intra_elems(Model, &fc, LayerScale::default())
+        );
     }
 
     #[test]
     fn table2_transitions() {
         let j = 4000.0;
         assert_eq!(inter_elems(Data, Data, j, 1.0), 0.0);
-        assert_eq!(inter_elems(Data, Model, j, 1.0), 2.0 * (0.25 * j + 0.25 * j));
+        assert_eq!(
+            inter_elems(Data, Model, j, 1.0),
+            2.0 * (0.25 * j + 0.25 * j)
+        );
         assert_eq!(inter_elems(Model, Model, j, 1.0), 2.0 * 0.5 * j);
         assert_eq!(inter_elems(Model, Data, j, 1.0), 2.0 * 0.5 * j);
     }

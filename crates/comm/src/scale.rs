@@ -59,7 +59,10 @@ pub struct LayerScale {
 
 impl LayerScale {
     /// The unpartitioned scale (both fractions are 1).
-    pub const IDENTITY: Self = Self { bat: Frac::ONE, fin: Frac::ONE };
+    pub const IDENTITY: Self = Self {
+        bat: Frac::ONE,
+        fin: Frac::ONE,
+    };
 
     /// The batch fraction accumulated from data-parallel choices above.
     #[must_use]
@@ -78,8 +81,14 @@ impl LayerScale {
     #[must_use]
     pub fn descend(self, choice: Parallelism) -> Self {
         match choice {
-            Parallelism::Data => Self { bat: self.bat.halved(), fin: self.fin },
-            Parallelism::Model => Self { bat: self.bat, fin: self.fin.halved() },
+            Parallelism::Data => Self {
+                bat: self.bat.halved(),
+                fin: self.fin,
+            },
+            Parallelism::Model => Self {
+                bat: self.bat,
+                fin: self.fin.halved(),
+            },
         }
     }
 
@@ -127,7 +136,9 @@ impl ScaleState {
     /// The unpartitioned state for a network of `len` weighted layers.
     #[must_use]
     pub fn identity(len: usize) -> Self {
-        Self { layers: vec![LayerScale::IDENTITY; len] }
+        Self {
+            layers: vec![LayerScale::IDENTITY; len],
+        }
     }
 
     /// Number of layers tracked.
@@ -267,14 +278,26 @@ mod tests {
         assert_eq!(state.junction_scale_with(0, JunctionScaling::Unscaled), 1.0);
         // Two levels of divergence: consumer 1/4 features, producer 1/4 batch.
         let deeper = state.descend(&[Parallelism::Data, Parallelism::Model]);
-        assert_eq!(deeper.junction_scale_with(0, JunctionScaling::Consumer), 0.25);
-        assert_eq!(deeper.junction_scale_with(0, JunctionScaling::Producer), 0.25);
+        assert_eq!(
+            deeper.junction_scale_with(0, JunctionScaling::Consumer),
+            0.25
+        );
+        assert_eq!(
+            deeper.junction_scale_with(0, JunctionScaling::Producer),
+            0.25
+        );
         // Mixed choices make them diverge.
         let mixed = ScaleState::identity(2)
             .descend(&[Parallelism::Data, Parallelism::Data])
             .descend(&[Parallelism::Data, Parallelism::Model]);
-        assert_eq!(mixed.junction_scale_with(0, JunctionScaling::Producer), 0.25);
-        assert_eq!(mixed.junction_scale_with(0, JunctionScaling::Consumer), 0.25);
+        assert_eq!(
+            mixed.junction_scale_with(0, JunctionScaling::Producer),
+            0.25
+        );
+        assert_eq!(
+            mixed.junction_scale_with(0, JunctionScaling::Consumer),
+            0.25
+        );
     }
 
     #[test]

@@ -113,7 +113,11 @@ impl NetworkCommTensors {
                 junction_elems: l.junction_elems() as f64,
             })
             .collect();
-        Self { name: shapes.name().to_owned(), batch: shapes.batch(), layers }
+        Self {
+            name: shapes.name().to_owned(),
+            batch: shapes.batch(),
+            layers,
+        }
     }
 
     /// Runs shape inference on `net` at `batch` and builds the
@@ -130,7 +134,11 @@ impl NetworkCommTensors {
     /// workloads).
     #[must_use]
     pub fn from_layers(name: impl Into<String>, batch: u64, layers: Vec<LayerCommTensors>) -> Self {
-        Self { name: name.into(), batch, layers }
+        Self {
+            name: name.into(),
+            batch,
+            layers,
+        }
     }
 
     /// The network name.

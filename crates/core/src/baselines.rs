@@ -148,6 +148,9 @@ mod tests {
                 strict += 1;
             }
         }
-        assert!(strict > 0, "HyPar should strictly beat the trick on some network");
+        assert!(
+            strict > 0,
+            "HyPar should strictly beat the trick on some network"
+        );
     }
 }

@@ -115,8 +115,7 @@ mod tests {
         // SCONV 0.0121 GB, Lenet-c 0.0517 GB at B=256, H=4.
         let cases = [("SFC", 16.9), ("SCONV", 0.0121), ("Lenet-c", 0.0517)];
         for (name, gb) in cases {
-            let net =
-                NetworkCommTensors::from_network(&zoo::by_name(name).unwrap(), 256).unwrap();
+            let net = NetworkCommTensors::from_network(&zoo::by_name(name).unwrap(), 256).unwrap();
             let plan = vec![vec![Data; net.len()]; 4];
             let measured = evaluate_plan(&net, &plan).total_bytes().gigabytes();
             assert!(
@@ -143,7 +142,10 @@ mod tests {
         let per_pair = cost.level_elems(0);
         assert_eq!(cost.level_elems(1), per_pair);
         assert_eq!(cost.total_elems(), (1.0 + 2.0 + 4.0) * per_pair);
-        assert_eq!(cost.weighted_level_elems(), vec![per_pair, 2.0 * per_pair, 4.0 * per_pair]);
+        assert_eq!(
+            cost.weighted_level_elems(),
+            vec![per_pair, 2.0 * per_pair, 4.0 * per_pair]
+        );
     }
 
     #[test]

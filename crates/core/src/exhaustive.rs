@@ -24,7 +24,9 @@ use crate::evaluate::evaluate_plan;
 /// ```
 #[must_use]
 pub fn assignment_from_bits(bits: u64, len: usize) -> Vec<Parallelism> {
-    (0..len).map(|l| Parallelism::from_bit(bits >> l & 1 == 1)).collect()
+    (0..len)
+        .map(|l| Parallelism::from_bit(bits >> l & 1 == 1))
+        .collect()
 }
 
 /// Exhaustively finds the minimum-communication assignment for **one**
@@ -38,7 +40,10 @@ pub fn assignment_from_bits(bits: u64, len: usize) -> Vec<Parallelism> {
 pub fn best_level(net: &NetworkCommTensors, scales: &ScaleState) -> (f64, Vec<Parallelism>) {
     let len = net.len();
     assert!(len > 0, "cannot partition an empty network");
-    assert!(len <= 24, "exhaustive level search is infeasible beyond 24 layers");
+    assert!(
+        len <= 24,
+        "exhaustive level search is infeasible beyond 24 layers"
+    );
     let mut best_cost = f64::INFINITY;
     let mut best_bits = 0u64;
     for bits in 0..(1u64 << len) {
@@ -60,14 +65,14 @@ pub fn best_level(net: &NetworkCommTensors, scales: &ScaleState) -> (f64, Vec<Pa
 ///
 /// Panics if the network is empty or `L·H > 24`.
 #[must_use]
-pub fn best_joint(
-    net: &NetworkCommTensors,
-    num_levels: usize,
-) -> (f64, Vec<Vec<Parallelism>>) {
+pub fn best_joint(net: &NetworkCommTensors, num_levels: usize) -> (f64, Vec<Vec<Parallelism>>) {
     let len = net.len();
     assert!(len > 0, "cannot partition an empty network");
     let total_bits = len * num_levels;
-    assert!(total_bits <= 24, "exhaustive joint search is infeasible beyond 24 slots");
+    assert!(
+        total_bits <= 24,
+        "exhaustive joint search is infeasible beyond 24 slots"
+    );
     let mut best_cost = f64::INFINITY;
     let mut best_bits = 0u64;
     for bits in 0..(1u64 << total_bits) {
@@ -101,7 +106,9 @@ mod tests {
     #[test]
     fn dp_matches_exhaustive_on_small_zoo_networks() {
         // All networks with L <= 13: 2^13 points is still instant.
-        for name in ["SFC", "SCONV", "Lenet-c", "Cifar-c", "AlexNet", "VGG-A", "VGG-B"] {
+        for name in [
+            "SFC", "SCONV", "Lenet-c", "Cifar-c", "AlexNet", "VGG-A", "VGG-B",
+        ] {
             let net = view(name);
             let scales = ScaleState::identity(net.len());
             let dp = two_group::partition(&net, &scales);
@@ -134,7 +141,10 @@ mod tests {
         let (joint, _) = best_joint(&net, 3);
         assert!(joint <= greedy + 1e-9);
         // The paper's greedy gap is small (4.97 vs 5.05 in Figure 10).
-        assert!(greedy <= joint * 1.25, "greedy {greedy} too far from joint {joint}");
+        assert!(
+            greedy <= joint * 1.25,
+            "greedy {greedy} too far from joint {joint}"
+        );
     }
 
     #[test]

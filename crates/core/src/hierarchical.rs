@@ -118,7 +118,11 @@ mod tests {
         // fc1-mp are asserted there (see EXPERIMENTS.md).
         let plan = partition(&view("Lenet-c"), 4);
         assert_eq!(plan.level_bits(0), "0011");
-        assert!(plan.level_bits(3).starts_with("001"), "H4 = {}", plan.level_bits(3));
+        assert!(
+            plan.level_bits(3).starts_with("001"),
+            "H4 = {}",
+            plan.level_bits(3)
+        );
     }
 
     #[test]

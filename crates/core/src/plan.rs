@@ -52,9 +52,18 @@ impl HierarchicalPlan {
         total_comm_elems: f64,
     ) -> Self {
         for level in &levels {
-            assert_eq!(level.len(), layer_names.len(), "level must cover every weighted layer");
+            assert_eq!(
+                level.len(),
+                layer_names.len(),
+                "level must cover every weighted layer"
+            );
         }
-        Self { network: network.into(), layer_names, levels, total_comm_elems }
+        Self {
+            network: network.into(),
+            layer_names,
+            levels,
+            total_comm_elems,
+        }
     }
 
     /// The network this plan was computed for.
@@ -131,7 +140,10 @@ impl HierarchicalPlan {
     /// convention (`0` = dp, `1` = mp, layer 0 first).
     #[must_use]
     pub fn level_bits(&self, h: usize) -> String {
-        self.levels[h].iter().map(|p| char::from(b'0' + p.bit())).collect()
+        self.levels[h]
+            .iter()
+            .map(|p| char::from(b'0' + p.bit()))
+            .collect()
     }
 }
 
@@ -147,7 +159,13 @@ impl fmt::Display for HierarchicalPlan {
             self.num_levels(),
             self.total_comm_bytes()
         )?;
-        let width = self.layer_names.iter().map(|n| n.len()).max().unwrap_or(5).max(5);
+        let width = self
+            .layer_names
+            .iter()
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
         write!(f, "{:width$}", "layer")?;
         for h in 0..self.num_levels() {
             write!(f, "  H{}", h + 1)?;

@@ -70,7 +70,11 @@ pub fn enumerate_overrides(
             levels[h][l] = Parallelism::from_bit(bits >> i & 1 == 1);
         }
         let comm_elems = evaluate_plan(net, &levels).total_elems();
-        points.push(SweepPoint { slot_bits: bits, levels, comm_elems });
+        points.push(SweepPoint {
+            slot_bits: bits,
+            levels,
+            comm_elems,
+        });
     }
     points
 }
@@ -99,7 +103,10 @@ mod tests {
     }
 
     fn figure9_slots() -> Vec<(usize, usize)> {
-        (0..4).map(|l| (0, l)).chain((0..4).map(|l| (3, l))).collect()
+        (0..4)
+            .map(|l| (0, l))
+            .chain((0..4).map(|l| (3, l)))
+            .collect()
     }
 
     #[test]

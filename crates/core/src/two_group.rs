@@ -68,7 +68,11 @@ pub fn partition_with(
 
     let num_layers = net.len();
     assert!(num_layers > 0, "cannot partition an empty network");
-    assert_eq!(scales.len(), num_layers, "scales must cover every weighted layer");
+    assert_eq!(
+        scales.len(),
+        num_layers,
+        "scales must cover every weighted layer"
+    );
 
     // com[l][s]: minimum accumulated communication with layer l in state s.
     // parent[l][s]: the state of layer l-1 on that minimum path.
@@ -77,7 +81,12 @@ pub fn partition_with(
 
     let intra = |l: usize, p: Parallelism| intra_elems(p, net.layer(l), scales.layer(l));
     let inter = |l: usize, prev: Parallelism, next: Parallelism| {
-        inter_elems(prev, next, net.layer(l).junction_elems, scales.junction_scale_with(l, mode))
+        inter_elems(
+            prev,
+            next,
+            net.layer(l).junction_elems,
+            scales.junction_scale_with(l, mode),
+        )
     };
 
     com[0] = [intra(0, Data), intra(0, Model)];
@@ -87,14 +96,22 @@ pub fn partition_with(
             let from_dp = com[l - 1][0] + inter(l - 1, Data, state);
             let from_mp = com[l - 1][1] + inter(l - 1, Model, state);
             // `<=` keeps dp as the predecessor on ties.
-            let (best, who) = if from_dp <= from_mp { (from_dp, Data) } else { (from_mp, Model) };
+            let (best, who) = if from_dp <= from_mp {
+                (from_dp, Data)
+            } else {
+                (from_mp, Model)
+            };
             com[l][s] = best + intra(l, state);
             parent[l][s] = who;
         }
     }
 
     // Final state: dp wins ties.
-    let mut state = if com[num_layers - 1][0] <= com[num_layers - 1][1] { Data } else { Model };
+    let mut state = if com[num_layers - 1][0] <= com[num_layers - 1][1] {
+        Data
+    } else {
+        Model
+    };
     let comm_elems = com[num_layers - 1][state.bit() as usize];
 
     let mut assignment = vec![Data; num_layers];
@@ -105,7 +122,10 @@ pub fn partition_with(
         }
     }
 
-    TwoGroupPartition { comm_elems, assignment }
+    TwoGroupPartition {
+        comm_elems,
+        assignment,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,352 @@
+//! The [`PlanEngine`]: request resolution, strategy dispatch, caching.
+
+use std::fmt;
+use std::sync::Arc;
+
+use hypar_comm::{NetworkCommTensors, Parallelism};
+use hypar_core::{baselines, evaluate::evaluate_plan, exhaustive, hierarchical, HierarchicalPlan};
+use hypar_models::zoo;
+use hypar_models::{ConvSpec, Network, NetworkShapes, PoolKind, PoolSpec};
+use hypar_sim::{training, ArchConfig};
+use hypar_tensor::FeatureDims;
+
+use crate::cache::{CacheStats, PlanCache};
+use crate::fingerprint::{fingerprint, Fingerprint};
+use crate::parallel;
+use crate::request::{CustomNetwork, NetworkRef, PlanRequest, PlanResponse, Strategy};
+
+/// Upper bound on `layers × levels` for [`Strategy::Exhaustive`] — beyond
+/// this the `2^(L·H)` joint search is infeasible (mirrors
+/// `hypar_core::exhaustive`'s own guard).
+const EXHAUSTIVE_SLOT_LIMIT: usize = 24;
+
+/// Upper bound on the hierarchy depth a request may ask for.  `2^16`
+/// accelerators is already far beyond the paper's largest array (64) and
+/// anything the simulator can turn around interactively; the bound also
+/// keeps untrusted service input from wedging or overflowing the
+/// `1 << levels` accelerator count.
+const MAX_LEVELS: usize = 16;
+
+/// Why a request could not be planned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The zoo has no network under the requested name.
+    UnknownNetwork(String),
+    /// The custom network specification was malformed.
+    InvalidNetwork(String),
+    /// The request combined options inconsistently (e.g. `explicit`
+    /// without assignments, or an oversized exhaustive search).
+    InvalidRequest(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownNetwork(name) => write!(
+                f,
+                "unknown network `{name}` (zoo: {})",
+                zoo::NAMES.join(", ")
+            ),
+            EngineError::InvalidNetwork(msg) => write!(f, "invalid network: {msg}"),
+            EngineError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The planning engine: one instance serves many requests, memoizing
+/// every computed plan in an LRU cache keyed by workload fingerprint.
+///
+/// The engine is `Sync`; [`PlanEngine::plan_many`] and the TCP front-end
+/// share one instance (and therefore one cache) across threads.
+#[derive(Debug)]
+pub struct PlanEngine {
+    cache: PlanCache,
+}
+
+impl Default for PlanEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanEngine {
+    /// Default plan-cache capacity.
+    pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+    /// An engine with the default cache capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_cache_capacity(Self::DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// An engine whose cache holds at most `capacity` plans (0 disables
+    /// caching).
+    #[must_use]
+    pub fn with_cache_capacity(capacity: usize) -> Self {
+        PlanEngine {
+            cache: PlanCache::new(capacity),
+        }
+    }
+
+    /// Plans one request, serving repeated workloads from the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] for unknown networks, malformed custom
+    /// specs, or inconsistent request options.
+    pub fn plan(&self, request: &PlanRequest) -> Result<PlanResponse, EngineError> {
+        let resolved = Resolved::new(request)?;
+        let key = resolved.fingerprint();
+        if let Some(cached) = self.cache.get(key) {
+            let mut response = (*cached).clone();
+            response.cache_hit = true;
+            return Ok(response);
+        }
+        let response = Arc::new(resolved.compute(key));
+        self.cache.insert(key, Arc::clone(&response));
+        Ok((*response).clone())
+    }
+
+    /// Plans a batch of requests in parallel, preserving order.
+    ///
+    /// Results are deterministic and identical to calling [`Self::plan`]
+    /// serially, except for the `cache_hit` flag on *duplicate* requests
+    /// within one batch (which depends on scheduling).
+    pub fn plan_many(&self, requests: &[PlanRequest]) -> Vec<Result<PlanResponse, EngineError>> {
+        parallel::map(requests, |request| self.plan(request))
+    }
+
+    /// Cache hit/miss counters and occupancy.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+/// A request resolved through shape inference, ready to plan.
+struct Resolved {
+    shapes: NetworkShapes,
+    tensors: NetworkCommTensors,
+    cfg: ArchConfig,
+    strategy: Strategy,
+    assignments: Option<Vec<Vec<Parallelism>>>,
+    levels: usize,
+    simulate: bool,
+}
+
+impl Resolved {
+    fn new(request: &PlanRequest) -> Result<Self, EngineError> {
+        if request.levels > MAX_LEVELS {
+            return Err(EngineError::InvalidRequest(format!(
+                "levels {} exceeds the limit of {MAX_LEVELS} (2^{MAX_LEVELS} accelerators); \
+                 the service refuses workloads that cannot be simulated",
+                request.levels
+            )));
+        }
+        let network = resolve_network(&request.network)?;
+        let shapes = NetworkShapes::infer(&network, request.batch)
+            .map_err(|e| EngineError::InvalidNetwork(e.to_string()))?;
+        let tensors = NetworkCommTensors::from_shapes(&shapes);
+        let assignments = match request.strategy {
+            Strategy::Explicit => Some(parse_assignments(request, tensors.len())?),
+            Strategy::Exhaustive => {
+                let slots = tensors.len() * request.levels;
+                if slots > EXHAUSTIVE_SLOT_LIMIT {
+                    return Err(EngineError::InvalidRequest(format!(
+                        "exhaustive search over {slots} slots exceeds the limit of \
+                         {EXHAUSTIVE_SLOT_LIMIT} (layers x levels)"
+                    )));
+                }
+                None
+            }
+            _ => None,
+        };
+        Ok(Resolved {
+            shapes,
+            tensors,
+            cfg: ArchConfig::paper().with_topology(request.topology),
+            strategy: request.strategy,
+            assignments,
+            levels: request.levels,
+            simulate: request.simulate,
+        })
+    }
+
+    fn fingerprint(&self) -> Fingerprint {
+        fingerprint(
+            &self.tensors,
+            self.levels,
+            self.strategy,
+            self.assignments.as_deref(),
+            &self.cfg,
+            self.simulate,
+        )
+    }
+
+    fn compute(&self, key: Fingerprint) -> PlanResponse {
+        let plan = self.run_strategy();
+        let simulation = self
+            .simulate
+            .then(|| training::simulate_step(&self.shapes, &plan, &self.cfg));
+        PlanResponse {
+            network: self.tensors.name().to_owned(),
+            batch: self.tensors.batch(),
+            levels: self.levels,
+            accelerators: plan.num_accelerators(),
+            strategy: self.strategy,
+            fingerprint: key.to_string(),
+            cache_hit: false,
+            total_comm_elems: plan.total_comm_elems(),
+            total_comm_bytes: plan.total_comm_bytes().value(),
+            plan,
+            simulation,
+        }
+    }
+
+    fn run_strategy(&self) -> HierarchicalPlan {
+        let net = &self.tensors;
+        match self.strategy {
+            Strategy::Hypar => hierarchical::partition(net, self.levels),
+            Strategy::Dp => baselines::all_data(net, self.levels),
+            Strategy::Mp => baselines::all_model(net, self.levels),
+            Strategy::Owt => baselines::one_weird_trick(net, self.levels),
+            Strategy::Exhaustive => {
+                let (cost, levels) = exhaustive::best_joint(net, self.levels);
+                HierarchicalPlan::from_parts(net.name(), layer_names(net), levels, cost)
+            }
+            Strategy::Explicit => {
+                let levels = self
+                    .assignments
+                    .clone()
+                    .expect("explicit strategy resolved assignments");
+                let cost = evaluate_plan(net, &levels).total_elems();
+                HierarchicalPlan::from_parts(net.name(), layer_names(net), levels, cost)
+            }
+        }
+    }
+}
+
+fn layer_names(net: &NetworkCommTensors) -> Vec<String> {
+    net.layers().iter().map(|l| l.name.clone()).collect()
+}
+
+/// Resolves a network reference, forgiving zoo-name spelling: `"VGG-A"`,
+/// `"vgg_a"`, and `"vgga"` are the same network.
+fn resolve_network(reference: &NetworkRef) -> Result<Network, EngineError> {
+    match reference {
+        NetworkRef::Zoo(name) => {
+            if let Some(net) = zoo::by_name(name) {
+                return Ok(net);
+            }
+            let canonical = |s: &str| {
+                s.chars()
+                    .filter(char::is_ascii_alphanumeric)
+                    .map(|c| c.to_ascii_lowercase())
+                    .collect::<String>()
+            };
+            let wanted = canonical(name);
+            zoo::NAMES
+                .iter()
+                .find(|candidate| canonical(candidate) == wanted)
+                .and_then(|candidate| zoo::by_name(candidate))
+                .ok_or_else(|| EngineError::UnknownNetwork(name.clone()))
+        }
+        NetworkRef::Custom(custom) => build_custom(custom),
+    }
+}
+
+fn build_custom(custom: &CustomNetwork) -> Result<Network, EngineError> {
+    let invalid = |msg: String| EngineError::InvalidNetwork(msg);
+    let input = FeatureDims::new(
+        custom.input.channels,
+        custom.input.height,
+        custom.input.width,
+    );
+    let name = custom.name.clone().unwrap_or_else(|| "custom".to_owned());
+    let mut builder = Network::builder(name, input);
+    for (index, layer) in custom.layers.iter().enumerate() {
+        match layer.kind.as_str() {
+            "conv" => {
+                let kernel = layer
+                    .kernel
+                    .ok_or_else(|| invalid(format!("conv layer {index} needs a `kernel`")))?;
+                if kernel == 0 {
+                    return Err(invalid(format!(
+                        "conv layer {index}: kernel must be positive"
+                    )));
+                }
+                let spec = ConvSpec {
+                    out_channels: layer.out,
+                    kernel,
+                    stride: layer.stride.unwrap_or(1),
+                    padding: layer.padding.unwrap_or((kernel - 1) / 2),
+                };
+                let name = layer
+                    .name
+                    .clone()
+                    .unwrap_or_else(|| format!("conv{}", index + 1));
+                builder.conv(name, spec);
+            }
+            "fc" => {
+                let name = layer
+                    .name
+                    .clone()
+                    .unwrap_or_else(|| format!("fc{}", index + 1));
+                builder.fully_connected(name, layer.out);
+            }
+            other => {
+                return Err(invalid(format!(
+                    "layer {index}: unknown kind `{other}` (expected conv|fc)"
+                )))
+            }
+        }
+        if let Some(window) = layer.pool {
+            builder.pool(PoolSpec {
+                size: window,
+                stride: window,
+                kind: PoolKind::Max,
+            });
+        }
+    }
+    builder.build().map_err(|e| invalid(e.to_string()))
+}
+
+fn parse_assignments(
+    request: &PlanRequest,
+    num_layers: usize,
+) -> Result<Vec<Vec<Parallelism>>, EngineError> {
+    let bits = request.assignments.as_ref().ok_or_else(|| {
+        EngineError::InvalidRequest(
+            "strategy `explicit` needs `assignments` (one dp/mp bit string per level)".to_owned(),
+        )
+    })?;
+    if bits.len() != request.levels {
+        return Err(EngineError::InvalidRequest(format!(
+            "got {} assignment strings for {} levels",
+            bits.len(),
+            request.levels
+        )));
+    }
+    bits.iter()
+        .enumerate()
+        .map(|(h, level)| {
+            if level.len() != num_layers {
+                return Err(EngineError::InvalidRequest(format!(
+                    "level {h} assignment `{level}` must cover {num_layers} layers"
+                )));
+            }
+            level
+                .chars()
+                .map(|c| match c {
+                    '0' => Ok(Parallelism::Data),
+                    '1' => Ok(Parallelism::Model),
+                    other => Err(EngineError::InvalidRequest(format!(
+                        "level {h}: invalid assignment character `{other}` (expected 0 or 1)"
+                    ))),
+                })
+                .collect()
+        })
+        .collect()
+}

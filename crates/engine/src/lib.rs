@@ -1,0 +1,62 @@
+//! The HyPar planning **engine**: the library pipeline
+//! (`models → comm → core → sim`) packaged as a cached, parallel planning
+//! service.
+//!
+//! HyPar's value is the partition *search* — choosing data vs. model
+//! parallelism per layer per hierarchy level to minimize communication
+//! (paper §4).  Callers used to hand-wire the four library crates and
+//! recompute identical plans from scratch; this crate centralizes that
+//! pipeline behind one API:
+//!
+//! * [`PlanRequest`] / [`PlanResponse`] — a serde-JSON description of a
+//!   planning workload: network (zoo name or custom layer spec), batch
+//!   size, hierarchy levels, strategy
+//!   (`hypar`/`dp`/`mp`/`owt`/`exhaustive`/`explicit`), topology, and an
+//!   optional full discrete-event simulation of the training step;
+//! * [`PlanEngine`] — resolves requests through the pipeline, memoizing
+//!   results in an LRU [`cache::PlanCache`] keyed by a stable
+//!   [`fingerprint::Fingerprint`] of the *resolved* workload (network
+//!   shapes, not names), so repeated and equivalent queries are served in
+//!   O(1);
+//! * [`PlanEngine::plan_many`] — fans a batch of requests across CPU
+//!   cores with deterministic, order-preserving results;
+//! * [`service`] — a line-delimited JSON front-end over any
+//!   `BufRead`/`Write` pair or a TCP listener, used by the `hypar-engine`
+//!   binary;
+//! * [`scenario`] — reproducible sweep files (`scenarios/*.json`) run as a
+//!   batch through the engine.
+//!
+//! # Examples
+//!
+//! ```
+//! use hypar_engine::{PlanEngine, PlanRequest, Strategy};
+//!
+//! let engine = PlanEngine::new();
+//! let request = PlanRequest::zoo("vgg_a").levels(4).batch(256);
+//! let first = engine.plan(&request)?;
+//! assert!(!first.cache_hit);
+//! let again = engine.plan(&request)?;
+//! assert!(again.cache_hit);
+//! assert_eq!(first.plan, again.plan);
+//!
+//! // Baselines go through the same cache-keyed pipeline.
+//! let dp = engine.plan(&request.clone().strategy(Strategy::Dp))?;
+//! assert!(first.total_comm_elems <= dp.total_comm_elems);
+//! # Ok::<(), hypar_engine::EngineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+mod engine;
+pub mod fingerprint;
+pub mod parallel;
+mod request;
+pub mod scenario;
+pub mod service;
+
+pub use cache::CacheStats;
+pub use engine::{EngineError, PlanEngine};
+pub use request::{CustomNetwork, InputSpec, LayerSpec, PlanRequest, PlanResponse, Strategy};

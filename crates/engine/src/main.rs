@@ -1,0 +1,150 @@
+//! The `hypar-engine` binary: HyPar's planning engine as a service.
+//!
+//! ```text
+//! hypar-engine [--scenarios FILE...] [--listen ADDR] [--cache-capacity N]
+//!              [--json PATH]
+//!
+//!   (default)          serve line-delimited JSON PlanRequests on
+//!                      stdin/stdout; `{"cmd": "stats"}` reports the cache
+//!   --scenarios FILE   run one or more scenario files and print a summary
+//!   --json PATH        with --scenarios: also dump the full reports as JSON
+//!   --listen ADDR      serve the same protocol over TCP (e.g. 127.0.0.1:7878)
+//!   --cache-capacity N plan-cache size (default 1024; 0 disables)
+//! ```
+//!
+//! Example request:
+//!
+//! ```text
+//! echo '{"network": "vgg_a", "levels": 4, "simulate": true}' | hypar-engine
+//! ```
+
+use std::io::{self, BufReader};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use hypar_engine::{scenario, service, PlanEngine};
+
+fn usage() -> &'static str {
+    "usage: hypar-engine [--scenarios FILE...] [--listen ADDR] \
+     [--cache-capacity N] [--json PATH]\n  \
+     default mode reads line-delimited JSON PlanRequests from stdin"
+}
+
+fn main() -> ExitCode {
+    let mut scenario_paths: Vec<PathBuf> = Vec::new();
+    let mut listen: Option<String> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut capacity = PlanEngine::DEFAULT_CACHE_CAPACITY;
+
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scenarios" => {
+                while let Some(path) = args.peek() {
+                    if path.starts_with("--") {
+                        break;
+                    }
+                    scenario_paths.push(PathBuf::from(args.next().expect("peeked")));
+                }
+                if scenario_paths.is_empty() {
+                    eprintln!("--scenarios expects at least one file\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--listen" => match args.next() {
+                Some(addr) => listen = Some(addr),
+                None => {
+                    eprintln!("--listen expects an address\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--json expects a file path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--cache-capacity" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => capacity = n,
+                None => {
+                    eprintln!(
+                        "--cache-capacity expects a non-negative integer\n{}",
+                        usage()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let engine = PlanEngine::with_cache_capacity(capacity);
+
+    if !scenario_paths.is_empty() {
+        return run_scenarios(&engine, &scenario_paths, json_path.as_deref());
+    }
+
+    if let Some(addr) = listen {
+        return match service::serve_tcp(Arc::new(engine), addr.as_str()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(err) => {
+                eprintln!("failed to serve on {addr}: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+    match service::serve_lines(&engine, BufReader::new(stdin.lock()), &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("i/o error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_scenarios(
+    engine: &PlanEngine,
+    paths: &[PathBuf],
+    json_path: Option<&std::path::Path>,
+) -> ExitCode {
+    let mut reports = Vec::new();
+    let mut failures = 0usize;
+    for path in paths {
+        let scenario = match scenario::load(path) {
+            Ok(s) => s,
+            Err(err) => {
+                eprintln!("{err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = scenario::run(engine, &scenario);
+        println!("{report}");
+        failures += report.num_errors();
+        reports.push(report);
+    }
+    if let Some(path) = json_path {
+        let payload = serde_json::to_string_pretty(&reports).expect("reports serialize");
+        if let Err(err) = std::fs::write(path, payload) {
+            eprintln!("failed to write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote JSON reports to {}", path.display());
+    }
+    if failures > 0 {
+        eprintln!("{failures} request(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

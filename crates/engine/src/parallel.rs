@@ -1,0 +1,70 @@
+//! Order-preserving parallel map over scoped threads.
+//!
+//! The workspace has no external thread-pool dependency, so batch planning
+//! fans out with `std::thread::scope`: the input is split into one
+//! contiguous chunk per available core and results are reassembled in
+//! input order, which keeps [`crate::PlanEngine::plan_many`]
+//! deterministic.
+
+use std::thread;
+
+/// Applies `f` to every item, in parallel, preserving input order.
+///
+/// Falls back to a serial loop for small inputs or single-core hosts.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker thread.
+pub fn map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let workers = thread::available_parallelism()
+        .map_or(1, usize::from)
+        .min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    let f = &f;
+    thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("parallel map worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled = map(&items, |n| n * 2);
+        assert_eq!(doubled, (0..1000).map(|n| n * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(map(&[] as &[u64], |n| *n), Vec::<u64>::new());
+        assert_eq!(map(&[7u64], |n| n + 1), vec![8]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let items: Vec<u64> = (0..256).collect();
+        let _ = map(&items, |_| {
+            seen.lock().unwrap().insert(thread::current().id());
+        });
+        let threads = seen.lock().unwrap().len();
+        if thread::available_parallelism().map_or(1, usize::from) > 1 {
+            assert!(threads > 1, "expected fan-out, saw {threads} thread(s)");
+        }
+    }
+}

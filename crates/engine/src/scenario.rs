@@ -1,0 +1,189 @@
+//! Reproducible scenario files: a named batch of [`PlanRequest`]s run
+//! through the engine in one parallel sweep.
+//!
+//! A scenario file is a JSON object:
+//!
+//! ```json
+//! {
+//!   "name": "lenet-levels",
+//!   "description": "Lenet-c from 1 to 64 accelerators",
+//!   "requests": [
+//!     {"network": "lenet_c", "levels": 0},
+//!     {"network": "lenet_c", "levels": 4, "simulate": true}
+//!   ]
+//! }
+//! ```
+
+use std::fmt;
+use std::path::Path;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::engine::PlanEngine;
+use crate::request::{PlanRequest, PlanResponse};
+
+/// A parsed scenario file.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct Scenario {
+    /// Scenario name, used in reports.
+    pub name: String,
+    /// Optional free-form description.
+    pub description: Option<String>,
+    /// The workloads, run in order (results keep this order).
+    pub requests: Vec<PlanRequest>,
+}
+
+impl Deserialize for Scenario {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if v.as_object().is_none() {
+            return Err(DeError::expected("scenario object", v));
+        }
+        let name = match v.get("name") {
+            Some(n) => String::from_value(n).map_err(|e| e.in_field("name"))?,
+            None => "scenario".to_owned(),
+        };
+        let description = match v.get("description") {
+            Some(d) if !d.is_null() => {
+                Some(String::from_value(d).map_err(|e| e.in_field("description"))?)
+            }
+            _ => None,
+        };
+        let requests = v
+            .get("requests")
+            .ok_or_else(|| DeError::missing_field("requests", "Scenario"))
+            .and_then(|r| Vec::<PlanRequest>::from_value(r).map_err(|e| e.in_field("requests")))?;
+        Ok(Scenario {
+            name,
+            description,
+            requests,
+        })
+    }
+}
+
+/// The outcome of one request inside a scenario run.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ScenarioEntry {
+    /// Index into [`Scenario::requests`].
+    pub index: usize,
+    /// The planned response, when the request succeeded.
+    pub response: Option<PlanResponse>,
+    /// The failure message, when it did not.
+    pub error: Option<String>,
+}
+
+/// The result of running a whole scenario.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// One entry per request, in request order.
+    pub entries: Vec<ScenarioEntry>,
+    /// Cache activity attributable to *this* run: hit/miss counts are the
+    /// delta over the run, occupancy is measured after it.
+    pub cache: crate::CacheStats,
+}
+
+impl ScenarioReport {
+    /// Number of failed requests.
+    #[must_use]
+    pub fn num_errors(&self) -> usize {
+        self.entries.iter().filter(|e| e.error.is_some()).count()
+    }
+}
+
+impl fmt::Display for ScenarioReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "scenario `{}`: {} request(s)",
+            self.name,
+            self.entries.len()
+        )?;
+        for entry in &self.entries {
+            match (&entry.response, &entry.error) {
+                (Some(r), _) => {
+                    write!(
+                        f,
+                        "  [{:>3}] {:<10} {:<10} H{} B{}  comm {:>14.0} elems  {}",
+                        entry.index,
+                        r.network,
+                        r.strategy.name(),
+                        r.levels,
+                        r.batch,
+                        // An H0 plan reports an exact zero that may carry a
+                        // negative sign; normalize it for display.
+                        if r.total_comm_elems == 0.0 {
+                            0.0
+                        } else {
+                            r.total_comm_elems
+                        },
+                        if r.cache_hit { "cached" } else { "computed" },
+                    )?;
+                    if let Some(sim) = &r.simulation {
+                        write!(f, "  step {}", sim.step_time)?;
+                    }
+                    writeln!(f)?;
+                }
+                (None, Some(err)) => writeln!(f, "  [{:>3}] error: {err}", entry.index)?,
+                (None, None) => writeln!(f, "  [{:>3}] (empty)", entry.index)?,
+            }
+        }
+        write!(
+            f,
+            "  cache: {} hit(s), {} miss(es), {} entr(ies)",
+            self.cache.hits, self.cache.misses, self.cache.entries
+        )
+    }
+}
+
+/// Parses a scenario from JSON text.
+///
+/// # Errors
+///
+/// Returns the underlying JSON/shape error message.
+pub fn parse(text: &str) -> Result<Scenario, String> {
+    serde_json::from_str(text).map_err(|e| e.to_string())
+}
+
+/// Loads a scenario file from disk.
+///
+/// # Errors
+///
+/// Returns an error for unreadable files or malformed scenarios.
+pub fn load(path: &Path) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Runs every request of a scenario through the engine, in parallel.
+#[must_use]
+pub fn run(engine: &PlanEngine, scenario: &Scenario) -> ScenarioReport {
+    let before = engine.cache_stats();
+    let results = engine.plan_many(&scenario.requests);
+    let entries = results
+        .into_iter()
+        .enumerate()
+        .map(|(index, result)| match result {
+            Ok(response) => ScenarioEntry {
+                index,
+                response: Some(response),
+                error: None,
+            },
+            Err(err) => ScenarioEntry {
+                index,
+                response: None,
+                error: Some(err.to_string()),
+            },
+        })
+        .collect();
+    let after = engine.cache_stats();
+    ScenarioReport {
+        name: scenario.name.clone(),
+        entries,
+        cache: crate::CacheStats {
+            hits: after.hits - before.hits,
+            misses: after.misses - before.misses,
+            ..after
+        },
+    }
+}

@@ -1,0 +1,152 @@
+//! Line-delimited JSON service front-ends.
+//!
+//! One request per line in, one response per line out — over any
+//! `BufRead`/`Write` pair ([`serve_lines`], used for stdin/stdout) or a
+//! TCP listener ([`serve_tcp`], one thread per connection, all sharing
+//! the engine's plan cache).
+//!
+//! Besides [`crate::PlanRequest`] objects, a line may carry the control
+//! command `{"cmd": "stats"}`, answered with the engine's
+//! [`crate::CacheStats`].
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::Arc;
+use std::thread;
+
+use serde::Value;
+
+use crate::engine::PlanEngine;
+use crate::request::PlanRequest;
+
+/// Handles one request line, returning the JSON reply (never fails — every
+/// error becomes an `{"error": ...}` object).
+#[must_use]
+pub fn handle_line(engine: &PlanEngine, line: &str) -> String {
+    let parsed: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(err) => return error_json(&format!("invalid JSON: {err}")),
+    };
+    if let Some(cmd) = parsed.get("cmd").and_then(Value::as_str) {
+        return match cmd {
+            "stats" => serde_json::to_string(&engine.cache_stats()).expect("stats serialize"),
+            other => error_json(&format!("unknown command `{other}`")),
+        };
+    }
+    match serde_json::from_value::<PlanRequest>(&parsed) {
+        Ok(request) => match engine.plan(&request) {
+            Ok(response) => serde_json::to_string(&response).expect("responses serialize"),
+            Err(err) => error_json(&err.to_string()),
+        },
+        Err(err) => error_json(&format!("invalid request: {err}")),
+    }
+}
+
+fn error_json(message: &str) -> String {
+    let value = Value::Object(vec![(
+        "error".to_owned(),
+        Value::String(message.to_owned()),
+    )]);
+    serde_json::to_string(&value).expect("errors serialize")
+}
+
+/// Serves line-delimited JSON requests from `input` to `output` until EOF.
+/// Blank lines are skipped; the output is flushed after every reply.
+///
+/// # Errors
+///
+/// Returns the first I/O error encountered.
+pub fn serve_lines<R: BufRead, W: Write>(
+    engine: &PlanEngine,
+    input: R,
+    output: &mut W,
+) -> io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(output, "{}", handle_line(engine, &line))?;
+        output.flush()?;
+    }
+    Ok(())
+}
+
+/// Binds a TCP listener and serves each connection on its own thread,
+/// sharing one engine (and therefore one plan cache) across clients.
+/// Blocks forever.
+///
+/// # Errors
+///
+/// Returns an error if the address cannot be bound.
+pub fn serve_tcp(engine: Arc<PlanEngine>, addr: impl ToSocketAddrs) -> io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    eprintln!(
+        "hypar-engine listening on {}",
+        listener
+            .local_addr()
+            .map_or_else(|_| "<unknown>".to_owned(), |a| a.to_string())
+    );
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(err) => {
+                eprintln!("accept failed: {err}");
+                continue;
+            }
+        };
+        let engine = Arc::clone(&engine);
+        thread::spawn(move || {
+            let reader = match stream.try_clone() {
+                Ok(clone) => BufReader::new(clone),
+                Err(err) => {
+                    eprintln!("connection split failed: {err}");
+                    return;
+                }
+            };
+            let mut writer = stream;
+            if let Err(err) = serve_lines(&engine, reader, &mut writer) {
+                eprintln!("connection error: {err}");
+            }
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_json_becomes_error_object() {
+        let engine = PlanEngine::new();
+        let reply = handle_line(&engine, "{nope");
+        let value: Value = serde_json::from_str(&reply).unwrap();
+        assert!(value.get("error").is_some());
+    }
+
+    #[test]
+    fn stats_command_answers() {
+        let engine = PlanEngine::new();
+        let reply = handle_line(&engine, r#"{"cmd": "stats"}"#);
+        let value: Value = serde_json::from_str(&reply).unwrap();
+        assert_eq!(value.get("hits").and_then(Value::as_u64), Some(0));
+        assert_eq!(value.get("capacity").and_then(Value::as_u64), Some(1024));
+    }
+
+    #[test]
+    fn serve_lines_round_trips_requests() {
+        let engine = PlanEngine::new();
+        let input =
+            "{\"network\": \"sfc\", \"levels\": 2}\n\n{\"network\": \"sfc\", \"levels\": 2}\n";
+        let mut output = Vec::new();
+        serve_lines(&engine, input.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        let first: Value = serde_json::from_str(lines[0]).unwrap();
+        let second: Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(first.get("cache_hit").and_then(Value::as_bool), Some(false));
+        assert_eq!(second.get("cache_hit").and_then(Value::as_bool), Some(true));
+    }
+}

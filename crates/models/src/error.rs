@@ -49,7 +49,11 @@ impl fmt::Display for NetworkError {
         match self {
             Self::Empty => write!(f, "network has no weighted layers"),
             Self::ZeroBatch => write!(f, "batch size must be positive"),
-            Self::KernelTooLarge { layer, kernel, input } => write!(
+            Self::KernelTooLarge {
+                layer,
+                kernel,
+                input,
+            } => write!(
                 f,
                 "layer `{layer}`: kernel {kernel}x{kernel} exceeds padded input extent {input}"
             ),

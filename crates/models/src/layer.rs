@@ -27,14 +27,24 @@ impl ConvSpec {
     /// paper's small networks.
     #[must_use]
     pub fn valid(out_channels: u64, kernel: u64) -> Self {
-        Self { out_channels, kernel, stride: 1, padding: 0 }
+        Self {
+            out_channels,
+            kernel,
+            stride: 1,
+            padding: 0,
+        }
     }
 
     /// A stride-1 convolution padded to preserve the spatial extent
     /// (`padding = (kernel - 1) / 2`), the VGG configuration.
     #[must_use]
     pub fn same(out_channels: u64, kernel: u64) -> Self {
-        Self { out_channels, kernel, stride: 1, padding: (kernel - 1) / 2 }
+        Self {
+            out_channels,
+            kernel,
+            stride: 1,
+            padding: (kernel - 1) / 2,
+        }
     }
 }
 
@@ -96,13 +106,21 @@ impl PoolSpec {
     /// The ubiquitous non-overlapping `2×2` max pool.
     #[must_use]
     pub fn max2() -> Self {
-        Self { size: 2, stride: 2, kind: PoolKind::Max }
+        Self {
+            size: 2,
+            stride: 2,
+            kind: PoolKind::Max,
+        }
     }
 
     /// An overlapping max pool (`size`, `stride`) as used by AlexNet (3/2).
     #[must_use]
     pub fn max(size: u64, stride: u64) -> Self {
-        Self { size, stride, kind: PoolKind::Max }
+        Self {
+            size,
+            stride,
+            kind: PoolKind::Max,
+        }
     }
 }
 
@@ -149,7 +167,12 @@ impl Layer {
     /// pooling.
     #[must_use]
     pub fn conv(name: impl Into<String>, spec: ConvSpec) -> Self {
-        Self { name: name.into(), kind: LayerKind::Conv(spec), pool: None, activation: Activation::Relu }
+        Self {
+            name: name.into(),
+            kind: LayerKind::Conv(spec),
+            pool: None,
+            activation: Activation::Relu,
+        }
     }
 
     /// Creates a fully-connected layer with the default ReLU activation.
@@ -265,6 +288,9 @@ mod tests {
     #[test]
     fn default_activation_is_relu() {
         assert_eq!(Activation::default(), Activation::Relu);
-        assert_eq!(Layer::fully_connected("f", 1).activation(), Activation::Relu);
+        assert_eq!(
+            Layer::fully_connected("f", 1).activation(),
+            Activation::Relu
+        );
     }
 }

@@ -40,7 +40,11 @@ impl Network {
     /// shape.
     #[must_use]
     pub fn builder(name: impl Into<String>, input: FeatureDims) -> NetworkBuilder {
-        NetworkBuilder { name: name.into(), input, layers: Vec::new() }
+        NetworkBuilder {
+            name: name.into(),
+            input,
+            layers: Vec::new(),
+        }
     }
 
     /// The network's name (e.g. `VGG-A`).
@@ -192,7 +196,9 @@ mod tests {
 
     #[test]
     fn empty_network_is_rejected() {
-        let err = Network::builder("e", FeatureDims::flat(10)).build().unwrap_err();
+        let err = Network::builder("e", FeatureDims::flat(10))
+            .build()
+            .unwrap_err();
         assert_eq!(err, NetworkError::Empty);
     }
 
@@ -202,7 +208,10 @@ mod tests {
             .conv("c1", ConvSpec::valid(8, 7))
             .build()
             .unwrap_err();
-        assert!(matches!(err, NetworkError::KernelTooLarge { kernel: 7, .. }));
+        assert!(matches!(
+            err,
+            NetworkError::KernelTooLarge { kernel: 7, .. }
+        ));
     }
 
     #[test]

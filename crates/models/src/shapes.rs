@@ -126,7 +126,11 @@ impl NetworkShapes {
             current = shapes.junction_out;
             layers.push(shapes);
         }
-        Ok(Self { name: net.name().to_owned(), batch, layers })
+        Ok(Self {
+            name: net.name().to_owned(),
+            batch,
+            layers,
+        })
     }
 
     /// The network name these shapes were inferred from.
@@ -205,10 +209,16 @@ fn infer_layer(layer: &Layer, input: FeatureDims, batch: u64) -> Result<LayerSha
                 return Err(NetworkError::ZeroStride { layer: name });
             }
             if spec.out_channels == 0 {
-                return Err(NetworkError::ZeroDimension { layer: name, what: "out_channels" });
+                return Err(NetworkError::ZeroDimension {
+                    layer: name,
+                    what: "out_channels",
+                });
             }
             if spec.kernel == 0 {
-                return Err(NetworkError::ZeroDimension { layer: name, what: "kernel" });
+                return Err(NetworkError::ZeroDimension {
+                    layer: name,
+                    what: "kernel",
+                });
             }
             let padded_h = input.height + 2 * spec.padding;
             let padded_w = input.width + 2 * spec.padding;
@@ -228,7 +238,10 @@ fn infer_layer(layer: &Layer, input: FeatureDims, batch: u64) -> Result<LayerSha
         }
         LayerKind::FullyConnected(spec) => {
             if spec.out_features == 0 {
-                return Err(NetworkError::ZeroDimension { layer: name, what: "out_features" });
+                return Err(NetworkError::ZeroDimension {
+                    layer: name,
+                    what: "out_features",
+                });
             }
             let flat = input.flattened();
             let conv_out = FeatureDims::flat(spec.out_features);
@@ -261,7 +274,11 @@ fn infer_layer(layer: &Layer, input: FeatureDims, batch: u64) -> Result<LayerSha
     // Activation touches every produced element; pooling reads every
     // produced element once more.
     let act_ops = conv_out.volume();
-    let pool_ops = if layer.pool().is_some() { conv_out.volume() } else { 0 };
+    let pool_ops = if layer.pool().is_some() {
+        conv_out.volume()
+    } else {
+        0
+    };
 
     Ok(LayerShapes {
         name,
@@ -325,7 +342,10 @@ mod tests {
 
     #[test]
     fn zero_batch_is_rejected() {
-        assert_eq!(NetworkShapes::infer(&lenet(), 0).unwrap_err(), NetworkError::ZeroBatch);
+        assert_eq!(
+            NetworkShapes::infer(&lenet(), 0).unwrap_err(),
+            NetworkError::ZeroBatch
+        );
     }
 
     #[test]
@@ -339,7 +359,15 @@ mod tests {
     #[test]
     fn strided_padded_conv_matches_alexnet_conv1() {
         let net = Network::builder("a1", FeatureDims::new(3, 227, 227))
-            .conv("conv1", ConvSpec { out_channels: 96, kernel: 11, stride: 4, padding: 0 })
+            .conv(
+                "conv1",
+                ConvSpec {
+                    out_channels: 96,
+                    kernel: 11,
+                    stride: 4,
+                    padding: 0,
+                },
+            )
             .build()
             .unwrap();
         let shapes = NetworkShapes::infer(&net, 1).unwrap();
@@ -349,7 +377,15 @@ mod tests {
     #[test]
     fn overlapping_pool_matches_alexnet() {
         let net = Network::builder("a1", FeatureDims::new(3, 227, 227))
-            .conv("conv1", ConvSpec { out_channels: 96, kernel: 11, stride: 4, padding: 0 })
+            .conv(
+                "conv1",
+                ConvSpec {
+                    out_channels: 96,
+                    kernel: 11,
+                    stride: 4,
+                    padding: 0,
+                },
+            )
             .pool(PoolSpec::max(3, 2))
             .build()
             .unwrap();

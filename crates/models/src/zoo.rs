@@ -128,17 +128,25 @@ pub fn cifar_c() -> Network {
 #[must_use]
 pub fn alexnet() -> Network {
     let mut b = Network::builder("AlexNet", FeatureDims::new(3, 227, 227));
-    b.conv("conv1", ConvSpec { out_channels: 96, kernel: 11, stride: 4, padding: 0 })
-        .pool(PoolSpec::max(3, 2))
-        .conv("conv2", ConvSpec::same(256, 5))
-        .pool(PoolSpec::max(3, 2))
-        .conv("conv3", ConvSpec::same(384, 3))
-        .conv("conv4", ConvSpec::same(384, 3))
-        .conv("conv5", ConvSpec::same(256, 3))
-        .pool(PoolSpec::max(3, 2))
-        .fully_connected("fc1", 4096)
-        .fully_connected("fc2", 4096)
-        .fully_connected("fc3", 1000);
+    b.conv(
+        "conv1",
+        ConvSpec {
+            out_channels: 96,
+            kernel: 11,
+            stride: 4,
+            padding: 0,
+        },
+    )
+    .pool(PoolSpec::max(3, 2))
+    .conv("conv2", ConvSpec::same(256, 5))
+    .pool(PoolSpec::max(3, 2))
+    .conv("conv3", ConvSpec::same(384, 3))
+    .conv("conv4", ConvSpec::same(384, 3))
+    .conv("conv5", ConvSpec::same(256, 3))
+    .pool(PoolSpec::max(3, 2))
+    .fully_connected("fc1", 4096)
+    .fully_connected("fc2", 4096)
+    .fully_connected("fc3", 1000);
     b.build().expect("AlexNet is a valid network")
 }
 
@@ -176,34 +184,49 @@ fn vgg(config: &VggConfig) -> Network {
 /// `VGG-A`: 8 convolutions + 3 fully-connected layers (11 weighted layers).
 #[must_use]
 pub fn vgg_a() -> Network {
-    vgg(&VggConfig { name: "VGG-A", blocks: [(1, 3), (1, 3), (2, 3), (2, 3), (2, 3)] })
+    vgg(&VggConfig {
+        name: "VGG-A",
+        blocks: [(1, 3), (1, 3), (2, 3), (2, 3), (2, 3)],
+    })
 }
 
 /// `VGG-B`: 10 convolutions + 3 fully-connected layers (13 weighted layers).
 #[must_use]
 pub fn vgg_b() -> Network {
-    vgg(&VggConfig { name: "VGG-B", blocks: [(2, 3), (2, 3), (2, 3), (2, 3), (2, 3)] })
+    vgg(&VggConfig {
+        name: "VGG-B",
+        blocks: [(2, 3), (2, 3), (2, 3), (2, 3), (2, 3)],
+    })
 }
 
 /// `VGG-C`: VGG-B with an extra 1×1 convolution in blocks 3–5 (16 weighted
 /// layers).
 #[must_use]
 pub fn vgg_c() -> Network {
-    vgg(&VggConfig { name: "VGG-C", blocks: [(2, 3), (2, 3), (3, 1), (3, 1), (3, 1)] })
+    vgg(&VggConfig {
+        name: "VGG-C",
+        blocks: [(2, 3), (2, 3), (3, 1), (3, 1), (3, 1)],
+    })
 }
 
 /// `VGG-D` (VGG-16): VGG-C with 3×3 kernels throughout (16 weighted
 /// layers, 138,344,128 weights).
 #[must_use]
 pub fn vgg_d() -> Network {
-    vgg(&VggConfig { name: "VGG-D", blocks: [(2, 3), (2, 3), (3, 3), (3, 3), (3, 3)] })
+    vgg(&VggConfig {
+        name: "VGG-D",
+        blocks: [(2, 3), (2, 3), (3, 3), (3, 3), (3, 3)],
+    })
 }
 
 /// `VGG-E` (VGG-19): four 3×3 convolutions in blocks 3–5 (19 weighted
 /// layers).
 #[must_use]
 pub fn vgg_e() -> Network {
-    vgg(&VggConfig { name: "VGG-E", blocks: [(2, 3), (2, 3), (4, 3), (4, 3), (4, 3)] })
+    vgg(&VggConfig {
+        name: "VGG-E",
+        blocks: [(2, 3), (2, 3), (4, 3), (4, 3), (4, 3)],
+    })
 }
 
 #[cfg(test)]
@@ -260,7 +283,11 @@ mod tests {
     #[test]
     fn alexnet_feature_map_progression() {
         let shapes = NetworkShapes::infer(&alexnet(), 1).unwrap();
-        let spatial: Vec<u64> = shapes.layers().iter().map(|l| l.junction_out.height).collect();
+        let spatial: Vec<u64> = shapes
+            .layers()
+            .iter()
+            .map(|l| l.junction_out.height)
+            .collect();
         assert_eq!(spatial[..5], [27, 13, 13, 13, 6]);
         assert_eq!(shapes.layer(5).input.volume(), 256 * 6 * 6);
         assert_eq!(shapes.total_weight_elems(), 62_367_776);

@@ -10,7 +10,11 @@ use proptest::prelude::*;
 fn arb_network() -> impl Strategy<Value = Network> {
     (
         proptest::collection::vec(
-            (1u64..64, prop_oneof![Just(1u64), Just(3), Just(5)], any::<bool>()),
+            (
+                1u64..64,
+                prop_oneof![Just(1u64), Just(3), Just(5)],
+                any::<bool>(),
+            ),
             0..5,
         ),
         proptest::collection::vec(1u64..300, 1..4),
@@ -96,7 +100,7 @@ proptest! {
 fn oversized_pool_is_rejected() {
     let err = Network::builder("bad", FeatureDims::new(1, 6, 6))
         .conv("c", ConvSpec::valid(4, 5)) // 2x2 output
-        .pool(PoolSpec::max2())           // fits exactly
+        .pool(PoolSpec::max2()) // fits exactly
         .build();
     assert!(err.is_ok());
     let err = Network::builder("bad", FeatureDims::new(1, 5, 5))

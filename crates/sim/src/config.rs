@@ -131,7 +131,9 @@ mod tests {
 
     #[test]
     fn builder_methods_chain() {
-        let cfg = ArchConfig::paper().with_topology(Topology::Torus).with_overlap(true);
+        let cfg = ArchConfig::paper()
+            .with_topology(Topology::Torus)
+            .with_overlap(true);
         assert_eq!(cfg.topology, Topology::Torus);
         assert!(cfg.overlap_comm);
     }

@@ -53,7 +53,12 @@ impl TaskSpec {
     /// dependencies.
     #[must_use]
     pub fn new(resource: ResourceId, duration: Seconds) -> Self {
-        Self { resource, duration, deps: Vec::new(), label: None }
+        Self {
+            resource,
+            duration,
+            deps: Vec::new(),
+            label: None,
+        }
     }
 
     /// Names the task for trace export ([`Schedule::chrome_trace`]).
@@ -130,7 +135,10 @@ impl Engine {
     /// Creates an empty engine.
     #[must_use]
     pub fn new() -> Self {
-        Self { tasks: Vec::new(), resources: Vec::new() }
+        Self {
+            tasks: Vec::new(),
+            resources: Vec::new(),
+        }
     }
 
     /// Registers an exclusive resource.
@@ -230,16 +238,34 @@ impl Engine {
                     // Start the next queued task, if any.
                     if let Some(Reverse((ready, next))) = self.resources[resource].queue.pop() {
                         debug_assert!(ready.0 <= now);
-                        start_task(&mut self.resources[resource], next, now, &self.tasks, &mut start, &mut finish, &mut events);
+                        start_task(
+                            &mut self.resources[resource],
+                            next,
+                            now,
+                            &self.tasks,
+                            &mut start,
+                            &mut finish,
+                            &mut events,
+                        );
                     }
                 }
                 _ => {
                     // Ready: enqueue on the resource; start immediately if idle.
                     let resource = self.tasks[idx].resource.0;
                     if self.resources[resource].running {
-                        self.resources[resource].queue.push(Reverse((OrderedTime(now), idx)));
+                        self.resources[resource]
+                            .queue
+                            .push(Reverse((OrderedTime(now), idx)));
                     } else {
-                        start_task(&mut self.resources[resource], idx, now, &self.tasks, &mut start, &mut finish, &mut events);
+                        start_task(
+                            &mut self.resources[resource],
+                            idx,
+                            now,
+                            &self.tasks,
+                            &mut start,
+                            &mut finish,
+                            &mut events,
+                        );
                     }
                 }
             }
@@ -251,7 +277,11 @@ impl Engine {
             start: start.into_iter().map(Seconds).collect(),
             finish: finish.into_iter().map(Seconds).collect(),
             makespan: Seconds(makespan),
-            resource_busy: self.resources.iter().map(|r| Seconds(r.busy_total)).collect(),
+            resource_busy: self
+                .resources
+                .iter()
+                .map(|r| Seconds(r.busy_total))
+                .collect(),
             resource_names: self.resources.iter().map(|r| r.name.clone()).collect(),
             task_resources: self.tasks.iter().map(|t| t.resource).collect(),
             task_labels: self.tasks.iter().map(|t| t.label.clone()).collect(),
@@ -419,7 +449,9 @@ mod tests {
     #[test]
     fn diamond_joins_at_the_slowest_branch() {
         let mut engine = Engine::new();
-        let r: Vec<_> = (0..4).map(|i| engine.add_resource(format!("r{i}"))).collect();
+        let r: Vec<_> = (0..4)
+            .map(|i| engine.add_resource(format!("r{i}")))
+            .collect();
         let head = engine.add_task(TaskSpec::new(r[0], Seconds(1.0)));
         let fast = engine.add_task(TaskSpec::new(r[1], Seconds(1.0)).after(head));
         let slow = engine.add_task(TaskSpec::new(r[2], Seconds(5.0)).after(head));
@@ -505,7 +537,9 @@ mod tests {
 
         fn build(graph: &[(usize, f64, u64)]) -> (Engine, Vec<TaskId>) {
             let mut engine = Engine::new();
-            let resources: Vec<_> = (0..4).map(|i| engine.add_resource(format!("r{i}"))).collect();
+            let resources: Vec<_> = (0..4)
+                .map(|i| engine.add_resource(format!("r{i}")))
+                .collect();
             let mut ids: Vec<TaskId> = Vec::new();
             for (i, &(res, dur, mask)) in graph.iter().enumerate() {
                 let deps: Vec<TaskId> = (0..i.min(64))

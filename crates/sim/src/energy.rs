@@ -122,7 +122,10 @@ mod tests {
     fn link_includes_both_end_drams() {
         let e = EnergyModel::paper();
         assert!((e.link(4.0).value() - 1280e-12).abs() < 1e-24);
-        let with_link = EnergyModel { link_pj_per_byte: 10.0, ..EnergyModel::paper() };
+        let with_link = EnergyModel {
+            link_pj_per_byte: 10.0,
+            ..EnergyModel::paper()
+        };
         assert!((with_link.link(4.0).value() - (1280e-12 + 40e-12)).abs() < 1e-24);
     }
 

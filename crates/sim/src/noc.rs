@@ -49,7 +49,10 @@ impl Topology {
     /// ```
     #[must_use]
     pub fn pair_bandwidth(self, h: usize, num_levels: usize, leaf_bytes_per_sec: f64) -> f64 {
-        assert!(h < num_levels, "level {h} out of range for {num_levels} levels");
+        assert!(
+            h < num_levels,
+            "level {h} out of range for {num_levels} levels"
+        );
         match self {
             Self::HTree => {
                 let doublings = (num_levels - 1 - h) as i32;

@@ -66,7 +66,12 @@ impl PeArray {
     /// 108 KB buffer (84 GOPS/s counting a MAC as two ops).
     #[must_use]
     pub fn paper() -> Self {
-        Self { rows: 12, cols: 14, clock_hz: 250e6, buffer_bytes: 108 * 1024 }
+        Self {
+            rows: 12,
+            cols: 14,
+            clock_hz: 250e6,
+            buffer_bytes: 108 * 1024,
+        }
     }
 
     /// Total PEs in the grid.
@@ -132,10 +137,13 @@ impl PeArray {
         // rows (horizontal broadcast), and partial sums accumulate through
         // the column with one read + one write at the array edge per k
         // contributions.
-        let sram_accesses_per_mac =
-            1.0 / k as f64 + 1.0 / strip_w as f64 + 2.0 / k as f64;
+        let sram_accesses_per_mac = 1.0 / k as f64 + 1.0 / strip_w as f64 + 2.0 / k as f64;
 
-        Mapping { utilization, cycles, sram_accesses_per_mac }
+        Mapping {
+            utilization,
+            cycles,
+            sram_accesses_per_mac,
+        }
     }
 
     /// Maps a fully-connected layer: `c_in`→`c_out` neurons at mini-batch
@@ -149,7 +157,10 @@ impl PeArray {
     /// Panics if any argument is zero.
     #[must_use]
     pub fn map_fc(&self, c_in: u64, c_out: u64, batch: u64) -> Mapping {
-        assert!(c_in > 0 && c_out > 0 && batch > 0, "fc mapping requires positive dimensions");
+        assert!(
+            c_in > 0 && c_out > 0 && batch > 0,
+            "fc mapping requires positive dimensions"
+        );
         // Parallel work items: one per (output neuron, sample).
         let items = c_out * batch;
         let used = items.min(self.num_pes());
@@ -160,7 +171,11 @@ impl PeArray {
         // across the c_out outputs mapped on-chip, and each output writes
         // its accumulator once per c_in chunk (amortized to ~0).
         let sram_accesses_per_mac = 1.0 + 1.0 / (batch as f64).min(self.cols as f64);
-        Mapping { utilization, cycles, sram_accesses_per_mac }
+        Mapping {
+            utilization,
+            cycles,
+            sram_accesses_per_mac,
+        }
     }
 }
 
@@ -200,7 +215,10 @@ mod tests {
         let total_macs = (k * k * c_in * c_out * h * w * b) as f64;
         let modeled = m.cycles * m.utilization * array.num_pes() as f64;
         let ratio = modeled / total_macs;
-        assert!((0.9..1.6).contains(&ratio), "cycle/MAC consistency ratio {ratio}");
+        assert!(
+            (0.9..1.6).contains(&ratio),
+            "cycle/MAC consistency ratio {ratio}"
+        );
     }
 
     #[test]

@@ -136,7 +136,9 @@ impl<'a> Builder<'a> {
         let n = plan.num_accelerators() as usize;
         let net = NetworkCommTensors::from_shapes(shapes);
         let mut engine = Engine::new();
-        let accels = (0..n).map(|i| engine.add_resource(format!("accel{i}"))).collect();
+        let accels = (0..n)
+            .map(|i| engine.add_resource(format!("accel{i}")))
+            .collect();
         let links = (0..levels)
             .map(|h| {
                 (0..(1usize << h))
@@ -240,8 +242,9 @@ impl<'a> Builder<'a> {
         };
         let duration =
             Seconds(compute_time.max(dram_bytes_per_accel / self.cfg.dram_bytes_per_sec));
-        let sram_per_mac = mapping
-            .map_or(self.cfg.energy.sram_accesses_per_mac, |m| m.sram_accesses_per_mac);
+        let sram_per_mac = mapping.map_or(self.cfg.energy.sram_accesses_per_mac, |m| {
+            m.sram_accesses_per_mac
+        });
         self.compute_energy += (self.cfg.energy.compute_with_sram(macs, sram_per_mac)
             + self.cfg.energy.elementwise(elementwise))
             * n;
@@ -578,7 +581,8 @@ mod tests {
             let report = simulate_step(&shapes, &plan, &ArchConfig::paper());
             let expected = plan.total_comm_bytes();
             assert!(
-                (report.comm_bytes.value() - expected.value()).abs() <= 1e-6 * expected.value().max(1.0),
+                (report.comm_bytes.value() - expected.value()).abs()
+                    <= 1e-6 * expected.value().max(1.0),
                 "sim {} vs model {}",
                 report.comm_bytes,
                 expected
@@ -594,7 +598,10 @@ mod tests {
         let dp = simulate_step(&shapes, &baselines::all_data(&net, 4), &cfg);
         let mp = simulate_step(&shapes, &baselines::all_model(&net, 4), &cfg);
         assert!(hypar.performance_gain_over(&dp) > 1.0);
-        assert!(dp.performance_gain_over(&mp) > 1.0, "mp should be worst for Lenet-c");
+        assert!(
+            dp.performance_gain_over(&mp) > 1.0,
+            "mp should be worst for Lenet-c"
+        );
     }
 
     #[test]
@@ -604,8 +611,14 @@ mod tests {
         let one = simulate_single_accelerator(&shapes, &cfg);
         let hypar = simulate_step(&shapes, &hierarchical::partition(&net, 4), &cfg);
         let gain = hypar.performance_gain_over(&one);
-        assert!(gain > 4.0, "16 accelerators should give a solid speedup, got {gain:.2}");
-        assert!(gain <= 16.0, "speedup cannot exceed the accelerator count, got {gain:.2}");
+        assert!(
+            gain > 4.0,
+            "16 accelerators should give a solid speedup, got {gain:.2}"
+        );
+        assert!(
+            gain <= 16.0,
+            "speedup cannot exceed the accelerator count, got {gain:.2}"
+        );
     }
 
     #[test]
@@ -625,8 +638,11 @@ mod tests {
         let (shapes, net) = setup("Cifar-c", 256);
         let plan = hierarchical::partition(&net, 4);
         let htree = simulate_step(&shapes, &plan, &ArchConfig::paper());
-        let torus =
-            simulate_step(&shapes, &plan, &ArchConfig::paper().with_topology(crate::Topology::Torus));
+        let torus = simulate_step(
+            &shapes,
+            &plan,
+            &ArchConfig::paper().with_topology(crate::Topology::Torus),
+        );
         assert!(torus.step_time >= htree.step_time);
         assert_eq!(torus.comm_bytes, htree.comm_bytes);
     }
@@ -634,7 +650,11 @@ mod tests {
     #[test]
     fn energy_components_sum() {
         let (shapes, net) = setup("Cifar-c", 256);
-        let report = simulate_step(&shapes, &hierarchical::partition(&net, 4), &ArchConfig::paper());
+        let report = simulate_step(
+            &shapes,
+            &hierarchical::partition(&net, 4),
+            &ArchConfig::paper(),
+        );
         let sum = report.compute_energy + report.dram_energy + report.link_energy;
         assert!((report.energy.value() - sum.value()).abs() < 1e-12);
         assert!(report.compute_energy.value() > 0.0);
@@ -659,7 +679,13 @@ mod tests {
         let plain = simulate_step(&shapes, &plan, &cfg);
         let (traced, trace) = simulate_step_traced(&shapes, &plan, &cfg);
         assert_eq!(plain, traced);
-        for needle in ["fwd conv1", "grad fc2", "allreduce dW conv1", "reduce F fc1", "accel0"] {
+        for needle in [
+            "fwd conv1",
+            "grad fc2",
+            "allreduce dW conv1",
+            "reduce F fc1",
+            "accel0",
+        ] {
             assert!(trace.contains(needle), "trace missing `{needle}`");
         }
         // Valid-enough JSON: balanced brackets, one event per line.

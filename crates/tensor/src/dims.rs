@@ -47,7 +47,11 @@ impl FeatureDims {
             channels > 0 && height > 0 && width > 0,
             "feature dimensions must be positive, got {channels}x{height}x{width}"
         );
-        Self { channels, height, width }
+        Self {
+            channels,
+            height,
+            width,
+        }
     }
 
     /// Creates flat (vector) feature dimensions as used by fully-connected

@@ -53,7 +53,9 @@ impl Frac {
     /// partition level.
     #[must_use]
     pub fn halved(self) -> Self {
-        Self { log2_denom: self.log2_denom + 1 }
+        Self {
+            log2_denom: self.log2_denom + 1,
+        }
     }
 
     /// The exponent `k` such that the fraction equals `2^-k`.
@@ -109,7 +111,9 @@ impl Mul for Frac {
     // Multiplying `2^-a` by `2^-b` adds the exponents.
     #[allow(clippy::suspicious_arithmetic_impl)]
     fn mul(self, rhs: Self) -> Self {
-        Self { log2_denom: self.log2_denom + rhs.log2_denom }
+        Self {
+            log2_denom: self.log2_denom + rhs.log2_denom,
+        }
     }
 }
 

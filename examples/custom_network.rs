@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, baseline) in [
         ("Data Parallelism", baselines::all_data(&tensors, levels)),
         ("Model Parallelism", baselines::all_model(&tensors, levels)),
-        ("one weird trick", baselines::one_weird_trick(&tensors, levels)),
+        (
+            "one weird trick",
+            baselines::one_weird_trick(&tensors, levels),
+        ),
     ] {
         let report = training::simulate_step(&shapes, &baseline, &cfg);
         println!(

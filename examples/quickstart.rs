@@ -1,66 +1,61 @@
-//! Quickstart: partition a network for an accelerator array and compare
-//! the result against the standard baselines.
+//! Quickstart: plan a network through the HyPar planning engine and
+//! compare the result against the standard baselines.
 //!
 //! ```text
-//! cargo run --release -p hypar-bench --example quickstart
+//! cargo run --release -p hypar --example quickstart
 //! ```
 
-use hypar_comm::NetworkCommTensors;
-use hypar_core::{baselines, hierarchical};
-use hypar_models::{zoo, NetworkShapes};
-use hypar_sim::{training, ArchConfig};
+use hypar_engine::{PlanEngine, PlanRequest, Strategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Pick a network and a batch size. The zoo has the paper's ten
-    //    models; `Network::builder` makes custom ones.
-    let network = zoo::alexnet();
-    let batch = 256;
-    let shapes = NetworkShapes::infer(&network, batch)?;
+    // 1. One engine serves every query below; identical workloads are
+    //    answered from its plan cache.
+    let engine = PlanEngine::new();
+    let base = PlanRequest::zoo("AlexNet").batch(256).levels(4);
+
+    // 2. HyPar's hierarchical partition plus a full training-step
+    //    simulation, in one request.
+    let hypar = engine.plan(&base.clone().simulate(true))?;
     println!(
-        "{}: {} weighted layers, {:.1} M weights, {:.1} GMAC per training step",
-        network.name(),
-        network.num_layers(),
-        shapes.total_weight_elems() as f64 / 1e6,
-        shapes.total_macs_training() as f64 / 1e9,
+        "{}: {} weighted layers on {} accelerators",
+        hypar.network,
+        hypar.plan.num_layers(),
+        hypar.accelerators,
     );
+    println!("\n{}", hypar.plan);
 
-    // 2. Run HyPar's hierarchical partition for a 16-accelerator array
-    //    (four binary levels).
-    let tensors = NetworkCommTensors::from_shapes(&shapes);
-    let plan = hierarchical::partition(&tensors, 4);
-    println!("\n{plan}");
-
-    // 3. Compare the communication of the plan against the baselines.
-    let dp = baselines::all_data(&tensors, 4);
-    let mp = baselines::all_model(&tensors, 4);
-    let owt = baselines::one_weird_trick(&tensors, 4);
+    // 3. Compare the communication of the plan against the baselines —
+    //    the same engine runs dp, mp, and the "one weird trick".
     println!("total communication per step:");
-    for p in [&dp, &mp, &owt, &plan] {
-        println!("  {:>24}: {}", label(p, &plan), p.total_comm_bytes());
+    for (label, strategy) in [
+        ("Data Parallelism", Strategy::Dp),
+        ("Model Parallelism", Strategy::Mp),
+        ("one weird trick", Strategy::Owt),
+        ("HyPar", Strategy::Hypar),
+    ] {
+        let response = engine.plan(&base.clone().strategy(strategy))?;
+        println!("  {label:>20}: {:.2} MB", response.total_comm_bytes / 1e6);
     }
 
-    // 4. Simulate one training step on the paper's HMC-based array.
-    let cfg = ArchConfig::paper();
-    let hypar_report = training::simulate_step(&shapes, &plan, &cfg);
-    let dp_report = training::simulate_step(&shapes, &dp, &cfg);
+    // 4. Simulated speedup over Data Parallelism on the paper's HMC array.
+    let dp = engine.plan(&base.clone().strategy(Strategy::Dp).simulate(true))?;
+    let hypar_report = hypar.simulation.as_ref().expect("simulation requested");
+    let dp_report = dp.simulation.as_ref().expect("simulation requested");
     println!(
         "\nsimulated step: HyPar {} vs Data Parallelism {}  ({:.2}x speedup, {:.2}x energy)",
         hypar_report.step_time,
         dp_report.step_time,
-        hypar_report.performance_gain_over(&dp_report),
-        hypar_report.energy_efficiency_over(&dp_report),
+        hypar_report.performance_gain_over(dp_report),
+        hypar_report.energy_efficiency_over(dp_report),
+    );
+
+    // 5. A repeated query never recomputes: it is served from the cache.
+    let again = engine.plan(&base.clone().simulate(true))?;
+    assert!(again.cache_hit);
+    let stats = engine.cache_stats();
+    println!(
+        "plan cache: {} hit(s), {} miss(es), {} plan(s) stored",
+        stats.hits, stats.misses, stats.entries
     );
     Ok(())
-}
-
-fn label(plan: &hypar_core::HierarchicalPlan, hypar: &hypar_core::HierarchicalPlan) -> String {
-    if std::ptr::eq(plan, hypar) {
-        "HyPar".to_owned()
-    } else if plan.levels().iter().flatten().all(|&p| p == hypar_comm::Parallelism::Data) {
-        "Data Parallelism".to_owned()
-    } else if plan.levels().iter().flatten().all(|&p| p == hypar_comm::Parallelism::Model) {
-        "Model Parallelism".to_owned()
-    } else {
-        "one weird trick".to_owned()
-    }
 }

@@ -2,43 +2,59 @@
 //! network: how do HyPar and Data Parallelism scale from 1 to 64
 //! accelerators?
 //!
+//! The whole campaign — fourteen plans, each with a full training-step
+//! simulation — is one `plan_many` batch fanned across cores by the
+//! planning engine.
+//!
 //! ```text
-//! cargo run --release -p hypar-bench --example scalability_study [network]
+//! cargo run --release -p hypar --example scalability_study [network]
 //! ```
 
 use hypar_bench::report::{ratio, Table};
-use hypar_comm::NetworkCommTensors;
-use hypar_core::{baselines, hierarchical};
-use hypar_models::{zoo, NetworkShapes};
-use hypar_sim::{training, ArchConfig};
+use hypar_engine::{PlanEngine, PlanRequest, Strategy};
+use hypar_models::zoo;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "AlexNet".to_owned());
-    let Some(network) = zoo::by_name(&name) else {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "AlexNet".to_owned());
+    if zoo::by_name(&name).is_none() {
         eprintln!("unknown network `{name}`; choose one of {:?}", zoo::NAMES);
         std::process::exit(1);
-    };
+    }
 
-    let shapes = NetworkShapes::infer(&network, 256)?;
-    let tensors = NetworkCommTensors::from_shapes(&shapes);
-    let cfg = ArchConfig::paper();
-    let single = training::simulate_single_accelerator(&shapes, &cfg);
+    let engine = PlanEngine::new();
+    let requests: Vec<PlanRequest> = (0..=6usize)
+        .flat_map(|levels| {
+            let base = PlanRequest::zoo(&name)
+                .batch(256)
+                .levels(levels)
+                .simulate(true);
+            [base.clone(), base.strategy(Strategy::Dp)]
+        })
+        .collect();
+    let responses = engine
+        .plan_many(&requests)
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
 
+    let single = responses[0]
+        .simulation
+        .clone()
+        .expect("simulation requested");
     let mut table = Table::new(
         format!("{name}: scaling from 1 to 64 accelerators (batch 256)"),
         &["accels", "HyPar gain", "DP gain", "HyPar step", "DP step"],
     );
-    for levels in 0..=6usize {
-        let hypar = hierarchical::partition(&tensors, levels);
-        let dp = baselines::all_data(&tensors, levels);
-        let hypar_report = training::simulate_step(&shapes, &hypar, &cfg);
-        let dp_report = training::simulate_step(&shapes, &dp, &cfg);
+    for (levels, pair) in responses.chunks(2).enumerate() {
+        let hypar = pair[0].simulation.as_ref().expect("simulation requested");
+        let dp = pair[1].simulation.as_ref().expect("simulation requested");
         table.row(&[
             (1u64 << levels).to_string(),
-            ratio(hypar_report.performance_gain_over(&single)),
-            ratio(dp_report.performance_gain_over(&single)),
-            hypar_report.step_time.to_string(),
-            dp_report.step_time.to_string(),
+            ratio(hypar.performance_gain_over(&single)),
+            ratio(dp.performance_gain_over(&single)),
+            hypar.step_time.to_string(),
+            dp.step_time.to_string(),
         ]);
     }
     println!("{table}");

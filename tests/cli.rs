@@ -57,8 +57,12 @@ fn plan_prints_grid_and_report() {
 fn plan_writes_chrome_trace() {
     let path = std::env::temp_dir().join("hypar_plan_trace.json");
     let path_str = path.to_str().expect("utf-8 temp path");
-    let (ok, stdout, _) =
-        run("plan", &["SCONV", "--levels", "2", "--batch", "32", "--trace", path_str]);
+    let (ok, stdout, _) = run(
+        "plan",
+        &[
+            "SCONV", "--levels", "2", "--batch", "32", "--trace", path_str,
+        ],
+    );
     assert!(ok, "{stdout}");
     let trace = std::fs::read_to_string(&path).expect("trace written");
     assert!(trace.contains("fwd conv1"));
@@ -76,8 +80,10 @@ fn plan_rejects_unknown_network() {
 #[test]
 fn plan_supports_all_schemes() {
     for scheme in ["hypar", "dp", "mp", "owt"] {
-        let (ok, stdout, _) =
-            run("plan", &["SFC", "--levels", "2", "--batch", "32", "--scheme", scheme]);
+        let (ok, stdout, _) = run(
+            "plan",
+            &["SFC", "--levels", "2", "--batch", "32", "--scheme", scheme],
+        );
         assert!(ok, "scheme {scheme}: {stdout}");
     }
 }

@@ -57,7 +57,8 @@ fn hypar_is_never_slower_than_the_best_baseline() {
     let cfg = ArchConfig::paper();
     for name in zoo::NAMES {
         let (shapes, tensors) = pipeline(name);
-        let hypar = training::simulate_step(&shapes, &hierarchical::partition(&tensors, LEVELS), &cfg);
+        let hypar =
+            training::simulate_step(&shapes, &hierarchical::partition(&tensors, LEVELS), &cfg);
         for baseline in [
             baselines::all_data(&tensors, LEVELS),
             baselines::all_model(&tensors, LEVELS),
@@ -82,7 +83,10 @@ fn htree_meets_or_beats_torus_under_hypar_plans() {
         let plan = hierarchical::partition(&tensors, LEVELS);
         let htree = training::simulate_step(&shapes, &plan, &htree_cfg);
         let torus = training::simulate_step(&shapes, &plan, &torus_cfg);
-        assert!(htree.step_time.value() <= torus.step_time.value() * 1.0001, "{name}");
+        assert!(
+            htree.step_time.value() <= torus.step_time.value() * 1.0001,
+            "{name}"
+        );
     }
 }
 
@@ -105,7 +109,8 @@ fn plans_serialize_and_deserialize() {
     let (_, tensors) = pipeline("Lenet-c");
     let plan = hierarchical::partition(&tensors, LEVELS);
     let json = serde_json::to_string(&plan).expect("plans serialize");
-    let back: hypar_core::HierarchicalPlan = serde_json::from_str(&json).expect("plans deserialize");
+    let back: hypar_core::HierarchicalPlan =
+        serde_json::from_str(&json).expect("plans deserialize");
     assert_eq!(back, plan);
 }
 
@@ -120,7 +125,10 @@ fn one_weird_trick_sits_between_dp_and_hypar_for_imagenet_models() {
             training::simulate_step(&shapes, &baselines::one_weird_trick(&tensors, LEVELS), &cfg);
         let hypar =
             training::simulate_step(&shapes, &hierarchical::partition(&tensors, LEVELS), &cfg);
-        assert!(owt.step_time.value() < dp.step_time.value(), "{name}: trick should beat DP");
+        assert!(
+            owt.step_time.value() < dp.step_time.value(),
+            "{name}: trick should beat DP"
+        );
         assert!(
             hypar.step_time.value() <= owt.step_time.value() * 1.0001,
             "{name}: HyPar should meet or beat the trick"

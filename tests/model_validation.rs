@@ -52,7 +52,10 @@ fn dp_equals_brute_force_on_every_feasible_zoo_network() {
         // The assignments may differ only on exact ties.
         let dp_cost = hypar_comm::level_cost(&net, &scales, &dp.assignment).total_elems();
         let brute_cost = hypar_comm::level_cost(&net, &scales, &assignment).total_elems();
-        assert!((dp_cost - brute_cost).abs() <= 1e-9 * brute_cost.max(1.0), "{name}");
+        assert!(
+            (dp_cost - brute_cost).abs() <= 1e-9 * brute_cost.max(1.0),
+            "{name}"
+        );
     }
 }
 
@@ -82,7 +85,11 @@ fn uniform_baselines_scale_as_two_to_the_h_minus_one() {
     let dp2 = baselines::all_data(&net, 2).total_comm_elems();
     let dp4 = baselines::all_data(&net, 4).total_comm_elems();
     assert!((dp4 / dp2 - 5.0).abs() < 1e-9, "dp ratio {}", dp4 / dp2);
-    assert!(mp4 / mp2 > 4.5 && mp4 / mp2 <= 5.0, "mp ratio {}", mp4 / mp2);
+    assert!(
+        mp4 / mp2 > 4.5 && mp4 / mp2 <= 5.0,
+        "mp ratio {}",
+        mp4 / mp2
+    );
 }
 
 #[test]
@@ -92,7 +99,9 @@ fn batch_size_flips_the_fc_decision() {
     let small = NetworkCommTensors::from_layers(
         "fc3-b32",
         32,
-        vec![hypar_comm::LayerCommTensors::fully_connected("fc3", 32, 4096, 1000)],
+        vec![hypar_comm::LayerCommTensors::fully_connected(
+            "fc3", 32, 4096, 1000,
+        )],
     );
     let result = two_group::partition(&small, &ScaleState::identity(1));
     assert_eq!(result.assignment, vec![Parallelism::Model]);
@@ -100,7 +109,9 @@ fn batch_size_flips_the_fc_decision() {
     let large = NetworkCommTensors::from_layers(
         "fc3-b4096",
         4096,
-        vec![hypar_comm::LayerCommTensors::fully_connected("fc3", 4096, 4096, 1000)],
+        vec![hypar_comm::LayerCommTensors::fully_connected(
+            "fc3", 4096, 4096, 1000,
+        )],
     );
     let result = two_group::partition(&large, &ScaleState::identity(1));
     assert_eq!(result.assignment, vec![Parallelism::Data]);
@@ -136,6 +147,9 @@ fn zero_inter_layer_cost_iff_all_dp() {
     }
     let hypar = hierarchical::partition(&net, 4);
     let cost = evaluate_plan(&net, hypar.levels());
-    let any_inter = cost.per_level.iter().any(|l| l.inter.iter().any(|&x| x > 0.0));
+    let any_inter = cost
+        .per_level
+        .iter()
+        .any(|l| l.inter.iter().any(|&x| x > 0.0));
     assert!(any_inter, "Lenet-c's hybrid plan crosses layouts somewhere");
 }

@@ -13,7 +13,10 @@ use proptest::prelude::*;
 /// (1..3 layers) on a modest input.
 fn arb_network() -> impl Strategy<Value = Network> {
     (
-        proptest::collection::vec((1u64..32, prop_oneof![Just(3u64), Just(5u64)], any::<bool>()), 0..3),
+        proptest::collection::vec(
+            (1u64..32, prop_oneof![Just(3u64), Just(5u64)], any::<bool>()),
+            0..3,
+        ),
         proptest::collection::vec(1u64..512, 1..3),
     )
         .prop_map(|(convs, fcs)| {

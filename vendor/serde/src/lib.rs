@@ -1,0 +1,100 @@
+//! Offline stand-in for [serde](https://serde.rs).
+//!
+//! The build environment has no network access, so this crate implements
+//! the subset of serde's surface that the HyPar workspace actually uses:
+//! the [`Serialize`] / [`Deserialize`] traits (over a concrete [`Value`]
+//! tree instead of the real crate's visitor machinery) and the
+//! `#[derive(Serialize, Deserialize)]` macros re-exported from the
+//! companion `serde_derive` stand-in.
+//!
+//! Supported shapes match what the workspace derives: named-field structs,
+//! newtype/tuple structs, unit-variant enums, and newtype-variant enums
+//! (externally tagged, like real serde). `#[serde(...)]` attributes and
+//! generic types are intentionally not supported.
+
+#![forbid(unsafe_code)]
+
+mod impls;
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;
+
+use std::fmt;
+
+/// A deserialization error: a human-readable message, optionally wrapped
+/// with field/type context as it propagates outward.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// An error with a custom message.
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// A required field was absent from the object being deserialized.
+    #[must_use]
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        DeError(format!("missing field `{field}` for `{ty}`"))
+    }
+
+    /// The value had the wrong JSON type.
+    #[must_use]
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, got {}", got.kind()))
+    }
+
+    /// Wraps the error with the field it occurred in.
+    #[must_use]
+    pub fn in_field(self, field: &str) -> Self {
+        DeError(format!("{field}: {}", self.0))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be converted into a [`Value`] tree.
+///
+/// The stand-in's analogue of `serde::Serialize`; the derive macro
+/// implements it field by field.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the value's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// The value to use when a struct field is absent. `None` makes the
+    /// field required; `Option<T>` overrides this to `Some(None)` so that
+    /// optional fields may be omitted (as with real serde defaults).
+    #[doc(hidden)]
+    fn if_missing() -> Option<Self> {
+        None
+    }
+}
+
+/// Support function for derived `Deserialize` impls: resolves an absent
+/// struct field, erroring unless the field type tolerates omission.
+///
+/// # Errors
+///
+/// Returns [`DeError::missing_field`] when `T` has no absent-value.
+#[doc(hidden)]
+pub fn __missing_field<T: Deserialize>(field: &str, ty: &str) -> Result<T, DeError> {
+    T::if_missing().ok_or_else(|| DeError::missing_field(field, ty))
+}

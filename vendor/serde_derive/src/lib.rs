@@ -1,0 +1,349 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored value-tree `serde` crate, without `syn`/`quote`: the input
+//! token stream is walked by hand and the impl is emitted as a string.
+//!
+//! Supported type shapes (everything the workspace derives on):
+//!
+//! * named-field structs (any field visibility),
+//! * tuple structs — one field serializes as the inner value (serde's
+//!   newtype convention), more fields as an array,
+//! * unit structs,
+//! * enums with unit variants (externally tagged as a string) and newtype
+//!   variants (externally tagged as a single-key object).
+//!
+//! Generics, struct variants, and `#[serde(...)]` attributes are rejected
+//! with a compile-time panic, matching how far the stand-in needs to go.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// One parsed derive input.
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// Tuple struct with the given arity.
+    TupleStruct(usize),
+    /// Unit struct.
+    UnitStruct,
+    /// Enum: `(variant name, has newtype payload)`.
+    Enum(Vec<(String, bool)>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{pairs}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::TupleStruct(arity) => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_owned(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, newtype)| {
+                    if *newtype {
+                        format!(
+                            "{name}::{v}(inner) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Serialize::to_value(inner))]),"
+                        )
+                    } else {
+                        format!(
+                            "{name}::{v} => \
+                             ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match v.get(\"{f}\") {{\n\
+                             ::std::option::Option::Some(field) => \
+                                 ::serde::Deserialize::from_value(field)\
+                                 .map_err(|e| e.in_field(\"{f}\"))?,\n\
+                             ::std::option::Option::None => \
+                                 ::serde::__missing_field(\"{f}\", \"{name}\")?,\n\
+                         }},"
+                    )
+                })
+                .collect();
+            format!(
+                "if v.as_object().is_none() {{\n\
+                     return ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"object for `{name}`\", v));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(arity) => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "let items = v.as_array()\
+                     .ok_or_else(|| ::serde::DeError::expected(\"array for `{name}`\", v))?;\n\
+                 if items.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                         \"wrong tuple arity for `{name}`\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({items}))"
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, newtype)| !newtype)
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let newtype_arms: String = variants
+                .iter()
+                .filter(|(_, newtype)| *newtype)
+                .map(|(v, _)| {
+                    format!(
+                        "if let ::std::option::Option::Some(inner) = v.get(\"{v}\") {{\n\
+                             return ::std::result::Result::Ok(\
+                                 {name}::{v}(::serde::Deserialize::from_value(inner)?));\n\
+                         }}"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             ::std::format!(\"unknown variant `{{other}}` for `{name}`\"))),\n\
+                     }},\n\
+                     _ => {{\n\
+                         {newtype_arms}\n\
+                         ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\"variant of `{name}`\", v))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute (doc comment etc.): swallow the bracket group.
+                let _ = tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Swallow a `pub(...)` restriction if present.
+                if matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    let _ = tokens.next();
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                return parse_struct(&mut tokens);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return parse_enum(&mut tokens);
+            }
+            other => panic!("serde stand-in: unexpected token {other:?} before struct/enum"),
+        }
+    }
+}
+
+fn parse_name(tokens: &mut Tokens) -> String {
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in: expected type name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in: generic type `{name}` is not supported");
+    }
+    name
+}
+
+fn parse_struct(tokens: &mut Tokens) -> Input {
+    let name = parse_name(tokens);
+    let shape = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+        other => panic!("serde stand-in: unexpected struct body {other:?}"),
+    };
+    Input { name, shape }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        // Skip attributes and visibility before the field name.
+        match tokens.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let _ = tokens.next();
+                let _ = tokens.next();
+                continue;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                let _ = tokens.next();
+                if matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    let _ = tokens.next();
+                }
+                continue;
+            }
+            _ => {}
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => panic!("serde stand-in: expected field name, got {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stand-in: expected `:` after field, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    let _ = tokens.next();
+                    break;
+                }
+                _ => {}
+            }
+            let _ = tokens.next();
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut pending = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += usize::from(pending);
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    fields + usize::from(pending)
+}
+
+fn parse_enum(tokens: &mut Tokens) -> Input {
+    let name = parse_name(tokens);
+    let Some(TokenTree::Group(body)) = tokens.next() else {
+        panic!("serde stand-in: expected enum body for `{name}`");
+    };
+    let mut tokens = body.stream().into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let newtype = match tokens.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let _ = tokens.next();
+                        true
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        panic!("serde stand-in: struct variant `{id}` is not supported")
+                    }
+                    _ => false,
+                };
+                variants.push((id.to_string(), newtype));
+                if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    let _ = tokens.next();
+                }
+            }
+            other => panic!("serde stand-in: unexpected token in enum body: {other:?}"),
+        }
+    }
+    Input {
+        name,
+        shape: Shape::Enum(variants),
+    }
+}
