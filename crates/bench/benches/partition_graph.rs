@@ -1,0 +1,75 @@
+//! Benchmarks for DAG planning: segment decomposition and the stitched
+//! partition search over the branchy zoo, so future PRs can track the
+//! cost of the graph path next to the chain path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypar_graph::{partition_graph, zoo, DagNetwork, GraphBuilder, SegmentCommGraph, INPUT};
+use hypar_models::ConvSpec;
+use hypar_tensor::FeatureDims;
+use std::hint::black_box;
+
+/// A synthetic residual ladder: `num_blocks` blocks of two convolutions
+/// with an identity skip each — the worst case for segment bookkeeping
+/// relative to layer count.
+fn residual_ladder(num_blocks: usize) -> DagNetwork {
+    let mut g = GraphBuilder::new("ladder", FeatureDims::new(16, 16, 16));
+    g.conv("stem", ConvSpec::same(16, 3), INPUT);
+    let mut prev = "stem".to_owned();
+    for b in 0..num_blocks {
+        let (a, c, join) = (format!("b{b}_a"), format!("b{b}_b"), format!("b{b}"));
+        g.conv(&a, ConvSpec::same(16, 3), &prev);
+        g.conv(&c, ConvSpec::same(16, 3), &a);
+        g.add(&join, &[&c, &prev]);
+        prev = join;
+    }
+    g.fully_connected("fc", 10, &prev);
+    g.build().expect("ladder is a valid graph")
+}
+
+fn bench_segment_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag_segments");
+    for num_blocks in [4usize, 16, 64] {
+        let dag = residual_ladder(num_blocks);
+        group.bench_with_input(BenchmarkId::from_parameter(num_blocks), &dag, |b, dag| {
+            b.iter(|| black_box(dag).segments(black_box(64)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition_graph_zoo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_graph_zoo");
+    for name in zoo::NAMES {
+        let graph: SegmentCommGraph = zoo::by_name(name)
+            .expect("zoo names resolve")
+            .segments(256)
+            .expect("zoo networks decompose");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, graph| {
+            b.iter(|| partition_graph(black_box(graph), black_box(4)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition_graph_ladder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_graph_ladder");
+    for num_blocks in [4usize, 16, 64] {
+        let graph = residual_ladder(num_blocks).segments(64).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(num_blocks),
+            &graph,
+            |b, graph| {
+                b.iter(|| partition_graph(black_box(graph), black_box(4)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_segment_decomposition,
+    bench_partition_graph_zoo,
+    bench_partition_graph_ladder
+);
+criterion_main!(benches);

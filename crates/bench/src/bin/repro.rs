@@ -12,12 +12,13 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use hypar_bench::experiments::{
-    self, ablation, batch_study, fig10, fig11, fig12, fig13, fig5, fig9, overall, pe_model, tables,
+    self, ablation, batch_study, branchy, fig10, fig11, fig12, fig13, fig5, fig9, overall,
+    pe_model, tables,
 };
 
 fn usage() -> String {
     format!(
-        "usage: repro [--exp <id>[,<id>...]] [--json <path>]\n  ids: {} fig13 ablation pe batch all",
+        "usage: repro [--exp <id>[,<id>...]] [--json <path>]\n  ids: {} fig13 ablation pe batch branchy all",
         experiments::EXPERIMENT_IDS.join(" ")
     )
 }
@@ -143,6 +144,11 @@ fn main() -> ExitCode {
                 let s = batch_study::run();
                 println!("{}", batch_study::table(&s));
                 json.insert(id.clone(), serde_json::to_value(&s).expect("serializable"));
+            }
+            "branchy" => {
+                let b = branchy::run();
+                println!("{}", branchy::table(&b));
+                json.insert(id.clone(), serde_json::to_value(&b).expect("serializable"));
             }
             other => {
                 eprintln!("unknown experiment `{other}`\n{}", usage());

@@ -1,0 +1,167 @@
+//! Beyond the paper: hybrid parallelism on *branchy* (DAG) networks.
+//!
+//! The paper's evaluation stops at chain CNNs.  This experiment runs the
+//! segment-stitched DAG planner (`hypar-graph`) over the branchy zoo —
+//! a ResNet-18-style residual network and a small Inception-style
+//! network — and compares HyPar's hybrid plan against the uniform
+//! baselines under the identical communication model, inter-segment
+//! junction traffic included.
+
+use hypar_core::baselines;
+use hypar_graph::{partition_graph, plan_segments, zoo};
+use serde::Serialize;
+
+use crate::report::{ratio, Table};
+
+/// One branchy network's comparison.
+#[derive(Clone, Debug, Serialize)]
+pub struct BranchyRow {
+    /// Network name.
+    pub network: String,
+    /// Weighted layers.
+    pub layers: usize,
+    /// Chain segments the DAG decomposes into.
+    pub segments: usize,
+    /// Inter-segment junction edges.
+    pub edges: usize,
+    /// Total communication of one training step, in tensor elements.
+    pub hybrid_elems: f64,
+    /// Data Parallelism baseline, in elements.
+    pub dp_elems: f64,
+    /// Model Parallelism baseline, in elements.
+    pub mp_elems: f64,
+    /// "One weird trick" baseline, in elements.
+    pub owt_elems: f64,
+    /// dp / hybrid (× improvement; ≥ 1 means hybrid wins or ties).
+    pub gain_over_dp: f64,
+    /// min(dp, mp, owt) / hybrid.
+    pub gain_over_best_baseline: f64,
+}
+
+/// The branchy-zoo dataset.
+#[derive(Clone, Debug, Serialize)]
+pub struct Branchy {
+    /// Mini-batch size used throughout.
+    pub batch: u64,
+    /// Hierarchy depth used throughout.
+    pub levels: usize,
+    /// One row per branchy zoo network.
+    pub rows: Vec<BranchyRow>,
+}
+
+/// Runs the comparison at the paper's evaluation setup (batch 256,
+/// 16 accelerators).
+///
+/// # Panics
+///
+/// Panics if a zoo network fails to decompose (they are validated at
+/// construction, so this indicates a bug).
+#[must_use]
+pub fn run() -> Branchy {
+    let (batch, levels) = (256, 4);
+    let rows = zoo::NAMES
+        .iter()
+        .map(|name| {
+            let dag = zoo::by_name(name).expect("zoo names resolve");
+            let graph = dag.segments(batch).expect("zoo networks decompose");
+            let hybrid = partition_graph(&graph, levels).total_comm_elems();
+            let dp = plan_segments(&graph, |s| baselines::all_data(s, levels)).total_comm_elems();
+            let mp = plan_segments(&graph, |s| baselines::all_model(s, levels)).total_comm_elems();
+            let owt =
+                plan_segments(&graph, |s| baselines::one_weird_trick(s, levels)).total_comm_elems();
+            BranchyRow {
+                network: (*name).to_owned(),
+                layers: graph.num_layers(),
+                segments: graph.num_segments(),
+                edges: graph.edges().len(),
+                hybrid_elems: hybrid,
+                dp_elems: dp,
+                mp_elems: mp,
+                owt_elems: owt,
+                gain_over_dp: dp / hybrid,
+                gain_over_best_baseline: dp.min(mp).min(owt) / hybrid,
+            }
+        })
+        .collect();
+    Branchy {
+        batch,
+        levels,
+        rows,
+    }
+}
+
+/// Renders the comparison.
+#[must_use]
+pub fn table(data: &Branchy) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Branchy zoo (DAG planner): hybrid vs baselines, B={} H={}",
+            data.batch, data.levels
+        ),
+        &[
+            "network",
+            "layers",
+            "segs",
+            "edges",
+            "hybrid GB",
+            "dp GB",
+            "mp GB",
+            "vs dp",
+            "vs best",
+        ],
+    );
+    let gb = |elems: f64| format!("{:.3}", elems * 4.0 / 1e9);
+    for r in &data.rows {
+        t.row(&[
+            r.network.clone(),
+            r.layers.to_string(),
+            r.segments.to_string(),
+            r.edges.to_string(),
+            gb(r.hybrid_elems),
+            gb(r.dp_elems),
+            gb(r.mp_elems),
+            ratio(r.gain_over_dp),
+            ratio(r.gain_over_best_baseline),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_the_branchy_zoo() {
+        let data = run();
+        assert_eq!(data.rows.len(), zoo::NAMES.len());
+        for row in &data.rows {
+            assert!(row.hybrid_elems > 0.0, "{}", row.network);
+            assert!(
+                row.hybrid_elems <= row.dp_elems.max(row.mp_elems),
+                "{}: hybrid must not lose to both extremes",
+                row.network
+            );
+        }
+    }
+
+    #[test]
+    fn resnet_gains_are_substantial() {
+        let data = run();
+        let resnet = data.rows.iter().find(|r| r.network == "ResNet-18").unwrap();
+        assert!(
+            resnet.gain_over_dp > 1.0,
+            "hybrid should beat dp on the residual network, got {}x",
+            resnet.gain_over_dp
+        );
+    }
+
+    #[test]
+    fn table_renders_every_row() {
+        let data = run();
+        let text = table(&data).to_string();
+        for name in zoo::NAMES {
+            assert!(text.contains(name), "{text}");
+        }
+    }
+}

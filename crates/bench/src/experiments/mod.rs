@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod batch_study;
+pub mod branchy;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
@@ -27,5 +28,6 @@ pub fn all_ids() -> Vec<&'static str> {
     ids.push("ablation");
     ids.push("pe");
     ids.push("batch");
+    ids.push("branchy");
     ids
 }

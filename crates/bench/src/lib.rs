@@ -16,6 +16,7 @@
 //! | [`experiments::fig11`]   | Figure 11 — scalability from 1 to 64 accelerators |
 //! | [`experiments::fig12`]   | Figure 12 — H-tree vs torus topology |
 //! | [`experiments::fig13`]   | Figure 13 — HyPar vs "one weird trick" |
+//! | [`experiments::branchy`] | beyond the paper — DAG planner on the branchy zoo (ResNet/Inception-class) |
 //!
 //! The `repro` binary drives them all:
 //!

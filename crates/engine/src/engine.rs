@@ -5,15 +5,16 @@ use std::sync::Arc;
 
 use hypar_comm::{NetworkCommTensors, Parallelism};
 use hypar_core::{baselines, evaluate::evaluate_plan, exhaustive, hierarchical, HierarchicalPlan};
+use hypar_graph::{zoo as graph_zoo, DagNetwork, SegmentCommGraph};
 use hypar_models::zoo;
-use hypar_models::{ConvSpec, Network, NetworkShapes, PoolKind, PoolSpec};
+use hypar_models::{ConvSpec, Layer, Network, NetworkShapes, PoolKind, PoolSpec};
 use hypar_sim::{training, ArchConfig};
 use hypar_tensor::FeatureDims;
 
 use crate::cache::{CacheStats, PlanCache};
-use crate::fingerprint::{fingerprint, Fingerprint};
+use crate::fingerprint::{fingerprint, fingerprint_dag, Fingerprint};
 use crate::parallel;
-use crate::request::{CustomNetwork, NetworkRef, PlanRequest, PlanResponse, Strategy};
+use crate::request::{CustomNetwork, GraphSpec, NetworkRef, PlanRequest, PlanResponse, Strategy};
 
 /// Upper bound on `layers × levels` for [`Strategy::Exhaustive`] — beyond
 /// this the `2^(L·H)` joint search is infeasible (mirrors
@@ -44,8 +45,9 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::UnknownNetwork(name) => write!(
                 f,
-                "unknown network `{name}` (zoo: {})",
-                zoo::NAMES.join(", ")
+                "unknown network `{name}` (zoo: {}; branchy zoo: {})",
+                zoo::NAMES.join(", "),
+                graph_zoo::NAMES.join(", ")
             ),
             EngineError::InvalidNetwork(msg) => write!(f, "invalid network: {msg}"),
             EngineError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
@@ -125,10 +127,20 @@ impl PlanEngine {
     }
 }
 
+/// The pipeline view a request resolves to: the chain pipeline for flat
+/// networks (and branch-free DAGs, which linearize into it), or the
+/// segment decomposition for branchy DAGs.
+enum Workload {
+    Chain {
+        shapes: NetworkShapes,
+        tensors: NetworkCommTensors,
+    },
+    Dag(SegmentCommGraph),
+}
+
 /// A request resolved through shape inference, ready to plan.
 struct Resolved {
-    shapes: NetworkShapes,
-    tensors: NetworkCommTensors,
+    workload: Workload,
     cfg: ArchConfig,
     strategy: Strategy,
     assignments: Option<Vec<Vec<Parallelism>>>,
@@ -145,27 +157,61 @@ impl Resolved {
                 request.levels
             )));
         }
-        let network = resolve_network(&request.network)?;
-        let shapes = NetworkShapes::infer(&network, request.batch)
-            .map_err(|e| EngineError::InvalidNetwork(e.to_string()))?;
-        let tensors = NetworkCommTensors::from_shapes(&shapes);
-        let assignments = match request.strategy {
-            Strategy::Explicit => Some(parse_assignments(request, tensors.len())?),
-            Strategy::Exhaustive => {
-                let slots = tensors.len() * request.levels;
-                if slots > EXHAUSTIVE_SLOT_LIMIT {
+        let mut network = resolve_network(&request.network)?;
+        // A branch-free DAG *is* a chain: lower it so it flows through the
+        // chain pipeline (and shares its cache entries) bit-identically.
+        if let ResolvedNet::Dag(dag) = &network {
+            if dag.is_chain() {
+                let chain = dag
+                    .linearize()
+                    .map_err(|e| EngineError::InvalidNetwork(e.to_string()))?;
+                network = ResolvedNet::Chain(chain);
+            }
+        }
+        let (workload, assignments) = match network {
+            ResolvedNet::Chain(chain) => {
+                let shapes = NetworkShapes::infer(&chain, request.batch)
+                    .map_err(|e| EngineError::InvalidNetwork(e.to_string()))?;
+                let tensors = NetworkCommTensors::from_shapes(&shapes);
+                let assignments = match request.strategy {
+                    Strategy::Explicit => Some(parse_assignments(request, tensors.len())?),
+                    Strategy::Exhaustive => {
+                        let slots = tensors.len() * request.levels;
+                        if slots > EXHAUSTIVE_SLOT_LIMIT {
+                            return Err(EngineError::InvalidRequest(format!(
+                                "exhaustive search over {slots} slots exceeds the limit of \
+                                 {EXHAUSTIVE_SLOT_LIMIT} (layers x levels)"
+                            )));
+                        }
+                        None
+                    }
+                    _ => None,
+                };
+                (Workload::Chain { shapes, tensors }, assignments)
+            }
+            ResolvedNet::Dag(dag) => {
+                if matches!(request.strategy, Strategy::Exhaustive | Strategy::Explicit) {
                     return Err(EngineError::InvalidRequest(format!(
-                        "exhaustive search over {slots} slots exceeds the limit of \
-                         {EXHAUSTIVE_SLOT_LIMIT} (layers x levels)"
+                        "strategy `{}` is not supported for branchy DAG networks \
+                         (chain-shaped DAGs linearize and support every strategy)",
+                        request.strategy
                     )));
                 }
-                None
+                if request.simulate {
+                    return Err(EngineError::InvalidRequest(
+                        "`simulate: true` is not supported for branchy DAG networks yet; \
+                         plans are analytic only"
+                            .to_owned(),
+                    ));
+                }
+                let graph = dag
+                    .segments(request.batch)
+                    .map_err(|e| EngineError::InvalidNetwork(e.to_string()))?;
+                (Workload::Dag(graph), None)
             }
-            _ => None,
         };
         Ok(Resolved {
-            shapes,
-            tensors,
+            workload,
             cfg: ArchConfig::paper().with_topology(request.topology),
             strategy: request.strategy,
             assignments,
@@ -175,24 +221,38 @@ impl Resolved {
     }
 
     fn fingerprint(&self) -> Fingerprint {
-        fingerprint(
-            &self.tensors,
-            self.levels,
-            self.strategy,
-            self.assignments.as_deref(),
-            &self.cfg,
-            self.simulate,
-        )
+        match &self.workload {
+            Workload::Chain { tensors, .. } => fingerprint(
+                tensors,
+                self.levels,
+                self.strategy,
+                self.assignments.as_deref(),
+                &self.cfg,
+                self.simulate,
+            ),
+            Workload::Dag(graph) => {
+                fingerprint_dag(graph, self.levels, self.strategy, &self.cfg, self.simulate)
+            }
+        }
     }
 
     fn compute(&self, key: Fingerprint) -> PlanResponse {
-        let plan = self.run_strategy();
-        let simulation = self
-            .simulate
-            .then(|| training::simulate_step(&self.shapes, &plan, &self.cfg));
+        let (network, batch, plan, simulation) = match &self.workload {
+            Workload::Chain { shapes, tensors } => {
+                let plan = self.run_chain_strategy(tensors);
+                let simulation = self
+                    .simulate
+                    .then(|| training::simulate_step(shapes, &plan, &self.cfg));
+                (tensors.name().to_owned(), tensors.batch(), plan, simulation)
+            }
+            Workload::Dag(graph) => {
+                let plan = self.run_dag_strategy(graph);
+                (graph.name().to_owned(), graph.batch(), plan, None)
+            }
+        };
         PlanResponse {
-            network: self.tensors.name().to_owned(),
-            batch: self.tensors.batch(),
+            network,
+            batch,
             levels: self.levels,
             accelerators: plan.num_accelerators(),
             strategy: self.strategy,
@@ -205,8 +265,7 @@ impl Resolved {
         }
     }
 
-    fn run_strategy(&self) -> HierarchicalPlan {
-        let net = &self.tensors;
+    fn run_chain_strategy(&self, net: &NetworkCommTensors) -> HierarchicalPlan {
         match self.strategy {
             Strategy::Hypar => hierarchical::partition(net, self.levels),
             Strategy::Dp => baselines::all_data(net, self.levels),
@@ -226,89 +285,198 @@ impl Resolved {
             }
         }
     }
+
+    fn run_dag_strategy(&self, graph: &SegmentCommGraph) -> HierarchicalPlan {
+        match self.strategy {
+            Strategy::Hypar => hypar_graph::partition_graph(graph, self.levels),
+            Strategy::Dp => {
+                hypar_graph::plan_segments(graph, |s| baselines::all_data(s, self.levels))
+            }
+            Strategy::Mp => {
+                hypar_graph::plan_segments(graph, |s| baselines::all_model(s, self.levels))
+            }
+            Strategy::Owt => {
+                hypar_graph::plan_segments(graph, |s| baselines::one_weird_trick(s, self.levels))
+            }
+            Strategy::Exhaustive | Strategy::Explicit => {
+                unreachable!("rejected for branchy DAGs at resolution")
+            }
+        }
+    }
 }
 
 fn layer_names(net: &NetworkCommTensors) -> Vec<String> {
     net.layers().iter().map(|l| l.name.clone()).collect()
 }
 
-/// Resolves a network reference, forgiving zoo-name spelling: `"VGG-A"`,
-/// `"vgg_a"`, and `"vgga"` are the same network.
-fn resolve_network(reference: &NetworkRef) -> Result<Network, EngineError> {
+/// What a [`NetworkRef`] resolves to before planning.
+enum ResolvedNet {
+    Chain(Network),
+    Dag(DagNetwork),
+}
+
+/// Resolves a network reference.  Zoo lookups are forgiving (`"VGG-A"`,
+/// `"vgg_a"`, and `"vgga"` are the same network) and fall through from
+/// the paper's chain zoo to the branchy graph zoo
+/// (`"resnet18"`, `"inception-mini"`).
+fn resolve_network(reference: &NetworkRef) -> Result<ResolvedNet, EngineError> {
     match reference {
-        NetworkRef::Zoo(name) => {
-            if let Some(net) = zoo::by_name(name) {
-                return Ok(net);
-            }
-            let canonical = |s: &str| {
-                s.chars()
-                    .filter(char::is_ascii_alphanumeric)
-                    .map(|c| c.to_ascii_lowercase())
-                    .collect::<String>()
-            };
-            let wanted = canonical(name);
-            zoo::NAMES
-                .iter()
-                .find(|candidate| canonical(candidate) == wanted)
-                .and_then(|candidate| zoo::by_name(candidate))
-                .ok_or_else(|| EngineError::UnknownNetwork(name.clone()))
-        }
-        NetworkRef::Custom(custom) => build_custom(custom),
+        NetworkRef::Zoo(name) => zoo::by_name(name)
+            .map(ResolvedNet::Chain)
+            .or_else(|| graph_zoo::by_name(name).map(ResolvedNet::Dag))
+            .ok_or_else(|| EngineError::UnknownNetwork(name.clone())),
+        NetworkRef::Custom(custom) => build_custom(custom).map(ResolvedNet::Chain),
+        NetworkRef::Graph(graph) => build_graph(graph).map(ResolvedNet::Dag),
     }
+}
+
+/// Converts the layer fields shared by [`crate::LayerSpec`] and
+/// [`crate::GraphNodeSpec`] into a [`Layer`], rejecting fields that do not
+/// apply to the kind.  The error carries no position — callers prefix
+/// their own layer/node context.
+fn build_layer(
+    name: &str,
+    kind: &str,
+    out: u64,
+    kernel: Option<u64>,
+    stride: Option<u64>,
+    padding: Option<u64>,
+    pool: Option<u64>,
+) -> Result<Layer, String> {
+    let mut layer = match kind {
+        "conv" => {
+            let kernel = kernel.ok_or_else(|| "conv needs a `kernel`".to_owned())?;
+            if kernel == 0 {
+                return Err("kernel must be positive".to_owned());
+            }
+            Layer::conv(
+                name,
+                ConvSpec {
+                    out_channels: out,
+                    kernel,
+                    stride: stride.unwrap_or(1),
+                    padding: padding.unwrap_or((kernel - 1) / 2),
+                },
+            )
+        }
+        "fc" => {
+            if kernel.is_some() || stride.is_some() || padding.is_some() {
+                return Err("`kernel`/`stride`/`padding` do not apply to fc".to_owned());
+            }
+            Layer::fully_connected(name, out)
+        }
+        other => return Err(format!("unknown kind `{other}` (expected conv|fc)")),
+    };
+    if let Some(window) = pool {
+        layer = layer.with_pool(PoolSpec {
+            size: window,
+            stride: window,
+            kind: PoolKind::Max,
+        });
+    }
+    Ok(layer)
 }
 
 fn build_custom(custom: &CustomNetwork) -> Result<Network, EngineError> {
     let invalid = |msg: String| EngineError::InvalidNetwork(msg);
-    let input = FeatureDims::new(
-        custom.input.channels,
-        custom.input.height,
-        custom.input.width,
-    );
+    let input = build_input(&custom.input)?;
     let name = custom.name.clone().unwrap_or_else(|| "custom".to_owned());
     let mut builder = Network::builder(name, input);
-    for (index, layer) in custom.layers.iter().enumerate() {
-        match layer.kind.as_str() {
-            "conv" => {
-                let kernel = layer
-                    .kernel
-                    .ok_or_else(|| invalid(format!("conv layer {index} needs a `kernel`")))?;
-                if kernel == 0 {
-                    return Err(invalid(format!(
-                        "conv layer {index}: kernel must be positive"
+    for (index, spec) in custom.layers.iter().enumerate() {
+        let name = spec
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("{}{}", spec.kind, index + 1));
+        let layer = build_layer(
+            &name,
+            &spec.kind,
+            spec.out,
+            spec.kernel,
+            spec.stride,
+            spec.padding,
+            spec.pool,
+        )
+        .map_err(|msg| invalid(format!("layer {index}: {msg}")))?;
+        builder.layer(layer);
+    }
+    builder.build().map_err(|e| invalid(e.to_string()))
+}
+
+/// Validates untrusted input dimensions before handing them to
+/// [`FeatureDims::new`] (which panics on zero).
+fn build_input(input: &crate::request::InputSpec) -> Result<FeatureDims, EngineError> {
+    if input.channels == 0 || input.height == 0 || input.width == 0 {
+        return Err(EngineError::InvalidNetwork(
+            "input dimensions must be positive".to_owned(),
+        ));
+    }
+    Ok(FeatureDims::new(input.channels, input.height, input.width))
+}
+
+/// Builds a validated [`DagNetwork`] from an inline [`GraphSpec`].
+fn build_graph(spec: &GraphSpec) -> Result<DagNetwork, EngineError> {
+    let invalid = |msg: String| EngineError::InvalidNetwork(msg);
+    let input = build_input(&spec.input)?;
+    let name = spec.name.clone().unwrap_or_else(|| "graph".to_owned());
+    let mut builder = hypar_graph::GraphBuilder::new(name, input);
+    let mut previous: Option<String> = None;
+    for (index, node) in spec.nodes.iter().enumerate() {
+        let inputs: Vec<String> = match &node.inputs {
+            Some(list) => list.clone(),
+            None => vec![previous
+                .clone()
+                .unwrap_or_else(|| hypar_graph::INPUT.to_owned())],
+        };
+        let context = |msg: String| invalid(format!("node {index} (`{}`): {msg}", node.name));
+        match node.kind.as_str() {
+            "conv" | "fc" => {
+                let [from] = inputs.as_slice() else {
+                    return Err(context(format!(
+                        "layer nodes take exactly one input, got {}",
+                        inputs.len()
+                    )));
+                };
+                let out = node
+                    .out
+                    .ok_or_else(|| context(format!("`{}` needs `out`", node.kind)))?;
+                let layer = build_layer(
+                    &node.name,
+                    &node.kind,
+                    out,
+                    node.kernel,
+                    node.stride,
+                    node.padding,
+                    node.pool,
+                )
+                .map_err(context)?;
+                builder.layer(layer, from.clone());
+            }
+            "add" | "concat" => {
+                if node.out.is_some()
+                    || node.kernel.is_some()
+                    || node.stride.is_some()
+                    || node.padding.is_some()
+                    || node.pool.is_some()
+                {
+                    return Err(context(format!(
+                        "`out`/`kernel`/`stride`/`padding`/`pool` do not apply to `{}` nodes",
+                        node.kind
                     )));
                 }
-                let spec = ConvSpec {
-                    out_channels: layer.out,
-                    kernel,
-                    stride: layer.stride.unwrap_or(1),
-                    padding: layer.padding.unwrap_or((kernel - 1) / 2),
-                };
-                let name = layer
-                    .name
-                    .clone()
-                    .unwrap_or_else(|| format!("conv{}", index + 1));
-                builder.conv(name, spec);
-            }
-            "fc" => {
-                let name = layer
-                    .name
-                    .clone()
-                    .unwrap_or_else(|| format!("fc{}", index + 1));
-                builder.fully_connected(name, layer.out);
+                let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+                if node.kind == "add" {
+                    builder.add(&node.name, &refs);
+                } else {
+                    builder.concat(&node.name, &refs);
+                }
             }
             other => {
-                return Err(invalid(format!(
-                    "layer {index}: unknown kind `{other}` (expected conv|fc)"
+                return Err(context(format!(
+                    "unknown kind `{other}` (expected conv|fc|add|concat)"
                 )))
             }
         }
-        if let Some(window) = layer.pool {
-            builder.pool(PoolSpec {
-                size: window,
-                stride: window,
-                kind: PoolKind::Max,
-            });
-        }
+        previous = Some(node.name.clone());
     }
     builder.build().map_err(|e| invalid(e.to_string()))
 }

@@ -10,7 +10,8 @@
 
 use std::fmt;
 
-use hypar_comm::{NetworkCommTensors, Parallelism};
+use hypar_comm::{LayerCommTensors, NetworkCommTensors, Parallelism};
+use hypar_graph::SegmentCommGraph;
 use hypar_sim::ArchConfig;
 use serde::{Serialize, Value};
 
@@ -59,6 +60,16 @@ impl Fnv {
     fn str(&mut self, s: &str) {
         self.u64(s.len() as u64);
         self.bytes(s.as_bytes());
+    }
+
+    /// Hashes the workload-relevant fields of one layer's comm tensors
+    /// (names are labels, not inputs — see [`fingerprint`]).
+    fn layer(&mut self, layer: &LayerCommTensors) {
+        self.bool(layer.is_conv);
+        self.f64(layer.weight_elems);
+        self.f64(layer.input_elems);
+        self.f64(layer.output_elems);
+        self.f64(layer.junction_elems);
     }
 
     /// Hashes a serde value tree canonically (variant tag + contents).
@@ -121,11 +132,7 @@ pub fn fingerprint(
     h.u64(tensors.batch());
     h.u64(tensors.len() as u64);
     for layer in tensors.layers() {
-        h.bool(layer.is_conv);
-        h.f64(layer.weight_elems);
-        h.f64(layer.input_elems);
-        h.f64(layer.output_elems);
-        h.f64(layer.junction_elems);
+        h.layer(layer);
     }
     h.u64(levels as u64);
     h.u64(strategy.tag());
@@ -144,6 +151,46 @@ pub fn fingerprint(
     // The architecture config covers topology, bandwidths, energy model,
     // precision, and the PE grid; hashing its serialized form keeps the
     // fingerprint in sync with any future ArchConfig fields for free.
+    h.value(&cfg.to_value());
+    h.bool(simulate);
+    Fingerprint(h.0)
+}
+
+/// Fingerprints a resolved *branchy DAG* workload: the segment
+/// decomposition's tensors and junction edges in place of the chain's
+/// layer list.
+///
+/// The segment graph comes from a canonically-ordered
+/// [`hypar_graph::DagNetwork`], so the fingerprint is stable across
+/// node-insertion order; a leading marker domain-separates DAG keys from
+/// chain keys (branch-free DAGs never reach here — they linearize and
+/// share the chain fingerprint).
+#[must_use]
+pub fn fingerprint_dag(
+    graph: &SegmentCommGraph,
+    levels: usize,
+    strategy: Strategy,
+    cfg: &ArchConfig,
+    simulate: bool,
+) -> Fingerprint {
+    let mut h = Fnv::new();
+    h.str("dag");
+    h.u64(graph.batch());
+    h.u64(graph.num_segments() as u64);
+    for segment in graph.segments() {
+        h.u64(segment.len() as u64);
+        for layer in segment.layers() {
+            h.layer(layer);
+        }
+    }
+    h.u64(graph.edges().len() as u64);
+    for edge in graph.edges() {
+        h.u64(edge.from as u64);
+        h.u64(edge.to as u64);
+        h.f64(edge.elems);
+    }
+    h.u64(levels as u64);
+    h.u64(strategy.tag());
     h.value(&cfg.to_value());
     h.bool(simulate);
     Fingerprint(h.0)

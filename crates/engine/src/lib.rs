@@ -9,10 +9,13 @@
 //! pipeline behind one API:
 //!
 //! * [`PlanRequest`] / [`PlanResponse`] — a serde-JSON description of a
-//!   planning workload: network (zoo name or custom layer spec), batch
-//!   size, hierarchy levels, strategy
-//!   (`hypar`/`dp`/`mp`/`owt`/`exhaustive`/`explicit`), topology, and an
-//!   optional full discrete-event simulation of the training step;
+//!   planning workload: network (zoo name — chain or branchy —, custom
+//!   layer spec, or inline DAG node spec), batch size, hierarchy levels,
+//!   strategy (`hypar`/`dp`/`mp`/`owt`/`exhaustive`/`explicit`),
+//!   topology, and an optional full discrete-event simulation of the
+//!   training step;  branchy DAGs are decomposed into chain segments by
+//!   `hypar-graph` and planned segment by segment with inter-segment
+//!   junction accounting;
 //! * [`PlanEngine`] — resolves requests through the pipeline, memoizing
 //!   results in an LRU [`cache::PlanCache`] keyed by a stable
 //!   [`fingerprint::Fingerprint`] of the *resolved* workload (network
@@ -59,4 +62,7 @@ pub mod service;
 
 pub use cache::CacheStats;
 pub use engine::{EngineError, PlanEngine};
-pub use request::{CustomNetwork, InputSpec, LayerSpec, PlanRequest, PlanResponse, Strategy};
+pub use request::{
+    CustomNetwork, GraphNodeSpec, GraphSpec, InputSpec, LayerSpec, PlanRequest, PlanResponse,
+    Strategy,
+};

@@ -139,14 +139,65 @@ pub struct CustomNetwork {
     pub layers: Vec<LayerSpec>,
 }
 
+/// One node of an inline DAG network: a weighted layer (`conv`/`fc`) or a
+/// join (`add`/`concat`), wired to its producers by name.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphNodeSpec {
+    /// Unique node name; other nodes reference it through `inputs`.
+    pub name: String,
+    /// `"conv"`, `"fc"`, `"add"`, or `"concat"`.
+    pub kind: String,
+    /// Output channels (conv) or output neurons (fc); joins take none.
+    pub out: Option<u64>,
+    /// Square kernel extent; required for conv nodes.
+    pub kernel: Option<u64>,
+    /// Convolution stride (default 1).
+    pub stride: Option<u64>,
+    /// Zero padding per border (default: "same", `(kernel - 1) / 2`).
+    pub padding: Option<u64>,
+    /// Attach a non-overlapping max pool with this window (layers only).
+    pub pool: Option<u64>,
+    /// Producer node names (`"input"` for the graph input).  Defaults to
+    /// the previous node in the list (the graph input for the first), so
+    /// chain prefixes stay terse.
+    pub inputs: Option<Vec<String>>,
+}
+
+/// A branchy (DAG) network described inline in the request; distinguished
+/// from [`CustomNetwork`] by carrying `nodes` instead of `layers`.
+///
+/// ```json
+/// {"name": "tiny-res",
+///  "input": {"channels": 8, "height": 16, "width": 16},
+///  "nodes": [
+///    {"name": "stem", "kind": "conv", "out": 8, "kernel": 3},
+///    {"name": "body", "kind": "conv", "out": 8, "kernel": 3},
+///    {"name": "join", "kind": "add", "inputs": ["stem", "body"]},
+///    {"name": "fc", "kind": "fc", "out": 10, "inputs": ["join"]}]}
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphSpec {
+    /// Network name used in reports (default `graph`).
+    pub name: Option<String>,
+    /// Input feature-map extent.
+    pub input: InputSpec,
+    /// The DAG nodes, in any topological-consistent listing order (the
+    /// engine canonicalizes, so listing order never changes the plan or
+    /// the cache key).
+    pub nodes: Vec<GraphNodeSpec>,
+}
+
 /// How the request names its network: a zoo model or an inline spec.
 #[derive(Clone, Debug, PartialEq)]
 pub enum NetworkRef {
-    /// One of the paper's ten evaluation networks, by (forgiving) name:
-    /// `"VGG-A"`, `"vgg_a"` and `"vgga"` all resolve identically.
+    /// A zoo network by (forgiving) name: the paper's ten chain networks
+    /// (`"VGG-A"`, `"vgg_a"`, and `"vgga"` all resolve identically) or a
+    /// branchy graph-zoo network (`"resnet18"`, `"inception-mini"`).
     Zoo(String),
-    /// An inline custom network.
+    /// An inline custom chain network (a `layers` object).
     Custom(CustomNetwork),
+    /// An inline DAG network (a `nodes` object).
+    Graph(GraphSpec),
 }
 
 impl Serialize for NetworkRef {
@@ -154,6 +205,7 @@ impl Serialize for NetworkRef {
         match self {
             NetworkRef::Zoo(name) => Value::String(name.clone()),
             NetworkRef::Custom(custom) => custom.to_value(),
+            NetworkRef::Graph(graph) => graph.to_value(),
         }
     }
 }
@@ -162,9 +214,12 @@ impl Deserialize for NetworkRef {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
             Value::String(name) => Ok(NetworkRef::Zoo(name.clone())),
+            Value::Object(_) if v.get("nodes").is_some() => {
+                GraphSpec::from_value(v).map(NetworkRef::Graph)
+            }
             Value::Object(_) => CustomNetwork::from_value(v).map(NetworkRef::Custom),
             _ => Err(DeError::expected(
-                "zoo name string or custom network object",
+                "zoo name string, custom network object (`layers`), or DAG object (`nodes`)",
                 v,
             )),
         }
@@ -219,6 +274,15 @@ impl PlanRequest {
     pub fn custom(network: CustomNetwork) -> Self {
         PlanRequest {
             network: NetworkRef::Custom(network),
+            ..PlanRequest::zoo("")
+        }
+    }
+
+    /// A request for an inline DAG network with paper defaults.
+    #[must_use]
+    pub fn graph(network: GraphSpec) -> Self {
+        PlanRequest {
+            network: NetworkRef::Graph(network),
             ..PlanRequest::zoo("")
         }
     }

@@ -1,0 +1,311 @@
+//! Integration tests of the DAG planning path: branchy zoo and inline
+//! graph requests end to end through the engine, cache semantics, chain
+//! linearization equivalence, and fingerprint stability.
+
+use hypar_engine::{
+    CustomNetwork, EngineError, GraphNodeSpec, GraphSpec, InputSpec, LayerSpec, PlanEngine,
+    PlanRequest, Strategy,
+};
+use proptest::prelude::*;
+
+fn graph_node(name: &str, kind: &str, inputs: &[&str]) -> GraphNodeSpec {
+    GraphNodeSpec {
+        name: name.to_owned(),
+        kind: kind.to_owned(),
+        out: None,
+        kernel: None,
+        stride: None,
+        padding: None,
+        pool: None,
+        inputs: Some(inputs.iter().map(|s| (*s).to_owned()).collect()),
+    }
+}
+
+fn conv_node(name: &str, out: u64, kernel: u64, inputs: &[&str]) -> GraphNodeSpec {
+    GraphNodeSpec {
+        out: Some(out),
+        kernel: Some(kernel),
+        ..graph_node(name, "conv", inputs)
+    }
+}
+
+fn fc_node(name: &str, out: u64, inputs: &[&str]) -> GraphNodeSpec {
+    GraphNodeSpec {
+        out: Some(out),
+        ..graph_node(name, "fc", inputs)
+    }
+}
+
+/// The tiny residual block's four nodes, fully wired (so any listing
+/// order is valid), selected by `order`.
+fn tiny_res_spec(order: &[usize]) -> GraphSpec {
+    let nodes = [
+        conv_node("stem", 8, 3, &["input"]),
+        conv_node("body", 8, 3, &["stem"]),
+        graph_node("join", "add", &["stem", "body"]),
+        fc_node("fc", 10, &["join"]),
+    ];
+    GraphSpec {
+        name: Some("tiny-res".to_owned()),
+        input: InputSpec {
+            channels: 8,
+            height: 16,
+            width: 16,
+        },
+        nodes: order.iter().map(|&i| nodes[i].clone()).collect(),
+    }
+}
+
+#[test]
+fn branchy_zoo_requests_plan_and_cache() {
+    let engine = PlanEngine::new();
+    let request = PlanRequest::zoo("resnet18").levels(4).batch(64);
+
+    let first = engine.plan(&request).unwrap();
+    assert!(!first.cache_hit);
+    assert_eq!(first.network, "ResNet-18");
+    assert_eq!(first.accelerators, 16);
+    assert_eq!(first.plan.num_layers(), 21);
+    assert!(first.total_comm_elems > 0.0);
+    assert!(first.simulation.is_none());
+
+    let second = engine.plan(&request).unwrap();
+    assert!(second.cache_hit, "identical DAG request must hit the cache");
+    assert_eq!(first.fingerprint, second.fingerprint);
+    assert_eq!(first.plan, second.plan);
+
+    // Forgiving spelling resolves to the same cached workload.
+    let spelled = engine
+        .plan(&PlanRequest::zoo("ResNet-18").levels(4).batch(64))
+        .unwrap();
+    assert!(spelled.cache_hit);
+    assert_eq!(spelled.fingerprint, first.fingerprint);
+}
+
+#[test]
+fn dag_strategies_are_ordered_sensibly() {
+    let engine = PlanEngine::new();
+    let base = PlanRequest::zoo("inception-mini").levels(4).batch(128);
+    let hybrid = engine.plan(&base.clone()).unwrap();
+    let dp = engine.plan(&base.clone().strategy(Strategy::Dp)).unwrap();
+    let mp = engine.plan(&base.clone().strategy(Strategy::Mp)).unwrap();
+    // Hybrid optimizes the intra-segment traffic the baselines fix, so it
+    // must not lose to both extremes at once.
+    assert!(hybrid.total_comm_elems <= dp.total_comm_elems.max(mp.total_comm_elems));
+    // Each strategy is its own cache entry.
+    let fingerprints = [&hybrid, &dp, &mp]
+        .iter()
+        .map(|r| r.fingerprint.clone())
+        .collect::<std::collections::HashSet<_>>();
+    assert_eq!(fingerprints.len(), 3);
+}
+
+#[test]
+fn inline_graph_request_round_trips_and_plans() {
+    let request = PlanRequest::graph(tiny_res_spec(&[0, 1, 2, 3]))
+        .batch(32)
+        .levels(3);
+    let text = serde_json::to_string(&request).unwrap();
+    let back: PlanRequest = serde_json::from_str(&text).unwrap();
+    assert_eq!(back, request);
+
+    let engine = PlanEngine::new();
+    let response = engine.plan(&request).unwrap();
+    assert_eq!(response.network, "tiny-res");
+    assert_eq!(response.plan.num_layers(), 3);
+    assert_eq!(response.levels, 3);
+}
+
+#[test]
+fn chain_shaped_dag_linearizes_into_the_chain_pipeline() {
+    // A DAG spec with no joins and a CustomNetwork with identical layers
+    // must resolve to the *same* workload — same fingerprint, shared
+    // cache entry.
+    let engine = PlanEngine::new();
+    let custom = engine
+        .plan(&PlanRequest::custom(CustomNetwork {
+            name: Some("chain".to_owned()),
+            input: InputSpec {
+                channels: 8,
+                height: 16,
+                width: 16,
+            },
+            layers: vec![
+                LayerSpec {
+                    name: Some("stem".to_owned()),
+                    kind: "conv".to_owned(),
+                    out: 8,
+                    kernel: Some(3),
+                    stride: None,
+                    padding: None,
+                    pool: None,
+                },
+                LayerSpec {
+                    name: Some("fc".to_owned()),
+                    kind: "fc".to_owned(),
+                    out: 10,
+                    kernel: None,
+                    stride: None,
+                    padding: None,
+                    pool: None,
+                },
+            ],
+        }))
+        .unwrap();
+    let dag = engine
+        .plan(&PlanRequest::graph(GraphSpec {
+            name: Some("chain-as-dag".to_owned()),
+            input: InputSpec {
+                channels: 8,
+                height: 16,
+                width: 16,
+            },
+            nodes: vec![
+                conv_node("stem", 8, 3, &["input"]),
+                fc_node("fc", 10, &["stem"]),
+            ],
+        }))
+        .unwrap();
+    assert_eq!(dag.fingerprint, custom.fingerprint);
+    assert!(dag.cache_hit, "linearized chain DAG must share the entry");
+    assert_eq!(dag.total_comm_elems, custom.total_comm_elems);
+}
+
+#[test]
+fn chain_shaped_dag_supports_every_chain_strategy() {
+    // Linearization happens before strategy dispatch, so even exhaustive
+    // and explicit work on a branch-free DAG spec.
+    let engine = PlanEngine::new();
+    let spec = GraphSpec {
+        name: None,
+        input: InputSpec {
+            channels: 1,
+            height: 1,
+            width: 64,
+        },
+        nodes: vec![fc_node("fc1", 32, &["input"]), fc_node("fc2", 8, &["fc1"])],
+    };
+    let exhaustive = engine
+        .plan(
+            &PlanRequest::graph(spec.clone())
+                .levels(2)
+                .strategy(Strategy::Exhaustive),
+        )
+        .unwrap();
+    let hypar = engine.plan(&PlanRequest::graph(spec).levels(2)).unwrap();
+    assert!(exhaustive.total_comm_elems <= hypar.total_comm_elems);
+}
+
+#[test]
+fn branchy_requests_reject_unsupported_options() {
+    let engine = PlanEngine::new();
+    let base = PlanRequest::zoo("resnet18").levels(2).batch(16);
+
+    let err = engine.plan(&base.clone().simulate(true)).unwrap_err();
+    assert!(matches!(err, EngineError::InvalidRequest(_)), "{err}");
+    assert!(err.to_string().contains("simulate"));
+
+    for strategy in [Strategy::Exhaustive, Strategy::Explicit] {
+        let err = engine.plan(&base.clone().strategy(strategy)).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidRequest(_)), "{err}");
+        assert!(err.to_string().contains(strategy.name()));
+    }
+}
+
+#[test]
+fn unknown_network_error_lists_both_zoos() {
+    let engine = PlanEngine::new();
+    let err = engine
+        .plan(&PlanRequest::zoo("resnet-51"))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("VGG-E"), "{err}");
+    assert!(err.contains("ResNet-18"), "{err}");
+    assert!(err.contains("Inception-Mini"), "{err}");
+}
+
+#[test]
+fn malformed_graph_specs_surface_typed_errors() {
+    let engine = PlanEngine::new();
+    // Dangling edge.
+    let mut spec = tiny_res_spec(&[0, 1, 2, 3]);
+    spec.nodes[1].inputs = Some(vec!["ghost".to_owned()]);
+    let err = engine.plan(&PlanRequest::graph(spec)).unwrap_err();
+    assert!(matches!(err, EngineError::InvalidNetwork(_)), "{err}");
+    assert!(err.to_string().contains("ghost"));
+
+    // Cycle.
+    let mut spec = tiny_res_spec(&[0, 1, 2, 3]);
+    spec.nodes[0].inputs = Some(vec!["fc".to_owned()]);
+    let err = engine.plan(&PlanRequest::graph(spec)).unwrap_err();
+    assert!(err.to_string().contains("cycle"), "{err}");
+
+    // Join shape mismatch.
+    let mut spec = tiny_res_spec(&[0, 1, 2, 3]);
+    spec.nodes[1].out = Some(16);
+    let err = engine.plan(&PlanRequest::graph(spec)).unwrap_err();
+    assert!(err.to_string().contains("does not match"), "{err}");
+
+    // Layer-only fields on a join are rejected, not silently dropped.
+    let mut spec = tiny_res_spec(&[0, 1, 2, 3]);
+    spec.nodes[2].pool = Some(2);
+    let err = engine.plan(&PlanRequest::graph(spec)).unwrap_err();
+    assert!(err.to_string().contains("do not apply"), "{err}");
+
+    // Conv-only fields on an fc node are rejected too.
+    let mut spec = tiny_res_spec(&[0, 1, 2, 3]);
+    spec.nodes[3].kernel = Some(3);
+    let err = engine.plan(&PlanRequest::graph(spec)).unwrap_err();
+    assert!(err.to_string().contains("do not apply"), "{err}");
+
+    // Zero input dimensions are a typed error, not a panic — on both
+    // inline paths.
+    let mut spec = tiny_res_spec(&[0, 1, 2, 3]);
+    spec.input.channels = 0;
+    let err = engine.plan(&PlanRequest::graph(spec)).unwrap_err();
+    assert!(err.to_string().contains("must be positive"), "{err}");
+    let err = engine
+        .plan(&PlanRequest::custom(CustomNetwork {
+            name: None,
+            input: InputSpec {
+                channels: 0,
+                height: 16,
+                width: 16,
+            },
+            layers: vec![LayerSpec {
+                name: None,
+                kind: "fc".to_owned(),
+                out: 10,
+                kernel: None,
+                stride: None,
+                padding: None,
+                pool: None,
+            }],
+        }))
+        .unwrap_err();
+    assert!(err.to_string().contains("must be positive"), "{err}");
+}
+
+proptest! {
+    /// DAG fingerprints are stable across node-insertion order: any
+    /// listing order of the same fully-wired nodes resolves to the same
+    /// cache entry.
+    #[test]
+    fn dag_fingerprints_stable_across_insertion_order(
+        keys in proptest::collection::vec(any::<u64>(), 4..5)
+    ) {
+        let mut order: Vec<usize> = (0..4).collect();
+        order.sort_by_key(|&i| keys[i]);
+
+        let engine = PlanEngine::new();
+        let canonical = engine
+            .plan(&PlanRequest::graph(tiny_res_spec(&[0, 1, 2, 3])).batch(32))
+            .unwrap();
+        let permuted = engine
+            .plan(&PlanRequest::graph(tiny_res_spec(&order)).batch(32))
+            .unwrap();
+        prop_assert_eq!(&canonical.fingerprint, &permuted.fingerprint);
+        prop_assert!(permuted.cache_hit, "order {:?} must share the entry", order);
+        prop_assert_eq!(&canonical.plan, &permuted.plan);
+    }
+}

@@ -88,6 +88,55 @@ fn answers_a_vgg_a_request_and_caches_the_repeat() {
 }
 
 #[test]
+fn answers_a_branchy_dag_request_over_stdin() {
+    let zoo = r#"{"network": "resnet18", "levels": 4, "batch": 64}"#;
+    let inline = r#"{"network": {"name": "tiny-res", "input": {"channels": 8, "height": 16, "width": 16}, "nodes": [{"name": "stem", "kind": "conv", "out": 8, "kernel": 3}, {"name": "body", "kind": "conv", "out": 8, "kernel": 3}, {"name": "join", "kind": "add", "inputs": ["stem", "body"]}, {"name": "fc", "kind": "fc", "out": 10, "inputs": ["join"]}]}, "levels": 3, "batch": 32}"#;
+    let input = format!("{zoo}\n{zoo}\n{inline}\n");
+    let (ok, stdout) = run_with_stdin(&[], &input);
+    assert!(ok, "{stdout}");
+
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+
+    let first: serde_json::Value = serde_json::from_str(lines[0]).expect("valid json");
+    assert_eq!(
+        first.get("network").and_then(serde_json::Value::as_str),
+        Some("ResNet-18")
+    );
+    assert_eq!(
+        first.get("cache_hit").and_then(serde_json::Value::as_bool),
+        Some(false)
+    );
+    let layers = first
+        .get("plan")
+        .and_then(|p| p.get("layer_names"))
+        .and_then(serde_json::Value::as_array)
+        .expect("plan covers layers")
+        .len();
+    assert_eq!(layers, 21);
+
+    let second: serde_json::Value = serde_json::from_str(lines[1]).expect("valid json");
+    assert_eq!(
+        second.get("cache_hit").and_then(serde_json::Value::as_bool),
+        Some(true),
+        "repeated identical DAG request must be served from the plan cache"
+    );
+
+    let third: serde_json::Value = serde_json::from_str(lines[2]).expect("valid json");
+    assert_eq!(
+        third.get("network").and_then(serde_json::Value::as_str),
+        Some("tiny-res")
+    );
+    assert!(
+        third
+            .get("total_comm_elems")
+            .and_then(serde_json::Value::as_f64)
+            .unwrap_or(0.0)
+            > 0.0
+    );
+}
+
+#[test]
 fn reports_errors_as_json_objects() {
     let input = "not json\n{\"network\": \"ResNet-50\"}\n";
     let (ok, stdout) = run_with_stdin(&[], input);

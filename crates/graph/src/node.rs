@@ -1,0 +1,157 @@
+//! DAG node operations: the chain IR's weighted [`Layer`]s plus the join
+//! ops that make branchy topologies expressible.
+
+use std::fmt;
+
+use hypar_models::Layer;
+use serde::{Deserialize, Serialize};
+
+/// The reserved input reference naming the graph's input tensor.
+///
+/// A node listing `INPUT` among its inputs consumes the raw network input
+/// (e.g. the image batch) rather than another node's output.
+pub const INPUT: &str = "input";
+
+/// What a DAG node computes.
+///
+/// `Layer` carries one of the chain IR's weighted layers unchanged — the
+/// unit over which HyPar chooses a parallelism.  `Add` and `Concat` are the
+/// two join ops of ResNet/Inception-class models; they own no weights and
+/// (like activations, paper §3.1) contribute no *intra*-layer
+/// communication — their cost is the branch forwarding and gradient
+/// accumulation traffic modeled at segment boundaries (see
+/// [`crate::SegmentCommGraph`]).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeOp {
+    /// A weighted layer (conv or fc, with pooling/activation attachments).
+    Layer(Layer),
+    /// Element-wise sum of ≥ 2 identically-shaped branches (residual
+    /// connections).
+    Add,
+    /// Channel-wise concatenation of ≥ 2 branches with equal spatial
+    /// extents (inception modules).
+    Concat,
+}
+
+impl NodeOp {
+    /// The inner layer, when this is a weighted-layer node.
+    #[must_use]
+    pub fn as_layer(&self) -> Option<&Layer> {
+        match self {
+            Self::Layer(layer) => Some(layer),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a join op (`Add` or `Concat`).
+    #[must_use]
+    pub fn is_join(&self) -> bool {
+        matches!(self, Self::Add | Self::Concat)
+    }
+}
+
+/// One node of a DAG network: an operation plus the names of the nodes (or
+/// [`INPUT`]) it consumes.
+///
+/// Constructed through the typed helpers so that a layer node's name always
+/// equals its inner [`Layer`]'s name.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GraphNode {
+    name: String,
+    op: NodeOp,
+    inputs: Vec<String>,
+}
+
+impl GraphNode {
+    /// A weighted-layer node consuming `from` (a node name or [`INPUT`]).
+    /// The node is named after the layer.
+    #[must_use]
+    pub fn layer(layer: Layer, from: impl Into<String>) -> Self {
+        Self {
+            name: layer.name().to_owned(),
+            op: NodeOp::Layer(layer),
+            inputs: vec![from.into()],
+        }
+    }
+
+    /// An element-wise `add` join of the named branches.
+    #[must_use]
+    pub fn add(name: impl Into<String>, from: &[&str]) -> Self {
+        Self {
+            name: name.into(),
+            op: NodeOp::Add,
+            inputs: from.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+
+    /// A channel-wise `concat` join of the named branches.
+    #[must_use]
+    pub fn concat(name: impl Into<String>, from: &[&str]) -> Self {
+        Self {
+            name: name.into(),
+            op: NodeOp::Concat,
+            inputs: from.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+
+    /// The node's unique name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node's operation.
+    #[must_use]
+    pub fn op(&self) -> &NodeOp {
+        &self.op
+    }
+
+    /// The names of the nodes this node consumes ([`INPUT`] for the graph
+    /// input).
+    #[must_use]
+    pub fn inputs(&self) -> &[String] {
+        &self.inputs
+    }
+}
+
+impl fmt::Display for GraphNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.op {
+            NodeOp::Layer(layer) => write!(f, "{layer}")?,
+            NodeOp::Add => write!(f, "{}: add", self.name)?,
+            NodeOp::Concat => write!(f, "{}: concat", self.name)?,
+        }
+        write!(f, "  <- {}", self.inputs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypar_models::ConvSpec;
+
+    #[test]
+    fn layer_node_is_named_after_its_layer() {
+        let node = GraphNode::layer(Layer::conv("conv1", ConvSpec::valid(8, 3)), INPUT);
+        assert_eq!(node.name(), "conv1");
+        assert_eq!(node.inputs(), ["input"]);
+        assert!(node.op().as_layer().is_some());
+        assert!(!node.op().is_join());
+    }
+
+    #[test]
+    fn join_constructors() {
+        let add = GraphNode::add("res2a", &["a", "b"]);
+        assert!(add.op().is_join());
+        assert_eq!(add.inputs().len(), 2);
+        let cat = GraphNode::concat("mixed", &["x", "y", "z"]);
+        assert_eq!(*cat.op(), NodeOp::Concat);
+        assert_eq!(cat.inputs().len(), 3);
+    }
+
+    #[test]
+    fn display_shows_wiring() {
+        let add = GraphNode::add("j", &["a", "b"]);
+        assert_eq!(add.to_string(), "j: add  <- a, b");
+    }
+}

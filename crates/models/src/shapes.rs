@@ -46,6 +46,24 @@ pub struct LayerShapes {
 }
 
 impl LayerShapes {
+    /// Infers the shapes of a single layer applied to the per-sample
+    /// `input` feature map at mini-batch size `batch`.
+    ///
+    /// This is the per-layer step of [`NetworkShapes::infer`], exposed so
+    /// that non-chain IRs (the `hypar-graph` DAG) can run the identical
+    /// inference node by node.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetworkError`] when the batch size is zero or the
+    /// layer's hyper-parameters do not fit `input`.
+    pub fn infer(layer: &Layer, input: FeatureDims, batch: u64) -> Result<Self, NetworkError> {
+        if batch == 0 {
+            return Err(NetworkError::ZeroBatch);
+        }
+        infer_layer(layer, input, batch)
+    }
+
     /// Elements in the batched input feature map `F_l` (equals `A(E_l)`).
     #[must_use]
     pub fn f_in_elems(&self) -> u64 {

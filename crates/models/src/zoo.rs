@@ -30,27 +30,62 @@ pub const NAMES: [&str; 10] = [
 
 /// Looks a zoo network up by its paper name (see [`NAMES`]).
 ///
+/// Matching is forgiving: case and punctuation are ignored, so `"VGG-A"`,
+/// `"vgg_a"`, and `"vgga"` all resolve to the same network.
+///
 /// # Examples
 ///
 /// ```
 /// use hypar_models::zoo;
 /// assert!(zoo::by_name("VGG-A").is_some());
+/// assert!(zoo::by_name("vgg_a").is_some());
+/// assert!(zoo::by_name("LENET-C").is_some());
 /// assert!(zoo::by_name("ResNet-50").is_none());
 /// ```
 #[must_use]
 pub fn by_name(name: &str) -> Option<Network> {
+    let wanted = canonical(name);
+    NAMES
+        .iter()
+        .find(|candidate| canonical(candidate) == wanted)
+        .map(|candidate| by_canonical_name(candidate))
+}
+
+/// Reduces a network name to its canonical lookup form: ASCII alphanumerics
+/// only, lowercased.
+///
+/// Exposed so that other registries (e.g. the branchy zoo in
+/// `hypar-graph`) match names under the identical forgiving rule.
+///
+/// # Examples
+///
+/// ```
+/// use hypar_models::zoo;
+/// assert_eq!(zoo::canonical("VGG-A"), "vgga");
+/// assert_eq!(zoo::canonical("ResNet_18"), "resnet18");
+/// ```
+#[must_use]
+pub fn canonical(name: &str) -> String {
+    name.chars()
+        .filter(char::is_ascii_alphanumeric)
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+/// Exact-name constructor dispatch over [`NAMES`].
+fn by_canonical_name(name: &str) -> Network {
     match name {
-        "SFC" => Some(sfc()),
-        "SCONV" => Some(sconv()),
-        "Lenet-c" => Some(lenet_c()),
-        "Cifar-c" => Some(cifar_c()),
-        "AlexNet" => Some(alexnet()),
-        "VGG-A" => Some(vgg_a()),
-        "VGG-B" => Some(vgg_b()),
-        "VGG-C" => Some(vgg_c()),
-        "VGG-D" => Some(vgg_d()),
-        "VGG-E" => Some(vgg_e()),
-        _ => None,
+        "SFC" => sfc(),
+        "SCONV" => sconv(),
+        "Lenet-c" => lenet_c(),
+        "Cifar-c" => cifar_c(),
+        "AlexNet" => alexnet(),
+        "VGG-A" => vgg_a(),
+        "VGG-B" => vgg_b(),
+        "VGG-C" => vgg_c(),
+        "VGG-D" => vgg_d(),
+        "VGG-E" => vgg_e(),
+        other => unreachable!("`{other}` is not in zoo::NAMES"),
     }
 }
 
@@ -332,6 +367,26 @@ mod tests {
             assert_eq!(by_name(name).unwrap().name(), name);
         }
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn by_name_is_case_and_punctuation_insensitive() {
+        for name in NAMES {
+            let lowered = name.to_ascii_lowercase();
+            let snaked = lowered.replace('-', "_");
+            let squashed: String = lowered
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect();
+            for variant in [lowered, snaked, squashed, name.to_ascii_uppercase()] {
+                let net = by_name(&variant)
+                    .unwrap_or_else(|| panic!("`{variant}` should resolve to {name}"));
+                // The canonical paper name is preserved regardless of the
+                // spelling used to look it up.
+                assert_eq!(net.name(), name);
+            }
+        }
+        assert!(by_name("vgg").is_none(), "prefixes must not match");
     }
 
     #[test]
