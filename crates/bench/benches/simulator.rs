@@ -1,9 +1,10 @@
 //! Benchmarks for the event-driven simulator: one full training-step
-//! simulation per scheme and network.
+//! simulation per scheme and network, for chains and for branchy DAGs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hypar_comm::NetworkCommTensors;
 use hypar_core::{baselines, hierarchical};
+use hypar_graph::{partition_graph, zoo as graph_zoo};
 use hypar_models::{zoo, NetworkShapes};
 use hypar_sim::{training, ArchConfig};
 use std::hint::black_box;
@@ -41,5 +42,35 @@ fn bench_large_array(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_simulate_step, bench_large_array);
+fn bench_simulate_graph_step(c: &mut Criterion) {
+    // The branchy counterpart: a full DAG training step with junction
+    // tasks, per zoo network and scheduling mode.
+    let cfg = ArchConfig::paper();
+    let overlap = ArchConfig::paper().with_overlap(true);
+    let mut group = c.benchmark_group("simulate_graph_step");
+    for name in graph_zoo::NAMES {
+        let graph = graph_zoo::by_name(name)
+            .expect("zoo names resolve")
+            .segments(64)
+            .expect("zoo networks decompose");
+        let plan = partition_graph(&graph, 4);
+        for (mode, cfg) in [("serial", &cfg), ("overlap", &overlap)] {
+            group.bench_with_input(
+                BenchmarkId::new(name, mode),
+                &(&graph, &plan),
+                |b, (graph, plan)| {
+                    b.iter(|| training::simulate_graph_step(black_box(graph), plan, cfg));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulate_step,
+    bench_large_array,
+    bench_simulate_graph_step
+);
 criterion_main!(benches);

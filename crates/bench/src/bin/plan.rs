@@ -103,7 +103,8 @@ fn main() -> ExitCode {
 
     println!("{plan}");
     let report = if let Some(path) = &trace_path {
-        let (report, trace) = training::simulate_step_traced(&shapes, &plan, &cfg);
+        let (report, trace) =
+            training::simulate_step_traced(&shapes, &plan, &cfg).expect("plan matches the network");
         if let Err(err) = std::fs::write(path, trace) {
             eprintln!("failed to write trace to {path}: {err}");
             return ExitCode::FAILURE;
@@ -111,7 +112,7 @@ fn main() -> ExitCode {
         println!("wrote chrome://tracing schedule to {path}");
         report
     } else {
-        training::simulate_step(&shapes, &plan, &cfg)
+        training::simulate_step(&shapes, &plan, &cfg).expect("plan matches the network")
     };
     println!(
         "simulated training step on {} accelerators ({}):",

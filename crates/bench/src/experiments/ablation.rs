@@ -108,8 +108,10 @@ pub fn run() -> Ablation {
             let hypar = hierarchical::partition(&net, PAPER_LEVELS);
             let dp = baselines::all_data(&net, PAPER_LEVELS);
             let speedup = |plan: &hypar_core::HierarchicalPlan| {
-                let serial = training::simulate_step(&shapes, plan, &serial_cfg);
-                let overlapped = training::simulate_step(&shapes, plan, &overlap_cfg);
+                let serial = training::simulate_step(&shapes, plan, &serial_cfg)
+                    .expect("plan matches the network");
+                let overlapped = training::simulate_step(&shapes, plan, &overlap_cfg)
+                    .expect("plan matches the network");
                 serial.step_time.value() / overlapped.step_time.value()
             };
             OverlapRow {

@@ -57,8 +57,10 @@ pub fn run_for(name: &str) -> BatchStudy {
             let net = NetworkCommTensors::from_shapes(&shapes);
             let hypar = hierarchical::partition(&net, PAPER_LEVELS);
             let dp = baselines::all_data(&net, PAPER_LEVELS);
-            let h_report = training::simulate_step(&shapes, &hypar, &cfg);
-            let d_report = training::simulate_step(&shapes, &dp, &cfg);
+            let h_report =
+                training::simulate_step(&shapes, &hypar, &cfg).expect("plan matches the network");
+            let d_report =
+                training::simulate_step(&shapes, &dp, &cfg).expect("plan matches the network");
             BatchRow {
                 batch,
                 mp_choices: hypar

@@ -5,10 +5,15 @@
 //! a ResNet-18-style residual network and a small Inception-style
 //! network — and compares HyPar's hybrid plan against the uniform
 //! baselines under the identical communication model, inter-segment
-//! junction traffic included.
+//! junction traffic included.  On top of the analytic comparison it runs
+//! the Figures 6–8-style validation: the discrete-event simulator
+//! executes one whole-DAG training step (branch forwarding and join
+//! gradient accumulation scheduled as junction tasks) for the hybrid plan
+//! and its data-parallel baseline, reporting step time and energy.
 
 use hypar_core::baselines;
 use hypar_graph::{partition_graph, plan_segments, zoo};
+use hypar_sim::{training, ArchConfig};
 use serde::Serialize;
 
 use crate::report::{ratio, Table};
@@ -36,6 +41,18 @@ pub struct BranchyRow {
     pub gain_over_dp: f64,
     /// min(dp, mp, owt) / hybrid.
     pub gain_over_best_baseline: f64,
+    /// Simulated step time of the hybrid plan, in seconds.
+    pub hybrid_step_seconds: f64,
+    /// Simulated step time of the dp baseline, in seconds.
+    pub dp_step_seconds: f64,
+    /// Simulated step energy of the hybrid plan, in joules.
+    pub hybrid_energy_joules: f64,
+    /// Simulated step energy of the dp baseline, in joules.
+    pub dp_energy_joules: f64,
+    /// Simulated performance gain of hybrid over dp (Figure 6's metric).
+    pub sim_gain_over_dp: f64,
+    /// Simulated energy saving of hybrid over dp (Figure 7's metric).
+    pub sim_energy_saving_over_dp: f64,
 }
 
 /// The branchy-zoo dataset.
@@ -54,21 +71,28 @@ pub struct Branchy {
 ///
 /// # Panics
 ///
-/// Panics if a zoo network fails to decompose (they are validated at
-/// construction, so this indicates a bug).
+/// Panics if a zoo network fails to decompose or simulate (they are
+/// validated at construction, so this indicates a bug).
 #[must_use]
 pub fn run() -> Branchy {
     let (batch, levels) = (256, 4);
+    let cfg = ArchConfig::paper();
     let rows = zoo::NAMES
         .iter()
         .map(|name| {
             let dag = zoo::by_name(name).expect("zoo names resolve");
             let graph = dag.segments(batch).expect("zoo networks decompose");
-            let hybrid = partition_graph(&graph, levels).total_comm_elems();
-            let dp = plan_segments(&graph, |s| baselines::all_data(s, levels)).total_comm_elems();
+            let hybrid_plan = partition_graph(&graph, levels);
+            let dp_plan = plan_segments(&graph, |s| baselines::all_data(s, levels));
+            let hybrid = hybrid_plan.total_comm_elems();
+            let dp = dp_plan.total_comm_elems();
             let mp = plan_segments(&graph, |s| baselines::all_model(s, levels)).total_comm_elems();
             let owt =
                 plan_segments(&graph, |s| baselines::one_weird_trick(s, levels)).total_comm_elems();
+            let hybrid_sim = training::simulate_graph_step(&graph, &hybrid_plan, &cfg)
+                .expect("stitched plans cover the graph");
+            let dp_sim = training::simulate_graph_step(&graph, &dp_plan, &cfg)
+                .expect("stitched plans cover the graph");
             BranchyRow {
                 network: (*name).to_owned(),
                 layers: graph.num_layers(),
@@ -80,6 +104,12 @@ pub fn run() -> Branchy {
                 owt_elems: owt,
                 gain_over_dp: dp / hybrid,
                 gain_over_best_baseline: dp.min(mp).min(owt) / hybrid,
+                hybrid_step_seconds: hybrid_sim.step_time.value(),
+                dp_step_seconds: dp_sim.step_time.value(),
+                hybrid_energy_joules: hybrid_sim.energy.value(),
+                dp_energy_joules: dp_sim.energy.value(),
+                sim_gain_over_dp: hybrid_sim.performance_gain_over(&dp_sim),
+                sim_energy_saving_over_dp: hybrid_sim.energy_efficiency_over(&dp_sim),
             }
         })
         .collect();
@@ -95,7 +125,7 @@ pub fn run() -> Branchy {
 pub fn table(data: &Branchy) -> Table {
     let mut t = Table::new(
         format!(
-            "Branchy zoo (DAG planner): hybrid vs baselines, B={} H={}",
+            "Branchy zoo (DAG planner + simulator): hybrid vs baselines, B={} H={}",
             data.batch, data.levels
         ),
         &[
@@ -105,12 +135,16 @@ pub fn table(data: &Branchy) -> Table {
             "edges",
             "hybrid GB",
             "dp GB",
-            "mp GB",
             "vs dp",
             "vs best",
+            "step ms",
+            "dp step ms",
+            "sim perf",
+            "sim energy",
         ],
     );
     let gb = |elems: f64| format!("{:.3}", elems * 4.0 / 1e9);
+    let ms = |seconds: f64| format!("{:.2}", seconds * 1e3);
     for r in &data.rows {
         t.row(&[
             r.network.clone(),
@@ -119,9 +153,12 @@ pub fn table(data: &Branchy) -> Table {
             r.edges.to_string(),
             gb(r.hybrid_elems),
             gb(r.dp_elems),
-            gb(r.mp_elems),
             ratio(r.gain_over_dp),
             ratio(r.gain_over_best_baseline),
+            ms(r.hybrid_step_seconds),
+            ms(r.dp_step_seconds),
+            ratio(r.sim_gain_over_dp),
+            ratio(r.sim_energy_saving_over_dp),
         ]);
     }
     t
@@ -142,6 +179,9 @@ mod tests {
                 "{}: hybrid must not lose to both extremes",
                 row.network
             );
+            assert!(row.hybrid_step_seconds > 0.0, "{}", row.network);
+            assert!(row.dp_step_seconds > 0.0, "{}", row.network);
+            assert!(row.hybrid_energy_joules > 0.0, "{}", row.network);
         }
     }
 
@@ -153,6 +193,11 @@ mod tests {
             resnet.gain_over_dp > 1.0,
             "hybrid should beat dp on the residual network, got {}x",
             resnet.gain_over_dp
+        );
+        assert!(
+            resnet.sim_gain_over_dp >= 1.0,
+            "hybrid's simulated step should not lose to dp, got {}x",
+            resnet.sim_gain_over_dp
         );
     }
 

@@ -49,7 +49,8 @@ pub fn run() -> Fig10 {
     let net = view("VGG-A", PAPER_BATCH);
     let cfg = ArchConfig::paper();
     let base = hierarchical::partition(&net, PAPER_LEVELS);
-    let dp = training::simulate_step(&shapes, &baselines::all_data(&net, PAPER_LEVELS), &cfg);
+    let dp = training::simulate_step(&shapes, &baselines::all_data(&net, PAPER_LEVELS), &cfg)
+        .expect("plan matches the network");
 
     let conv5_2 = base
         .layer_names()
@@ -82,7 +83,8 @@ pub fn run() -> Fig10 {
                         .iter()
                         .map(|point| {
                             let plan = plan_from_levels(net, point.levels.clone());
-                            let report = training::simulate_step(shapes, &plan, cfg);
+                            let report = training::simulate_step(shapes, &plan, cfg)
+                                .expect("plan matches the network");
                             Fig10Point {
                                 conv5_2: layer_bits(&point.levels, conv5_2),
                                 fc1: layer_bits(&point.levels, fc1),

@@ -74,8 +74,10 @@ pub fn run() -> Fig13 {
             let net = hypar_comm::NetworkCommTensors::from_shapes(&shapes);
             let hypar = hierarchical::partition(&net, levels);
             let trick = baselines::one_weird_trick(&net, levels);
-            let hypar_report = training::simulate_step(&shapes, &hypar, &cfg);
-            let trick_report = training::simulate_step(&shapes, &trick, &cfg);
+            let hypar_report =
+                training::simulate_step(&shapes, &hypar, &cfg).expect("plan matches the network");
+            let trick_report =
+                training::simulate_step(&shapes, &trick, &cfg).expect("plan matches the network");
             rows.push(Fig13Row {
                 label: format!("{label}-h{levels}"),
                 perf: hypar_report.performance_gain_over(&trick_report),

@@ -41,7 +41,8 @@ pub fn run() -> Fig9 {
     let net = view("Lenet-c", PAPER_BATCH);
     let cfg = ArchConfig::paper();
     let base = hierarchical::partition(&net, PAPER_LEVELS);
-    let dp = training::simulate_step(&shapes, &baselines::all_data(&net, PAPER_LEVELS), &cfg);
+    let dp = training::simulate_step(&shapes, &baselines::all_data(&net, PAPER_LEVELS), &cfg)
+        .expect("plan matches the network");
 
     let slots: Vec<(usize, usize)> = (0..net.len())
         .map(|l| (0, l))
@@ -62,7 +63,8 @@ pub fn run() -> Fig9 {
                         .iter()
                         .map(|point| {
                             let plan = plan_from_levels(net, point.levels.clone());
-                            let report = training::simulate_step(shapes, &plan, cfg);
+                            let report = training::simulate_step(shapes, &plan, cfg)
+                                .expect("plan matches the network");
                             Fig9Point {
                                 h1: plan.level_bits(0),
                                 h4: plan.level_bits(3),

@@ -50,9 +50,9 @@ fn simulate(name: &str, cfg: &ArchConfig) -> (StepReport, StepReport, StepReport
     let dp = baselines::all_data(&net, PAPER_LEVELS);
     let mp = baselines::all_model(&net, PAPER_LEVELS);
     (
-        training::simulate_step(&shapes, &mp, cfg),
-        training::simulate_step(&shapes, &dp, cfg),
-        training::simulate_step(&shapes, &hypar, cfg),
+        training::simulate_step(&shapes, &mp, cfg).expect("plan matches the network"),
+        training::simulate_step(&shapes, &dp, cfg).expect("plan matches the network"),
+        training::simulate_step(&shapes, &hypar, cfg).expect("plan matches the network"),
     )
 }
 

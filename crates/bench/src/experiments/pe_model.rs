@@ -76,10 +76,14 @@ pub fn run() -> PeAblation {
             let net = view(name, PAPER_BATCH);
             let hypar = hierarchical::partition(&net, PAPER_LEVELS);
             let dp = baselines::all_data(&net, PAPER_LEVELS);
-            let h_flat = training::simulate_step(&shapes, &hypar, &flat_cfg);
-            let d_flat = training::simulate_step(&shapes, &dp, &flat_cfg);
-            let h_det = training::simulate_step(&shapes, &hypar, &detailed_cfg);
-            let d_det = training::simulate_step(&shapes, &dp, &detailed_cfg);
+            let h_flat = training::simulate_step(&shapes, &hypar, &flat_cfg)
+                .expect("plan matches the network");
+            let d_flat =
+                training::simulate_step(&shapes, &dp, &flat_cfg).expect("plan matches the network");
+            let h_det = training::simulate_step(&shapes, &hypar, &detailed_cfg)
+                .expect("plan matches the network");
+            let d_det = training::simulate_step(&shapes, &dp, &detailed_cfg)
+                .expect("plan matches the network");
             PeRow {
                 network: (*name).to_owned(),
                 avg_utilization: network_utilization(name, PAPER_BATCH),

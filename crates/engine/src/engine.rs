@@ -106,7 +106,7 @@ impl PlanEngine {
             response.cache_hit = true;
             return Ok(response);
         }
-        let response = Arc::new(resolved.compute(key));
+        let response = Arc::new(resolved.compute(key)?);
         self.cache.insert(key, Arc::clone(&response));
         Ok((*response).clone())
     }
@@ -191,18 +191,7 @@ impl Resolved {
             }
             ResolvedNet::Dag(dag) => {
                 if matches!(request.strategy, Strategy::Exhaustive | Strategy::Explicit) {
-                    return Err(EngineError::InvalidRequest(format!(
-                        "strategy `{}` is not supported for branchy DAG networks \
-                         (chain-shaped DAGs linearize and support every strategy)",
-                        request.strategy
-                    )));
-                }
-                if request.simulate {
-                    return Err(EngineError::InvalidRequest(
-                        "`simulate: true` is not supported for branchy DAG networks yet; \
-                         plans are analytic only"
-                            .to_owned(),
-                    ));
+                    return Err(unsupported_dag_strategy(request.strategy));
                 }
                 let graph = dag
                     .segments(request.batch)
@@ -236,21 +225,29 @@ impl Resolved {
         }
     }
 
-    fn compute(&self, key: Fingerprint) -> PlanResponse {
+    fn compute(&self, key: Fingerprint) -> Result<PlanResponse, EngineError> {
+        let sim_failed = |e: hypar_sim::SimError| EngineError::InvalidRequest(e.to_string());
         let (network, batch, plan, simulation) = match &self.workload {
             Workload::Chain { shapes, tensors } => {
-                let plan = self.run_chain_strategy(tensors);
+                let plan = self.run_chain_strategy(tensors)?;
                 let simulation = self
                     .simulate
-                    .then(|| training::simulate_step(shapes, &plan, &self.cfg));
+                    .then(|| training::simulate_step(shapes, &plan, &self.cfg))
+                    .transpose()
+                    .map_err(sim_failed)?;
                 (tensors.name().to_owned(), tensors.batch(), plan, simulation)
             }
             Workload::Dag(graph) => {
-                let plan = self.run_dag_strategy(graph);
-                (graph.name().to_owned(), graph.batch(), plan, None)
+                let plan = self.run_dag_strategy(graph)?;
+                let simulation = self
+                    .simulate
+                    .then(|| training::simulate_graph_step(graph, &plan, &self.cfg))
+                    .transpose()
+                    .map_err(sim_failed)?;
+                (graph.name().to_owned(), graph.batch(), plan, simulation)
             }
         };
-        PlanResponse {
+        Ok(PlanResponse {
             network,
             batch,
             levels: self.levels,
@@ -262,11 +259,14 @@ impl Resolved {
             total_comm_bytes: plan.total_comm_bytes().value(),
             plan,
             simulation,
-        }
+        })
     }
 
-    fn run_chain_strategy(&self, net: &NetworkCommTensors) -> HierarchicalPlan {
-        match self.strategy {
+    fn run_chain_strategy(
+        &self,
+        net: &NetworkCommTensors,
+    ) -> Result<HierarchicalPlan, EngineError> {
+        Ok(match self.strategy {
             Strategy::Hypar => hierarchical::partition(net, self.levels),
             Strategy::Dp => baselines::all_data(net, self.levels),
             Strategy::Mp => baselines::all_model(net, self.levels),
@@ -276,33 +276,50 @@ impl Resolved {
                 HierarchicalPlan::from_parts(net.name(), layer_names(net), levels, cost)
             }
             Strategy::Explicit => {
-                let levels = self
-                    .assignments
-                    .clone()
-                    .expect("explicit strategy resolved assignments");
+                // Resolution guarantees assignments for the explicit
+                // strategy; keep the drift guard typed rather than a panic
+                // a service request could reach.
+                let levels = self.assignments.clone().ok_or_else(|| {
+                    EngineError::InvalidRequest(
+                        "strategy `explicit` lost its assignments during resolution".to_owned(),
+                    )
+                })?;
                 let cost = evaluate_plan(net, &levels).total_elems();
                 HierarchicalPlan::from_parts(net.name(), layer_names(net), levels, cost)
             }
-        }
+        })
     }
 
-    fn run_dag_strategy(&self, graph: &SegmentCommGraph) -> HierarchicalPlan {
-        match self.strategy {
-            Strategy::Hypar => hypar_graph::partition_graph(graph, self.levels),
-            Strategy::Dp => {
-                hypar_graph::plan_segments(graph, |s| baselines::all_data(s, self.levels))
-            }
-            Strategy::Mp => {
-                hypar_graph::plan_segments(graph, |s| baselines::all_model(s, self.levels))
-            }
-            Strategy::Owt => {
-                hypar_graph::plan_segments(graph, |s| baselines::one_weird_trick(s, self.levels))
-            }
+    /// Plans every segment of a branchy DAG — fanned across the
+    /// [`parallel::map`] pool, since segments are independent until the
+    /// stitch — and stitches the results into the whole-model plan.
+    fn run_dag_strategy(&self, graph: &SegmentCommGraph) -> Result<HierarchicalPlan, EngineError> {
+        let plan_one = |segment: &NetworkCommTensors| match self.strategy {
+            Strategy::Hypar => Ok(hierarchical::partition(segment, self.levels)),
+            Strategy::Dp => Ok(baselines::all_data(segment, self.levels)),
+            Strategy::Mp => Ok(baselines::all_model(segment, self.levels)),
+            Strategy::Owt => Ok(baselines::one_weird_trick(segment, self.levels)),
+            // Resolution rejects these up front; planning and resolution
+            // can drift, so this stays a typed error rather than a panic
+            // that would take down the long-running service.
             Strategy::Exhaustive | Strategy::Explicit => {
-                unreachable!("rejected for branchy DAGs at resolution")
+                Err(unsupported_dag_strategy(self.strategy))
             }
-        }
+        };
+        let plans = parallel::map(graph.segments(), plan_one)
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(hypar_graph::stitch(graph, &plans))
     }
+}
+
+/// The typed rejection for strategies the segment-stitched DAG planner
+/// cannot run (shared by request resolution and strategy dispatch).
+fn unsupported_dag_strategy(strategy: Strategy) -> EngineError {
+    EngineError::InvalidRequest(format!(
+        "strategy `{strategy}` is not supported for branchy DAG networks \
+         (chain-shaped DAGs linearize and support every strategy)"
+    ))
 }
 
 fn layer_names(net: &NetworkCommTensors) -> Vec<String> {

@@ -41,11 +41,8 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scenarios" => {
-                while let Some(path) = args.peek() {
-                    if path.starts_with("--") {
-                        break;
-                    }
-                    scenario_paths.push(PathBuf::from(args.next().expect("peeked")));
+                while args.peek().is_some_and(|path| !path.starts_with("--")) {
+                    scenario_paths.extend(args.next().map(PathBuf::from));
                 }
                 if scenario_paths.is_empty() {
                     eprintln!("--scenarios expects at least one file\n{}", usage());
@@ -135,7 +132,13 @@ fn run_scenarios(
         reports.push(report);
     }
     if let Some(path) = json_path {
-        let payload = serde_json::to_string_pretty(&reports).expect("reports serialize");
+        let payload = match serde_json::to_string_pretty(&reports) {
+            Ok(payload) => payload,
+            Err(err) => {
+                eprintln!("failed to serialize reports: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
         if let Err(err) = std::fs::write(path, payload) {
             eprintln!("failed to write {}: {err}", path.display());
             return ExitCode::FAILURE;

@@ -29,17 +29,24 @@ pub fn handle_line(engine: &PlanEngine, line: &str) -> String {
     };
     if let Some(cmd) = parsed.get("cmd").and_then(Value::as_str) {
         return match cmd {
-            "stats" => serde_json::to_string(&engine.cache_stats()).expect("stats serialize"),
+            "stats" => reply_json(&engine.cache_stats()),
             other => error_json(&format!("unknown command `{other}`")),
         };
     }
     match serde_json::from_value::<PlanRequest>(&parsed) {
         Ok(request) => match engine.plan(&request) {
-            Ok(response) => serde_json::to_string(&response).expect("responses serialize"),
+            Ok(response) => reply_json(&response),
             Err(err) => error_json(&err.to_string()),
         },
         Err(err) => error_json(&format!("invalid request: {err}")),
     }
+}
+
+/// Serializes a reply, degrading to an error object rather than panicking
+/// the serving thread if serialization ever fails.
+fn reply_json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value)
+        .unwrap_or_else(|err| error_json(&format!("response serialization failed: {err}")))
 }
 
 fn error_json(message: &str) -> String {
@@ -47,7 +54,10 @@ fn error_json(message: &str) -> String {
         "error".to_owned(),
         Value::String(message.to_owned()),
     )]);
-    serde_json::to_string(&value).expect("errors serialize")
+    // A flat string-valued object cannot fail to serialize; fall back to a
+    // hand-built constant rather than unwinding a service thread.
+    serde_json::to_string(&value)
+        .unwrap_or_else(|_| "{\"error\": \"error serialization failed\"}".to_owned())
 }
 
 /// Serves line-delimited JSON requests from `input` to `output` until EOF.

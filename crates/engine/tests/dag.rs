@@ -197,19 +197,92 @@ fn chain_shaped_dag_supports_every_chain_strategy() {
 }
 
 #[test]
-fn branchy_requests_reject_unsupported_options() {
+fn branchy_requests_reject_unsupported_strategies() {
     let engine = PlanEngine::new();
     let base = PlanRequest::zoo("resnet18").levels(2).batch(16);
-
-    let err = engine.plan(&base.clone().simulate(true)).unwrap_err();
-    assert!(matches!(err, EngineError::InvalidRequest(_)), "{err}");
-    assert!(err.to_string().contains("simulate"));
 
     for strategy in [Strategy::Exhaustive, Strategy::Explicit] {
         let err = engine.plan(&base.clone().strategy(strategy)).unwrap_err();
         assert!(matches!(err, EngineError::InvalidRequest(_)), "{err}");
         assert!(err.to_string().contains(strategy.name()));
     }
+}
+
+#[test]
+fn branchy_requests_simulate_end_to_end() {
+    let engine = PlanEngine::new();
+    let request = PlanRequest::zoo("resnet18")
+        .levels(4)
+        .batch(32)
+        .simulate(true);
+
+    let first = engine.plan(&request).unwrap();
+    assert!(!first.cache_hit);
+    let sim = first
+        .simulation
+        .as_ref()
+        .expect("simulate: true attaches a StepReport");
+    assert!(sim.step_time.value() > 0.0);
+    assert_eq!(sim.num_accelerators, 16);
+    // The simulator's traffic accounting matches the stitched plan's
+    // analytic total.
+    assert!(
+        (sim.comm_bytes.value() - first.total_comm_bytes).abs()
+            <= 1e-6 * first.total_comm_bytes.max(1.0),
+        "sim {} vs model {}",
+        sim.comm_bytes,
+        first.total_comm_bytes
+    );
+
+    // The StepReport rides the DAG fingerprint-cached path.
+    let second = engine.plan(&request).unwrap();
+    assert!(
+        second.cache_hit,
+        "identical simulate request must hit the cache"
+    );
+    assert_eq!(second.simulation, first.simulation);
+
+    // Simulation is part of the workload fingerprint: the analytic-only
+    // request is its own entry.
+    let analytic = engine.plan(&request.clone().simulate(false)).unwrap();
+    assert!(!analytic.cache_hit);
+    assert_ne!(analytic.fingerprint, first.fingerprint);
+    assert!(analytic.simulation.is_none());
+}
+
+#[test]
+fn branchy_simulation_beats_its_data_parallel_baseline() {
+    // The Figures 6-8-style check the ROADMAP asked for: on the residual
+    // network the hybrid plan's simulated step is no slower than dp's.
+    let engine = PlanEngine::new();
+    let base = PlanRequest::zoo("resnet18")
+        .levels(4)
+        .batch(64)
+        .simulate(true);
+    let hybrid = engine.plan(&base.clone()).unwrap();
+    let dp = engine.plan(&base.strategy(Strategy::Dp)).unwrap();
+    let hybrid_sim = hybrid.simulation.expect("simulated");
+    let dp_sim = dp.simulation.expect("simulated");
+    assert!(
+        hybrid_sim.performance_gain_over(&dp_sim) >= 1.0,
+        "hybrid {} vs dp {}",
+        hybrid_sim.step_time,
+        dp_sim.step_time
+    );
+}
+
+#[test]
+fn inline_branchy_graph_simulates() {
+    let engine = PlanEngine::new();
+    let request = PlanRequest::graph(tiny_res_spec(&[0, 1, 2, 3]))
+        .batch(32)
+        .levels(3)
+        .simulate(true);
+    let response = engine.plan(&request).unwrap();
+    let sim = response.simulation.expect("simulated");
+    assert_eq!(sim.num_accelerators, 8);
+    assert!(sim.step_time.value() > 0.0);
+    assert!(sim.energy.value() > 0.0);
 }
 
 #[test]

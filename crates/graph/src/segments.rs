@@ -26,7 +26,7 @@
 use std::collections::BTreeMap;
 
 use hypar_comm::NetworkCommTensors;
-use hypar_models::Network;
+use hypar_models::{Network, NetworkShapes};
 use hypar_tensor::FeatureDims;
 
 use crate::dag::DagNetwork;
@@ -73,6 +73,10 @@ pub struct SegmentCommGraph {
     name: String,
     batch: u64,
     segments: Vec<NetworkCommTensors>,
+    /// Inferred shapes per segment, aligned with `segments`; the
+    /// discrete-event simulator needs MAC counts and layer geometry the
+    /// communication tensors do not carry.
+    shapes: Vec<NetworkShapes>,
     edges: Vec<SegmentEdge>,
 }
 
@@ -110,6 +114,23 @@ impl SegmentCommGraph {
     #[must_use]
     pub fn segment(&self, s: usize) -> &NetworkCommTensors {
         &self.segments[s]
+    }
+
+    /// The per-segment inferred shapes, aligned with
+    /// [`SegmentCommGraph::segments`].
+    #[must_use]
+    pub fn shapes(&self) -> &[NetworkShapes] {
+        &self.shapes
+    }
+
+    /// The inferred shapes of segment `s` (the simulator's input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn segment_shapes(&self, s: usize) -> &NetworkShapes {
+        &self.shapes[s]
     }
 
     /// The inter-segment junction edges, in deterministic order.
@@ -176,8 +197,9 @@ impl DagNetwork {
             members.push(run);
         }
 
-        // Per-segment chain tensors.
+        // Per-segment chain shapes and tensors.
         let mut segments = Vec::with_capacity(members.len());
+        let mut shapes = Vec::with_capacity(members.len());
         for run in &members {
             let head = run[0];
             let in_dims: FeatureDims = match self.resolved_inputs(head)[0] {
@@ -194,13 +216,13 @@ impl DagNetwork {
                 node: nodes[head].name().to_owned(),
                 source,
             })?;
-            let tensors = NetworkCommTensors::from_network(&net, batch).map_err(|source| {
-                GraphError::LayerShape {
+            let inferred =
+                NetworkShapes::infer(&net, batch).map_err(|source| GraphError::LayerShape {
                     node: nodes[head].name().to_owned(),
                     source,
-                }
-            })?;
-            segments.push(tensors);
+                })?;
+            segments.push(NetworkCommTensors::from_shapes(&inferred));
+            shapes.push(inferred);
         }
 
         // Producer multiplicities of every join, resolved through nested
@@ -258,6 +280,7 @@ impl DagNetwork {
             name: self.name().to_owned(),
             batch,
             segments,
+            shapes,
             edges,
         })
     }

@@ -15,8 +15,13 @@
 //! * [`training`] — builds the task graph of one synchronous training step
 //!   (forward / backward / gradient / update, with model-parallel output
 //!   reductions, data-parallel gradient all-reduces, and junction
-//!   redistributions) and runs it through the engine;
-//! * [`StepReport`] — simulated time, energy, and traffic breakdowns.
+//!   redistributions) and runs it through the engine — for chain networks
+//!   ([`training::simulate_step`]) and for branchy DAG segment
+//!   decompositions ([`training::simulate_graph_step`], with
+//!   branch-forwarding and join-gradient-accumulation junction tasks);
+//! * [`StepReport`] — simulated time, energy, and traffic breakdowns;
+//! * [`SimError`] — typed failures, so the planning service never panics
+//!   on inconsistent simulation inputs.
 //!
 //! # Examples
 //!
@@ -30,8 +35,9 @@
 //! let net = NetworkCommTensors::from_shapes(&shapes);
 //! let cfg = ArchConfig::paper();
 //!
-//! let hypar = training::simulate_step(&shapes, &hierarchical::partition(&net, 4), &cfg);
-//! let dp = training::simulate_step(&shapes, &baselines::all_data(&net, 4), &cfg);
+//! let hypar =
+//!     training::simulate_step(&shapes, &hierarchical::partition(&net, 4), &cfg).unwrap();
+//! let dp = training::simulate_step(&shapes, &baselines::all_data(&net, 4), &cfg).unwrap();
 //! assert!(hypar.step_time < dp.step_time);
 //! # Ok::<(), hypar_models::NetworkError>(())
 //! ```
@@ -43,6 +49,7 @@
 mod config;
 pub mod des;
 mod energy;
+mod error;
 mod noc;
 pub mod pe;
 mod report;
@@ -50,5 +57,6 @@ pub mod training;
 
 pub use config::ArchConfig;
 pub use energy::EnergyModel;
+pub use error::SimError;
 pub use noc::Topology;
 pub use report::StepReport;

@@ -15,26 +15,42 @@
 //!   gradient partial sums before updating its replicated kernels
 //!   (Table 1).
 //!
+//! Chain networks run through [`simulate_step`].  Branchy DAGs run through
+//! [`simulate_graph_step`] on their [`SegmentCommGraph`] decomposition:
+//! every segment is the same chain schedule, and each
+//! [`hypar_graph::SegmentEdge`] junction adds **branch forwarding** tasks
+//! (the producing segment's `F` tensor fans out to each consumer before
+//! its forward pass) and **join gradient accumulation** tasks (the error
+//! `E` flows back along every in-edge of an `add`/`concat` before the
+//! producing segment's backward pass).  A branch-free DAG is one segment
+//! with no edges, so its schedule — and therefore its [`StepReport`] — is
+//! bit-identical to the linearized chain's.
+//!
 //! With `overlap_comm = false` (the paper's setting) the step executes as
 //! a strict sequence of stages separated by barriers; with `true`, tasks
 //! are ordered only by their data dependencies, letting e.g. a gradient
-//! all-reduce hide underneath the remaining backward pass.
+//! all-reduce hide underneath the remaining backward pass — and, on a
+//! branchy DAG, letting independent branches genuinely overlap.
 
-use hypar_comm::{inter_split, intra_elems, NetworkCommTensors, Parallelism, ScaleState};
+use hypar_comm::{
+    inter_split, intra_elems, LayerScale, NetworkCommTensors, Parallelism, ScaleState,
+};
 use hypar_core::HierarchicalPlan;
+use hypar_graph::{SegmentCommGraph, SegmentEdge};
 use hypar_models::NetworkShapes;
 use hypar_tensor::{Bytes, Joules, Seconds};
 
 use crate::des::{Engine, ResourceId, TaskId, TaskSpec};
 use crate::pe::Mapping;
-use crate::{ArchConfig, StepReport};
+use crate::{ArchConfig, SimError, StepReport};
 
 /// Simulates one training step of `shapes` under `plan` on the array
 /// described by `cfg`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the plan's layer count does not match the network's.
+/// Returns [`SimError::LayerCountMismatch`] if the plan's layer count does
+/// not match the network's.
 ///
 /// # Examples
 ///
@@ -46,66 +62,213 @@ use crate::{ArchConfig, StepReport};
 ///
 /// let shapes = NetworkShapes::infer(&zoo::sconv(), 256)?;
 /// let net = NetworkCommTensors::from_shapes(&shapes);
-/// let report = training::simulate_step(&shapes, &baselines::all_data(&net, 4), &ArchConfig::paper());
+/// let report =
+///     training::simulate_step(&shapes, &baselines::all_data(&net, 4), &ArchConfig::paper())
+///         .unwrap();
 /// assert!(report.step_time.value() > 0.0);
 /// assert_eq!(report.num_accelerators, 16);
 /// # Ok::<(), hypar_models::NetworkError>(())
 /// ```
-#[must_use]
 pub fn simulate_step(
     shapes: &NetworkShapes,
     plan: &HierarchicalPlan,
     cfg: &ArchConfig,
-) -> StepReport {
-    assert_eq!(
-        plan.num_layers(),
-        shapes.len(),
-        "plan and network must have the same number of weighted layers"
-    );
-    Builder::new(shapes, plan, cfg, false).run().0
+) -> Result<StepReport, SimError> {
+    Ok(chain_builder(shapes, plan, cfg, false)?.run().0)
 }
 
 /// Like [`simulate_step`], additionally returning the executed schedule as
 /// a Chrome trace (see [`crate::des::Schedule::chrome_trace`]) for
 /// visualization in `chrome://tracing` or Perfetto.
 ///
-/// # Panics
+/// # Errors
 ///
 /// Same as [`simulate_step`].
-#[must_use]
 pub fn simulate_step_traced(
     shapes: &NetworkShapes,
     plan: &HierarchicalPlan,
     cfg: &ArchConfig,
-) -> (StepReport, String) {
-    assert_eq!(
-        plan.num_layers(),
-        shapes.len(),
-        "plan and network must have the same number of weighted layers"
-    );
-    let (report, trace) = Builder::new(shapes, plan, cfg, true).run();
-    (report, trace.expect("trace requested"))
+) -> Result<(StepReport, String), SimError> {
+    let (report, trace) = chain_builder(shapes, plan, cfg, true)?.run();
+    Ok((report, trace.expect("trace requested")))
+}
+
+/// Simulates one training step of a whole branchy DAG: the segment
+/// decomposition `graph` under the stitched whole-model `plan` (one
+/// dp/mp choice per weighted layer per level, segments concatenated in
+/// canonical order, as produced by [`hypar_graph::partition_graph`] or
+/// [`hypar_graph::stitch`]).
+///
+/// Each segment executes the identical chain schedule; the inter-segment
+/// junctions add branch-forwarding `F` transfers before each consumer's
+/// forward pass and join-gradient-accumulation `E` transfers before each
+/// producer's backward pass, priced level by level exactly as
+/// [`hypar_graph::inter_segment_elems`] prices them — so the report's
+/// `comm_bytes` matches the stitched plan's analytic total.
+///
+/// # Errors
+///
+/// Returns [`SimError::LayerCountMismatch`] if the plan does not cover
+/// exactly the graph's weighted layers.
+///
+/// # Examples
+///
+/// ```
+/// use hypar_graph::{partition_graph, zoo};
+/// use hypar_sim::{training, ArchConfig};
+///
+/// let graph = zoo::inception_mini().segments(128)?;
+/// let plan = partition_graph(&graph, 4);
+/// let report = training::simulate_graph_step(&graph, &plan, &ArchConfig::paper()).unwrap();
+/// assert!(report.step_time.value() > 0.0);
+/// assert_eq!(report.num_accelerators, 16);
+/// # Ok::<(), hypar_graph::GraphError>(())
+/// ```
+pub fn simulate_graph_step(
+    graph: &SegmentCommGraph,
+    plan: &HierarchicalPlan,
+    cfg: &ArchConfig,
+) -> Result<StepReport, SimError> {
+    Ok(graph_builder(graph, plan, cfg, false)?.run().0)
+}
+
+/// Like [`simulate_graph_step`], additionally returning the executed
+/// schedule as a Chrome trace.
+///
+/// # Errors
+///
+/// Same as [`simulate_graph_step`].
+pub fn simulate_graph_step_traced(
+    graph: &SegmentCommGraph,
+    plan: &HierarchicalPlan,
+    cfg: &ArchConfig,
+) -> Result<(StepReport, String), SimError> {
+    let (report, trace) = graph_builder(graph, plan, cfg, true)?.run();
+    Ok((report, trace.expect("trace requested")))
 }
 
 /// Simulates one training step on a **single** accelerator (an empty
 /// hierarchy) — the normalization baseline of the paper's Figure 11.
 #[must_use]
 pub fn simulate_single_accelerator(shapes: &NetworkShapes, cfg: &ArchConfig) -> StepReport {
-    let net = NetworkCommTensors::from_shapes(shapes);
     let plan = HierarchicalPlan::from_parts(
-        net.name(),
-        net.layers().iter().map(|l| l.name.clone()).collect(),
+        shapes.name(),
+        shapes.layers().iter().map(|l| l.name.clone()).collect(),
         Vec::new(),
         0.0,
     );
-    simulate_step(shapes, &plan, cfg)
+    simulate_step(shapes, &plan, cfg).expect("plan covers every layer by construction")
 }
 
-/// Incrementally assembles the step's task graph.
-struct Builder<'a> {
+/// Validates and assembles the single-segment (chain) builder.
+fn chain_builder<'a>(
+    shapes: &'a NetworkShapes,
+    plan: &HierarchicalPlan,
+    cfg: &'a ArchConfig,
+    trace: bool,
+) -> Result<Builder<'a>, SimError> {
+    if plan.num_layers() != shapes.len() {
+        return Err(SimError::LayerCountMismatch {
+            plan_layers: plan.num_layers(),
+            network_layers: shapes.len(),
+        });
+    }
+    let seg = Seg::new(
+        shapes,
+        NetworkCommTensors::from_shapes(shapes),
+        plan.clone(),
+    );
+    Ok(Builder::new(
+        vec![seg],
+        Vec::new(),
+        plan.num_levels(),
+        cfg,
+        trace,
+    ))
+}
+
+/// Validates the stitched plan against the graph, splits it back into
+/// per-segment sub-plans, and assembles the multi-segment builder.
+fn graph_builder<'a>(
+    graph: &'a SegmentCommGraph,
+    plan: &HierarchicalPlan,
+    cfg: &'a ArchConfig,
+    trace: bool,
+) -> Result<Builder<'a>, SimError> {
+    if plan.num_layers() != graph.num_layers() {
+        return Err(SimError::LayerCountMismatch {
+            plan_layers: plan.num_layers(),
+            network_layers: graph.num_layers(),
+        });
+    }
+    let mut segs = Vec::with_capacity(graph.num_segments());
+    let mut offset = 0;
+    for (s, tensors) in graph.segments().iter().enumerate() {
+        let len = tensors.len();
+        let levels: Vec<Vec<Parallelism>> = plan
+            .levels()
+            .iter()
+            .map(|level| level[offset..offset + len].to_vec())
+            .collect();
+        let names = plan.layer_names()[offset..offset + len].to_vec();
+        // The sub-plan total is never read — the simulator re-derives all
+        // traffic from the per-level choices.
+        let sub = HierarchicalPlan::from_parts(tensors.name(), names, levels, 0.0);
+        segs.push(Seg::new(graph.segment_shapes(s), tensors.clone(), sub));
+        offset += len;
+    }
+    Ok(Builder::new(
+        segs,
+        graph.edges().to_vec(),
+        plan.num_levels(),
+        cfg,
+        trace,
+    ))
+}
+
+/// One chain segment's planning context inside a step simulation.  A chain
+/// network is exactly one `Seg`; a DAG is one per decomposed segment.
+struct Seg<'a> {
     shapes: &'a NetworkShapes,
     net: NetworkCommTensors,
-    plan: &'a HierarchicalPlan,
+    plan: HierarchicalPlan,
+    /// Scale state *above* each level (index `h`), plus the leaf state at
+    /// index `H`.
+    scales_at: Vec<ScaleState>,
+}
+
+impl<'a> Seg<'a> {
+    fn new(shapes: &'a NetworkShapes, net: NetworkCommTensors, plan: HierarchicalPlan) -> Self {
+        let mut scales_at = Vec::with_capacity(plan.num_levels() + 1);
+        let mut s = ScaleState::identity(net.len());
+        scales_at.push(s.clone());
+        for level in plan.levels() {
+            s = s.descend(level);
+            scales_at.push(s.clone());
+        }
+        Self {
+            shapes,
+            net,
+            plan,
+            scales_at,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.net.len()
+    }
+
+    fn leaf(&self, l: usize) -> LayerScale {
+        self.scales_at[self.plan.num_levels()].layer(l)
+    }
+}
+
+/// Incrementally assembles the step's task graph over one or more chain
+/// segments joined by junction edges.
+struct Builder<'a> {
+    segs: Vec<Seg<'a>>,
+    edges: Vec<SegmentEdge>,
+    num_levels: usize,
     cfg: &'a ArchConfig,
     engine: Engine,
     accels: Vec<ResourceId>,
@@ -114,9 +277,6 @@ struct Builder<'a> {
     barrier_res: ResourceId,
     /// Whether to label tasks for trace export.
     trace: bool,
-    /// Scale state *above* each level (index `h`), plus the leaf state at
-    /// index `H`.
-    scales_at: Vec<ScaleState>,
     // Accounting.
     compute_energy: Joules,
     dram_energy: Joules,
@@ -127,19 +287,18 @@ struct Builder<'a> {
 
 impl<'a> Builder<'a> {
     fn new(
-        shapes: &'a NetworkShapes,
-        plan: &'a HierarchicalPlan,
+        segs: Vec<Seg<'a>>,
+        edges: Vec<SegmentEdge>,
+        num_levels: usize,
         cfg: &'a ArchConfig,
         trace: bool,
     ) -> Self {
-        let levels = plan.num_levels();
-        let n = plan.num_accelerators() as usize;
-        let net = NetworkCommTensors::from_shapes(shapes);
+        let n = 1usize << num_levels;
         let mut engine = Engine::new();
         let accels = (0..n)
             .map(|i| engine.add_resource(format!("accel{i}")))
             .collect();
-        let links = (0..levels)
+        let links = (0..num_levels)
             .map(|h| {
                 (0..(1usize << h))
                     .map(|p| engine.add_resource(format!("link{h}.{p}")))
@@ -148,29 +307,20 @@ impl<'a> Builder<'a> {
             .collect();
         let barrier_res = engine.add_resource("barrier");
 
-        let mut scales_at = Vec::with_capacity(levels + 1);
-        let mut s = ScaleState::identity(shapes.len());
-        scales_at.push(s.clone());
-        for level in plan.levels() {
-            s = s.descend(level);
-            scales_at.push(s.clone());
-        }
-
         Self {
-            shapes,
-            net,
-            plan,
+            segs,
+            edges,
+            num_levels,
             cfg,
             engine,
             accels,
             links,
             barrier_res,
             trace,
-            scales_at,
             compute_energy: Joules::ZERO,
             dram_energy: Joules::ZERO,
             link_energy: Joules::ZERO,
-            comm_bytes_per_level: vec![0.0; levels],
+            comm_bytes_per_level: vec![0.0; num_levels],
             dram_bytes: 0.0,
         }
     }
@@ -179,24 +329,20 @@ impl<'a> Builder<'a> {
         self.accels.len()
     }
 
-    fn leaf(&self, l: usize) -> hypar_comm::LayerScale {
-        self.scales_at[self.plan.num_levels()].layer(l)
-    }
-
     /// A zero-duration join of `deps` on the dedicated barrier resource.
     fn barrier(&mut self, deps: &[TaskId]) -> TaskId {
         self.engine
             .add_task(TaskSpec::new(self.barrier_res, Seconds(0.0)).after_all(deps.iter().copied()))
     }
 
-    /// The row-stationary mapping for layer `l`'s per-accelerator slice,
-    /// when the detailed PE model is enabled.
-    fn layer_mapping(&self, l: usize) -> Option<Mapping> {
+    /// The row-stationary mapping for segment `s` layer `l`'s
+    /// per-accelerator slice, when the detailed PE model is enabled.
+    fn layer_mapping(&self, s: usize, l: usize) -> Option<Mapping> {
         if !self.cfg.detailed_pe {
             return None;
         }
-        let shape = self.shapes.layer(l);
-        let leaf = self.leaf(l);
+        let shape = self.segs[s].shapes.layer(l);
+        let leaf = self.segs[s].leaf(l);
         let scaled = |v: u64, frac: f64| ((v as f64 * frac).ceil() as u64).max(1);
         let batch = scaled(shape.batch, leaf.batch_fraction().value());
         Some(if shape.is_conv {
@@ -267,11 +413,10 @@ impl<'a> Builder<'a> {
     /// on every pair-channel of level `h`.
     fn comm_stage(&mut self, h: usize, elems: f64, label: &str, deps: &[TaskId]) -> Vec<TaskId> {
         let bytes_pair = elems * f64::from(self.cfg.precision_bytes);
-        let bw = self.cfg.topology.pair_bandwidth(
-            h,
-            self.plan.num_levels(),
-            self.cfg.leaf_link_bytes_per_sec,
-        );
+        let bw =
+            self.cfg
+                .topology
+                .pair_bandwidth(h, self.num_levels, self.cfg.leaf_link_bytes_per_sec);
         // Full-duplex channel: the two directions flow simultaneously.
         let duration = Seconds(bytes_pair / 2.0 / bw);
         let pairs = self.links[h].len();
@@ -290,30 +435,137 @@ impl<'a> Builder<'a> {
             .collect()
     }
 
-    /// Levels at which layer `l` is assigned `p`, deepest level first (the
-    /// order partial sums combine up the tree).
-    fn levels_with(&self, l: usize, p: Parallelism) -> Vec<usize> {
-        (0..self.plan.num_levels())
+    /// Levels at which segment `s` layer `l` is assigned `p`, deepest level
+    /// first (the order partial sums combine up the tree).
+    fn levels_with(&self, s: usize, l: usize, p: Parallelism) -> Vec<usize> {
+        (0..self.num_levels)
             .rev()
-            .filter(|&h| self.plan.choice(h, l) == p)
+            .filter(|&h| self.segs[s].plan.choice(h, l) == p)
             .collect()
     }
 
-    fn run(mut self) -> (StepReport, Option<String>) {
-        let num_layers = self.shapes.len();
+    /// Schedules the level-by-level transfers of one inter-segment
+    /// junction — branch forwarding (`forward`, the `F` tensor) or join
+    /// gradient accumulation (backward, the `E` tensor) — pricing each
+    /// level exactly as [`hypar_graph::inter_segment_elems`] does: under
+    /// the committed parallelisms of the two boundary layers, scaled to
+    /// the consumer's scope.  Levels whose transfer is free (dp→dp) add no
+    /// tasks.
+    fn edge_comm(&mut self, edge: SegmentEdge, forward: bool, deps: &[TaskId]) -> Vec<TaskId> {
+        let last = self.segs[edge.from].len() - 1;
+        let label = if self.trace {
+            format!(
+                "xfer {} {}->{}",
+                if forward { "F" } else { "E" },
+                self.segs[edge.from].net.layer(last).name,
+                self.segs[edge.to].net.layer(0).name
+            )
+        } else {
+            String::new()
+        };
+        let mut scale = LayerScale::IDENTITY;
+        let mut tasks = Vec::new();
+        for h in 0..self.num_levels {
+            let prev = self.segs[edge.from].plan.choice(h, last);
+            let next = self.segs[edge.to].plan.choice(h, 0);
+            let (f_elems, e_elems) = inter_split(prev, next, edge.elems, scale.input_scale());
+            let elems = if forward { f_elems } else { e_elems };
+            if elems > 0.0 {
+                tasks.extend(self.comm_stage(h, elems, &label, deps));
+            }
+            scale = scale.descend(next);
+        }
+        tasks
+    }
+
+    /// The frontier segment `s`'s forward pass starts from: its incoming
+    /// branch-forwarding transfers, scheduled behind the global frontier
+    /// (barrier mode) or behind each producer's forward exit (overlap
+    /// mode).  An edge whose transfer is free at every level still imposes
+    /// its producer's data dependency.
+    fn forward_entry(
+        &mut self,
+        s: usize,
+        stage_end: &[TaskId],
+        fwd_exit: &[Vec<TaskId>],
+        barrier_mode: bool,
+    ) -> Vec<TaskId> {
+        let incoming: Vec<SegmentEdge> = self.edges.iter().copied().filter(|e| e.to == s).collect();
+        if barrier_mode {
+            let mut tasks = Vec::new();
+            for &edge in &incoming {
+                tasks.extend(self.edge_comm(edge, true, stage_end));
+            }
+            if tasks.is_empty() {
+                stage_end.to_vec()
+            } else {
+                vec![self.barrier(&tasks)]
+            }
+        } else {
+            let mut deps = Vec::new();
+            for &edge in &incoming {
+                let producer_exit = fwd_exit[edge.from].clone();
+                let tasks = self.edge_comm(edge, true, &producer_exit);
+                if tasks.is_empty() {
+                    deps.extend(producer_exit);
+                } else {
+                    deps.extend(tasks);
+                }
+            }
+            deps
+        }
+    }
+
+    /// The frontier segment `s`'s backward pass starts from: the join
+    /// gradient accumulation along every out-edge — the error tensor flows
+    /// back from each consumer before the producing segment's tail resumes
+    /// — behind the global frontier (barrier mode) or behind each
+    /// consumer's backward exit (overlap mode).  The sink segment (no
+    /// out-edges) starts at the loss turnaround.
+    fn backward_entry(
+        &mut self,
+        s: usize,
+        bwd_frontier: &[TaskId],
+        bwd_exit: &[Vec<TaskId>],
+        barrier_mode: bool,
+    ) -> Vec<TaskId> {
+        let outgoing: Vec<SegmentEdge> =
+            self.edges.iter().copied().filter(|e| e.from == s).collect();
+        if barrier_mode || outgoing.is_empty() {
+            let mut tasks = Vec::new();
+            for &edge in &outgoing {
+                tasks.extend(self.edge_comm(edge, false, bwd_frontier));
+            }
+            if tasks.is_empty() {
+                bwd_frontier.to_vec()
+            } else {
+                vec![self.barrier(&tasks)]
+            }
+        } else {
+            let mut contributions = Vec::new();
+            for &edge in &outgoing {
+                let consumer_exit = bwd_exit[edge.to].clone();
+                let tasks = self.edge_comm(edge, false, &consumer_exit);
+                if tasks.is_empty() {
+                    contributions.extend(consumer_exit);
+                } else {
+                    contributions.extend(tasks);
+                }
+            }
+            // The accumulation point: every consumer's error has arrived.
+            vec![self.barrier(&contributions)]
+        }
+    }
+
+    /// The forward pass of segment `s`, entered at `stage_end`; returns
+    /// the frontier past the segment's last layer.
+    fn forward_segment(&mut self, s: usize, mut stage_end: Vec<TaskId>) -> Vec<TaskId> {
+        let num_layers = self.segs[s].len();
         let precision = f64::from(self.cfg.precision_bytes);
-        let barrier_mode = !self.cfg.overlap_comm;
-
-        // `frontier[i]`: the tasks an accelerator-`i` task must wait for in
-        // overlap mode. In barrier mode a single shared frontier is used.
-        let mut stage_end: Vec<TaskId> = Vec::new();
-        let mut allreduce_tails: Vec<Vec<TaskId>> = vec![Vec::new(); num_layers];
-
-        // ---------------- Forward pass ----------------
         for l in 0..num_layers {
-            let layer = self.shapes.layer(l).clone();
-            let leaf = self.leaf(l);
-            let view = self.net.layer(l).clone();
+            let layer = self.segs[s].shapes.layer(l).clone();
+            let leaf = self.segs[s].leaf(l);
+            let view = self.segs[s].net.layer(l).clone();
 
             // Forward compute: read W and F_l slices, write F_{l+1} slice.
             let dram = (view.weight_elems * leaf.weight_scale()
@@ -321,7 +573,7 @@ impl<'a> Builder<'a> {
                 + view.output_elems * leaf.output_scale())
                 * precision;
             let deps = stage_end.clone();
-            let mapping = self.layer_mapping(l);
+            let mapping = self.layer_mapping(s, l);
             let mut tasks = self.compute_stage(
                 layer.macs_forward as f64,
                 layer.elementwise_ops as f64,
@@ -333,8 +585,12 @@ impl<'a> Builder<'a> {
 
             // mp output reductions, deepest level first (partial sums
             // combine pairwise up the tree, each level on its own links).
-            for h in self.levels_with(l, Parallelism::Model) {
-                let elems = intra_elems(Parallelism::Model, &view, self.scales_at[h].layer(l));
+            for h in self.levels_with(s, l, Parallelism::Model) {
+                let elems = intra_elems(
+                    Parallelism::Model,
+                    &view,
+                    self.segs[s].scales_at[h].layer(l),
+                );
                 let deps = vec![self.barrier(&tasks)];
                 tasks = self.comm_stage(h, elems, &format!("reduce F {}", layer.name), &deps);
             }
@@ -342,12 +598,12 @@ impl<'a> Builder<'a> {
             // Forward junction redistribution to layer l+1.
             if l + 1 < num_layers {
                 let mut junction_tasks = Vec::new();
-                for h in 0..self.plan.num_levels() {
+                for h in 0..self.num_levels {
                     let (f_elems, _) = inter_split(
-                        self.plan.choice(h, l),
-                        self.plan.choice(h, l + 1),
+                        self.segs[s].plan.choice(h, l),
+                        self.segs[s].plan.choice(h, l + 1),
                         view.junction_elems,
-                        self.scales_at[h].junction_scale(l),
+                        self.segs[s].scales_at[h].junction_scale(l),
                     );
                     if f_elems > 0.0 {
                         let deps = vec![self.barrier(&tasks)];
@@ -362,25 +618,40 @@ impl<'a> Builder<'a> {
 
             stage_end = vec![self.barrier(&tasks)];
         }
+        stage_end
+    }
 
-        // ---------------- Backward + gradient ----------------
-        // The loss turnaround: backward starts once forward completes.
-        let mut bwd_frontier = stage_end.clone();
+    /// The backward + gradient pass of segment `s`, entered at
+    /// `bwd_frontier`; returns the frontier past the segment's head and
+    /// appends every weight-update task to `updates`.
+    fn backward_segment(
+        &mut self,
+        s: usize,
+        mut bwd_frontier: Vec<TaskId>,
+        updates: &mut Vec<TaskId>,
+    ) -> Vec<TaskId> {
+        let num_layers = self.segs[s].len();
+        let precision = f64::from(self.cfg.precision_bytes);
+        let barrier_mode = !self.cfg.overlap_comm;
+        // A head fed by another segment must propagate the error across
+        // its junction; only a head fed by the raw graph input skips the
+        // backward computation (the chain's "not for the first layer").
+        let has_producer = self.edges.iter().any(|e| e.to == s);
 
         for l in (0..num_layers).rev() {
-            let layer = self.shapes.layer(l).clone();
-            let leaf = self.leaf(l);
-            let view = self.net.layer(l).clone();
+            let layer = self.segs[s].shapes.layer(l).clone();
+            let leaf = self.segs[s].leaf(l);
+            let view = self.segs[s].net.layer(l).clone();
 
             // Backward junction: E_{l+1} redistribution from layer l+1.
             if l + 1 < num_layers {
                 let mut junction_tasks = Vec::new();
-                for h in 0..self.plan.num_levels() {
+                for h in 0..self.num_levels {
                     let (_, e_elems) = inter_split(
-                        self.plan.choice(h, l),
-                        self.plan.choice(h, l + 1),
+                        self.segs[s].plan.choice(h, l),
+                        self.segs[s].plan.choice(h, l + 1),
                         view.junction_elems,
-                        self.scales_at[h].junction_scale(l),
+                        self.segs[s].scales_at[h].junction_scale(l),
                     );
                     if e_elems > 0.0 {
                         let deps = vec![self.barrier(&bwd_frontier)];
@@ -393,11 +664,12 @@ impl<'a> Builder<'a> {
                 }
             }
 
-            // Error backward (not for the first layer) and gradient
-            // computation; both need E_{l+1} (and locally retained F_l/W_l).
+            // Error backward (not for the network's first layer) and
+            // gradient computation; both need E_{l+1} (and locally
+            // retained F_l/W_l).
             let mut phase_tasks = Vec::new();
-            let mapping = self.layer_mapping(l);
-            if l > 0 {
+            let mapping = self.layer_mapping(s, l);
+            if l > 0 || has_producer {
                 let dram = (view.weight_elems * leaf.weight_scale()
                     + view.output_elems * leaf.output_scale()
                     + view.input_elems * leaf.input_scale())
@@ -435,8 +707,9 @@ impl<'a> Builder<'a> {
 
             // dp gradient all-reduce, deepest level first.
             let mut reduce_tail = vec![grad_barrier];
-            for h in self.levels_with(l, Parallelism::Data) {
-                let elems = intra_elems(Parallelism::Data, &view, self.scales_at[h].layer(l));
+            for h in self.levels_with(s, l, Parallelism::Data) {
+                let elems =
+                    intra_elems(Parallelism::Data, &view, self.segs[s].scales_at[h].layer(l));
                 let deps = reduce_tail.clone();
                 let label = format!("allreduce dW {}", layer.name);
                 let tasks = self.comm_stage(h, elems, &label, &deps);
@@ -459,7 +732,7 @@ impl<'a> Builder<'a> {
                 &format!("update {}", layer.name),
                 &update_deps,
             );
-            allreduce_tails[l] = update_tasks;
+            updates.extend(update_tasks.iter().copied());
 
             // Next (shallower) layer's backward frontier.
             bwd_frontier = if barrier_mode {
@@ -468,13 +741,47 @@ impl<'a> Builder<'a> {
                 vec![phase_barrier]
             };
         }
+        bwd_frontier
+    }
 
-        // The step completes when every update (and the final backward
-        // frontier) has finished.
-        let mut finale: Vec<TaskId> = bwd_frontier;
-        for tails in &allreduce_tails {
-            finale.extend(tails.iter().copied());
+    fn run(mut self) -> (StepReport, Option<String>) {
+        let num_segs = self.segs.len();
+        let barrier_mode = !self.cfg.overlap_comm;
+
+        // ---------------- Forward pass ----------------
+        // Segments run in index order — a topological order of the segment
+        // graph, since every edge points from a lower to a higher index.
+        // In barrier mode one global frontier serializes everything,
+        // reproducing the paper's phase-ordered step; in overlap mode each
+        // segment starts as soon as its own inputs are ready, so
+        // independent branches genuinely overlap.
+        let mut fwd_exit: Vec<Vec<TaskId>> = vec![Vec::new(); num_segs];
+        let mut stage_end: Vec<TaskId> = Vec::new();
+        for s in 0..num_segs {
+            let entry = self.forward_entry(s, &stage_end, &fwd_exit, barrier_mode);
+            let exit = self.forward_segment(s, entry);
+            fwd_exit[s] = exit.clone();
+            stage_end = exit;
         }
+
+        // ---------------- Backward + gradient ----------------
+        // Reverse topological order.  The loss turnaround: the sink
+        // segment's backward starts once the whole forward pass (its own
+        // frontier, transitively everything) completes.
+        let mut updates: Vec<TaskId> = Vec::new();
+        let mut bwd_exit: Vec<Vec<TaskId>> = vec![Vec::new(); num_segs];
+        let mut bwd_frontier: Vec<TaskId> = stage_end;
+        for s in (0..num_segs).rev() {
+            let entry = self.backward_entry(s, &bwd_frontier, &bwd_exit, barrier_mode);
+            let exit = self.backward_segment(s, entry, &mut updates);
+            bwd_exit[s] = exit.clone();
+            bwd_frontier = exit;
+        }
+
+        // The step completes when every update (and every segment's final
+        // backward frontier) has finished.
+        let mut finale: Vec<TaskId> = bwd_exit.into_iter().flatten().collect();
+        finale.extend(updates);
         let _ = self.barrier(&finale);
 
         self.finish()
@@ -482,20 +789,18 @@ impl<'a> Builder<'a> {
 
     fn finish(self) -> (StepReport, Option<String>) {
         let Self {
-            shapes,
-            net,
-            plan,
+            segs,
             cfg,
             engine,
             accels,
             links,
             trace,
+            num_levels,
             compute_energy,
             dram_energy,
             link_energy,
             comm_bytes_per_level,
             dram_bytes,
-            scales_at,
             ..
         } = self;
 
@@ -511,21 +816,25 @@ impl<'a> Builder<'a> {
         // Per-accelerator resident footprint: weight, input and output
         // slices of every layer (activations are retained for the backward
         // pass).
-        let leaf_state = &scales_at[plan.num_levels()];
         let precision = f64::from(cfg.precision_bytes);
-        let footprint: f64 = net
-            .layers()
+        let footprint: f64 = segs
             .iter()
-            .enumerate()
-            .map(|(l, v)| {
-                let s = leaf_state.layer(l);
-                (v.weight_elems * s.weight_scale()
-                    + v.input_elems * s.input_scale()
-                    + v.output_elems * s.output_scale())
-                    * precision
+            .map(|seg| {
+                let leaf_state = &seg.scales_at[num_levels];
+                seg.net
+                    .layers()
+                    .iter()
+                    .enumerate()
+                    .map(|(l, v)| {
+                        let s = leaf_state.layer(l);
+                        (v.weight_elems * s.weight_scale()
+                            + v.input_elems * s.input_scale()
+                            + v.output_elems * s.output_scale())
+                            * precision
+                    })
+                    .sum::<f64>()
             })
             .sum();
-        let _ = shapes;
 
         let comm_total: f64 = comm_bytes_per_level.iter().sum();
         let report = StepReport {
@@ -540,7 +849,7 @@ impl<'a> Builder<'a> {
             compute_busy,
             link_busy,
             dram_footprint_bytes: Bytes(footprint),
-            num_accelerators: plan.num_accelerators(),
+            num_accelerators: accels.len() as u64,
         };
         (report, chrome_trace)
     }
@@ -550,6 +859,7 @@ impl<'a> Builder<'a> {
 mod tests {
     use super::*;
     use hypar_core::{baselines, hierarchical};
+    use hypar_graph::{partition_graph, plan_segments, zoo as graph_zoo};
     use hypar_models::zoo;
 
     fn setup(name: &str, batch: u64) -> (NetworkShapes, NetworkCommTensors) {
@@ -578,7 +888,7 @@ mod tests {
             baselines::all_model(&net, 4),
             baselines::one_weird_trick(&net, 4),
         ] {
-            let report = simulate_step(&shapes, &plan, &ArchConfig::paper());
+            let report = simulate_step(&shapes, &plan, &ArchConfig::paper()).unwrap();
             let expected = plan.total_comm_bytes();
             assert!(
                 (report.comm_bytes.value() - expected.value()).abs()
@@ -594,9 +904,9 @@ mod tests {
     fn hypar_is_faster_than_data_parallelism_on_lenet() {
         let (shapes, net) = setup("Lenet-c", 256);
         let cfg = ArchConfig::paper();
-        let hypar = simulate_step(&shapes, &hierarchical::partition(&net, 4), &cfg);
-        let dp = simulate_step(&shapes, &baselines::all_data(&net, 4), &cfg);
-        let mp = simulate_step(&shapes, &baselines::all_model(&net, 4), &cfg);
+        let hypar = simulate_step(&shapes, &hierarchical::partition(&net, 4), &cfg).unwrap();
+        let dp = simulate_step(&shapes, &baselines::all_data(&net, 4), &cfg).unwrap();
+        let mp = simulate_step(&shapes, &baselines::all_model(&net, 4), &cfg).unwrap();
         assert!(hypar.performance_gain_over(&dp) > 1.0);
         assert!(
             dp.performance_gain_over(&mp) > 1.0,
@@ -609,7 +919,7 @@ mod tests {
         let (shapes, net) = setup("VGG-A", 256);
         let cfg = ArchConfig::paper();
         let one = simulate_single_accelerator(&shapes, &cfg);
-        let hypar = simulate_step(&shapes, &hierarchical::partition(&net, 4), &cfg);
+        let hypar = simulate_step(&shapes, &hierarchical::partition(&net, 4), &cfg).unwrap();
         let gain = hypar.performance_gain_over(&one);
         assert!(
             gain > 4.0,
@@ -625,8 +935,9 @@ mod tests {
     fn overlap_never_hurts() {
         let (shapes, net) = setup("AlexNet", 256);
         let plan = baselines::all_data(&net, 4);
-        let serial = simulate_step(&shapes, &plan, &ArchConfig::paper());
-        let overlap = simulate_step(&shapes, &plan, &ArchConfig::paper().with_overlap(true));
+        let serial = simulate_step(&shapes, &plan, &ArchConfig::paper()).unwrap();
+        let overlap =
+            simulate_step(&shapes, &plan, &ArchConfig::paper().with_overlap(true)).unwrap();
         assert!(overlap.step_time <= serial.step_time);
         // Traffic and energy are schedule-independent.
         assert_eq!(overlap.comm_bytes, serial.comm_bytes);
@@ -637,12 +948,13 @@ mod tests {
     fn torus_is_never_faster_than_htree() {
         let (shapes, net) = setup("Cifar-c", 256);
         let plan = hierarchical::partition(&net, 4);
-        let htree = simulate_step(&shapes, &plan, &ArchConfig::paper());
+        let htree = simulate_step(&shapes, &plan, &ArchConfig::paper()).unwrap();
         let torus = simulate_step(
             &shapes,
             &plan,
             &ArchConfig::paper().with_topology(crate::Topology::Torus),
-        );
+        )
+        .unwrap();
         assert!(torus.step_time >= htree.step_time);
         assert_eq!(torus.comm_bytes, htree.comm_bytes);
     }
@@ -654,7 +966,8 @@ mod tests {
             &shapes,
             &hierarchical::partition(&net, 4),
             &ArchConfig::paper(),
-        );
+        )
+        .unwrap();
         let sum = report.compute_energy + report.dram_energy + report.link_energy;
         assert!((report.energy.value() - sum.value()).abs() < 1e-12);
         assert!(report.compute_energy.value() > 0.0);
@@ -666,8 +979,8 @@ mod tests {
     fn determinism() {
         let (shapes, net) = setup("AlexNet", 256);
         let plan = hierarchical::partition(&net, 4);
-        let a = simulate_step(&shapes, &plan, &ArchConfig::paper());
-        let b = simulate_step(&shapes, &plan, &ArchConfig::paper());
+        let a = simulate_step(&shapes, &plan, &ArchConfig::paper()).unwrap();
+        let b = simulate_step(&shapes, &plan, &ArchConfig::paper()).unwrap();
         assert_eq!(a, b);
     }
 
@@ -676,8 +989,8 @@ mod tests {
         let (shapes, net) = setup("Lenet-c", 256);
         let plan = hierarchical::partition(&net, 4);
         let cfg = ArchConfig::paper();
-        let plain = simulate_step(&shapes, &plan, &cfg);
-        let (traced, trace) = simulate_step_traced(&shapes, &plan, &cfg);
+        let plain = simulate_step(&shapes, &plan, &cfg).unwrap();
+        let (traced, trace) = simulate_step_traced(&shapes, &plan, &cfg).unwrap();
         assert_eq!(plain, traced);
         for needle in [
             "fwd conv1",
@@ -694,11 +1007,107 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "same number of weighted layers")]
-    fn mismatched_plan_panics() {
+    fn mismatched_plan_is_a_typed_error() {
         let (shapes, _) = setup("Lenet-c", 256);
         let (_, other_net) = setup("AlexNet", 256);
         let plan = baselines::all_data(&other_net, 4);
-        let _ = simulate_step(&shapes, &plan, &ArchConfig::paper());
+        let err = simulate_step(&shapes, &plan, &ArchConfig::paper()).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::LayerCountMismatch {
+                plan_layers: 8,
+                network_layers: 4
+            }
+        );
+        assert!(err.to_string().contains("weighted layer"));
+    }
+
+    #[test]
+    fn graph_step_comm_matches_the_stitched_cost_model() {
+        // The DAG simulator's traffic accounting — per-segment stages plus
+        // the branch/join junction transfers — must equal the stitched
+        // plan's analytic total.
+        for (name, batch) in [("Inception-Mini", 128), ("ResNet-18", 32)] {
+            let graph = graph_zoo::by_name(name).unwrap().segments(batch).unwrap();
+            for plan in [
+                partition_graph(&graph, 4),
+                plan_segments(&graph, |s| baselines::all_data(s, 4)),
+                plan_segments(&graph, |s| baselines::all_model(s, 4)),
+            ] {
+                let report = simulate_graph_step(&graph, &plan, &ArchConfig::paper()).unwrap();
+                let expected = plan.total_comm_bytes();
+                assert!(
+                    (report.comm_bytes.value() - expected.value()).abs()
+                        <= 1e-6 * expected.value().max(1.0),
+                    "{name}: sim {} vs model {}",
+                    report.comm_bytes,
+                    expected
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn graph_step_is_deterministic_and_traced_matches() {
+        let graph = graph_zoo::inception_mini().segments(128).unwrap();
+        let plan = partition_graph(&graph, 4);
+        let cfg = ArchConfig::paper();
+        let a = simulate_graph_step(&graph, &plan, &cfg).unwrap();
+        let b = simulate_graph_step(&graph, &plan, &cfg).unwrap();
+        assert_eq!(a, b);
+        let (traced, _) = simulate_graph_step_traced(&graph, &plan, &cfg).unwrap();
+        assert_eq!(a, traced);
+    }
+
+    #[test]
+    fn graph_step_trace_labels_junction_transfers() {
+        let graph = graph_zoo::inception_mini().segments(128).unwrap();
+        let cfg = ArchConfig::paper();
+
+        // A dp producer feeding mp consumers pays the forward `F` branch
+        // forwarding (Table 2's dp->mp transition).
+        let mixed = plan_segments(&graph, |s| {
+            if s.layer(0).name == "stem" {
+                baselines::all_data(s, 4)
+            } else {
+                baselines::all_model(s, 4)
+            }
+        });
+        let (_, trace) = simulate_graph_step_traced(&graph, &mixed, &cfg).unwrap();
+        assert!(trace.contains("xfer F stem->b1x1"), "{trace}");
+
+        // An all-mp plan pays the backward `E` gradient accumulation on
+        // every junction (mp->mp costs the error tensor only).
+        let mp = plan_segments(&graph, |s| baselines::all_model(s, 4));
+        let (_, trace) = simulate_graph_step_traced(&graph, &mp, &cfg).unwrap();
+        assert!(trace.contains("xfer E stem->b1x1"), "{trace}");
+        assert!(trace.contains("xfer E b3x3->conv2"), "{trace}");
+    }
+
+    #[test]
+    fn graph_step_mismatched_plan_is_a_typed_error() {
+        let graph = graph_zoo::inception_mini().segments(128).unwrap();
+        let (_, other_net) = setup("Lenet-c", 256);
+        let plan = baselines::all_data(&other_net, 4);
+        let err = simulate_graph_step(&graph, &plan, &ArchConfig::paper()).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::LayerCountMismatch {
+                plan_layers: 4,
+                network_layers: 8
+            }
+        );
+    }
+
+    #[test]
+    fn graph_overlap_never_hurts_and_preserves_energy() {
+        let graph = graph_zoo::inception_mini().segments(128).unwrap();
+        let plan = partition_graph(&graph, 4);
+        let serial = simulate_graph_step(&graph, &plan, &ArchConfig::paper()).unwrap();
+        let overlap =
+            simulate_graph_step(&graph, &plan, &ArchConfig::paper().with_overlap(true)).unwrap();
+        assert!(overlap.step_time <= serial.step_time);
+        assert_eq!(overlap.comm_bytes, serial.comm_bytes);
+        assert_eq!(overlap.energy, serial.energy);
     }
 }

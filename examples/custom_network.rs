@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{plan}");
 
     let cfg = ArchConfig::paper();
-    let hypar = training::simulate_step(&shapes, &plan, &cfg);
+    let hypar = training::simulate_step(&shapes, &plan, &cfg).expect("plan matches the network");
     for (name, baseline) in [
         ("Data Parallelism", baselines::all_data(&tensors, levels)),
         ("Model Parallelism", baselines::all_model(&tensors, levels)),
@@ -46,7 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             baselines::one_weird_trick(&tensors, levels),
         ),
     ] {
-        let report = training::simulate_step(&shapes, &baseline, &cfg);
+        let report =
+            training::simulate_step(&shapes, &baseline, &cfg).expect("plan matches the network");
         println!(
             "vs {name:>18}: {:.2}x faster, {:.2}x more energy efficient ({} vs {} comm)",
             hypar.performance_gain_over(&report),

@@ -29,7 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut step_times = Vec::new();
     for (name, plan) in &schemes {
-        let report = training::simulate_step(&shapes, plan, &cfg);
+        let report =
+            training::simulate_step(&shapes, plan, &cfg).expect("plan matches the network");
         table.row(&[
             (*name).to_owned(),
             report.step_time.to_string(),
@@ -44,8 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Topology study: the same HyPar plan on a torus.
     let hypar = &schemes.last().expect("schemes is non-empty").1;
     let torus_cfg = ArchConfig::paper().with_topology(Topology::Torus);
-    let htree = training::simulate_step(&shapes, hypar, &cfg);
-    let torus = training::simulate_step(&shapes, hypar, &torus_cfg);
+    let htree = training::simulate_step(&shapes, hypar, &cfg).expect("plan matches the network");
+    let torus =
+        training::simulate_step(&shapes, hypar, &torus_cfg).expect("plan matches the network");
     println!(
         "HyPar on torus: {} vs H tree {} ({:.2}x slower)",
         torus.step_time,
@@ -54,7 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Comm/compute overlap ablation.
-    let overlap = training::simulate_step(&shapes, hypar, &cfg.clone().with_overlap(true));
+    let overlap = training::simulate_step(&shapes, hypar, &cfg.clone().with_overlap(true))
+        .expect("plan matches the network");
     println!(
         "comm/compute overlap ablation: {} -> {} ({:.1}% faster)",
         htree.step_time,

@@ -24,7 +24,8 @@ fn full_pipeline_runs_for_every_zoo_network() {
         let plan = hierarchical::partition(&tensors, LEVELS);
         assert_eq!(plan.num_levels(), LEVELS, "{name}");
         assert_eq!(plan.num_layers(), shapes.len(), "{name}");
-        let report = training::simulate_step(&shapes, &plan, &ArchConfig::paper());
+        let report = training::simulate_step(&shapes, &plan, &ArchConfig::paper())
+            .expect("plan matches the network");
         assert!(report.step_time.value() > 0.0, "{name}");
         assert!(report.energy.value() > 0.0, "{name}");
     }
@@ -40,7 +41,8 @@ fn simulated_traffic_always_matches_the_analytic_model() {
             baselines::all_model(&tensors, LEVELS),
             baselines::one_weird_trick(&tensors, LEVELS),
         ] {
-            let report = training::simulate_step(&shapes, &plan, &ArchConfig::paper());
+            let report = training::simulate_step(&shapes, &plan, &ArchConfig::paper())
+                .expect("plan matches the network");
             let model = plan.total_comm_bytes().value();
             assert!(
                 (report.comm_bytes.value() - model).abs() <= 1e-6 * model.max(1.0),
@@ -58,12 +60,14 @@ fn hypar_is_never_slower_than_the_best_baseline() {
     for name in zoo::NAMES {
         let (shapes, tensors) = pipeline(name);
         let hypar =
-            training::simulate_step(&shapes, &hierarchical::partition(&tensors, LEVELS), &cfg);
+            training::simulate_step(&shapes, &hierarchical::partition(&tensors, LEVELS), &cfg)
+                .expect("plan matches the network");
         for baseline in [
             baselines::all_data(&tensors, LEVELS),
             baselines::all_model(&tensors, LEVELS),
         ] {
-            let report = training::simulate_step(&shapes, &baseline, &cfg);
+            let report = training::simulate_step(&shapes, &baseline, &cfg)
+                .expect("plan matches the network");
             assert!(
                 hypar.step_time.value() <= report.step_time.value() * 1.0001,
                 "{name}: HyPar {} vs baseline {}",
@@ -81,8 +85,10 @@ fn htree_meets_or_beats_torus_under_hypar_plans() {
     for name in zoo::NAMES {
         let (shapes, tensors) = pipeline(name);
         let plan = hierarchical::partition(&tensors, LEVELS);
-        let htree = training::simulate_step(&shapes, &plan, &htree_cfg);
-        let torus = training::simulate_step(&shapes, &plan, &torus_cfg);
+        let htree =
+            training::simulate_step(&shapes, &plan, &htree_cfg).expect("plan matches the network");
+        let torus =
+            training::simulate_step(&shapes, &plan, &torus_cfg).expect("plan matches the network");
         assert!(
             htree.step_time.value() <= torus.step_time.value() * 1.0001,
             "{name}"
@@ -97,7 +103,8 @@ fn deeper_hierarchies_reduce_per_accelerator_footprint() {
     let mut last = f64::INFINITY;
     for levels in [0usize, 2, 4, 6] {
         let plan = hierarchical::partition(&tensors, levels);
-        let report = training::simulate_step(&shapes, &plan, &cfg);
+        let report =
+            training::simulate_step(&shapes, &plan, &cfg).expect("plan matches the network");
         let footprint = report.dram_footprint_bytes.value();
         assert!(footprint < last, "footprint must shrink with more levels");
         last = footprint;
@@ -120,11 +127,14 @@ fn one_weird_trick_sits_between_dp_and_hypar_for_imagenet_models() {
     let cfg = ArchConfig::paper();
     for name in ["AlexNet", "VGG-A", "VGG-E"] {
         let (shapes, tensors) = pipeline(name);
-        let dp = training::simulate_step(&shapes, &baselines::all_data(&tensors, LEVELS), &cfg);
+        let dp = training::simulate_step(&shapes, &baselines::all_data(&tensors, LEVELS), &cfg)
+            .expect("plan matches the network");
         let owt =
-            training::simulate_step(&shapes, &baselines::one_weird_trick(&tensors, LEVELS), &cfg);
+            training::simulate_step(&shapes, &baselines::one_weird_trick(&tensors, LEVELS), &cfg)
+                .expect("plan matches the network");
         let hypar =
-            training::simulate_step(&shapes, &hierarchical::partition(&tensors, LEVELS), &cfg);
+            training::simulate_step(&shapes, &hierarchical::partition(&tensors, LEVELS), &cfg)
+                .expect("plan matches the network");
         assert!(
             owt.step_time.value() < dp.step_time.value(),
             "{name}: trick should beat DP"

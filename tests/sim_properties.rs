@@ -63,7 +63,7 @@ proptest! {
             })
             .collect();
         let plan = costed(&tensors, plan_levels);
-        let report = training::simulate_step(&shapes, &plan, &ArchConfig::paper());
+        let report = training::simulate_step(&shapes, &plan, &ArchConfig::paper()).expect("plan matches the network");
         let model = plan.total_comm_bytes().value();
         prop_assert!((report.comm_bytes.value() - model).abs() <= 1e-6 * model.max(1.0));
     }
@@ -84,8 +84,8 @@ proptest! {
             .collect();
         let plan = costed(&tensors, plan_levels);
         let cfg = ArchConfig::paper();
-        let serial = training::simulate_step(&shapes, &plan, &cfg);
-        let overlap = training::simulate_step(&shapes, &plan, &cfg.clone().with_overlap(true));
+        let serial = training::simulate_step(&shapes, &plan, &cfg).expect("plan matches the network");
+        let overlap = training::simulate_step(&shapes, &plan, &cfg.clone().with_overlap(true)).expect("plan matches the network");
         prop_assert!(overlap.step_time.value() <= serial.step_time.value() + 1e-12);
         // The busy time of an accelerator never exceeds the makespan.
         prop_assert!(serial.compute_busy.value() <= serial.step_time.value() + 1e-12);
@@ -106,12 +106,12 @@ proptest! {
             })
             .collect();
         let plan = costed(&tensors, plan_levels);
-        let base = training::simulate_step(&shapes, &plan, &ArchConfig::paper());
+        let base = training::simulate_step(&shapes, &plan, &ArchConfig::paper()).expect("plan matches the network");
         for cfg in [
             ArchConfig::paper().with_topology(Topology::Torus),
             ArchConfig::paper().with_overlap(true),
         ] {
-            let other = training::simulate_step(&shapes, &plan, &cfg);
+            let other = training::simulate_step(&shapes, &plan, &cfg).expect("plan matches the network");
             prop_assert_eq!(other.energy, base.energy);
             prop_assert_eq!(other.comm_bytes, base.comm_bytes);
             prop_assert_eq!(other.dram_bytes, base.dram_bytes);
@@ -127,7 +127,7 @@ proptest! {
         let mut previous = f64::INFINITY;
         for levels in 0..4usize {
             let plan = hypar_core::hierarchical::partition(&tensors, levels);
-            let report = training::simulate_step(&shapes, &plan, &cfg);
+            let report = training::simulate_step(&shapes, &plan, &cfg).expect("plan matches the network");
             prop_assert!(report.dram_footprint_bytes.value() <= previous + 1e-9);
             previous = report.dram_footprint_bytes.value();
         }
