@@ -3,7 +3,9 @@
 //! cost of the graph path next to the chain path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hypar_graph::{partition_graph, zoo, DagNetwork, GraphBuilder, SegmentCommGraph, INPUT};
+use hypar_graph::{
+    best_joint_graph, partition_graph, zoo, DagNetwork, GraphBuilder, SegmentCommGraph, INPUT,
+};
 use hypar_models::ConvSpec;
 use hypar_tensor::FeatureDims;
 use std::hint::black_box;
@@ -66,10 +68,30 @@ fn bench_partition_graph_ladder(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_best_joint_graph(c: &mut Criterion) {
+    // The joint exhaustive baseline at (and up to) its feasibility
+    // boundary: `L·H = 24` is the largest space `best_joint_graph`
+    // accepts (2^24 ≈ 16.8M candidate plans).
+    let mut group = c.benchmark_group("best_joint_graph");
+    for (num_blocks, levels) in [(1usize, 3usize), (2, 3), (3, 3)] {
+        let graph = residual_ladder(num_blocks).segments(64).unwrap();
+        let slots = graph.num_layers() * levels;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{slots}slots")),
+            &(graph, levels),
+            |b, (graph, levels)| {
+                b.iter(|| best_joint_graph(black_box(graph), black_box(*levels)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_segment_decomposition,
     bench_partition_graph_zoo,
-    bench_partition_graph_ladder
+    bench_partition_graph_ladder,
+    bench_best_joint_graph
 );
 criterion_main!(benches);

@@ -12,13 +12,13 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use hypar_bench::experiments::{
-    self, ablation, batch_study, branchy, fig10, fig11, fig12, fig13, fig5, fig9, overall,
-    pe_model, tables,
+    self, ablation, batch_study, branchy, fig10, fig11, fig12, fig13, fig5, fig9,
+    greedy_gap_branchy, overall, pe_model, tables,
 };
 
 fn usage() -> String {
     format!(
-        "usage: repro [--exp <id>[,<id>...]] [--json <path>]\n  ids: {} fig13 ablation pe batch branchy all",
+        "usage: repro [--exp <id>[,<id>...]] [--json <path>]\n  ids: {} fig13 ablation pe batch branchy greedy_gap_branchy all",
         experiments::EXPERIMENT_IDS.join(" ")
     )
 }
@@ -149,6 +149,11 @@ fn main() -> ExitCode {
                 let b = branchy::run();
                 println!("{}", branchy::table(&b));
                 json.insert(id.clone(), serde_json::to_value(&b).expect("serializable"));
+            }
+            "greedy_gap_branchy" => {
+                let g = greedy_gap_branchy::run();
+                println!("{}", greedy_gap_branchy::table(&g));
+                json.insert(id.clone(), serde_json::to_value(&g).expect("serializable"));
             }
             other => {
                 eprintln!("unknown experiment `{other}`\n{}", usage());

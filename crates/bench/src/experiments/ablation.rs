@@ -12,6 +12,7 @@
 
 use hypar_comm::JunctionScaling;
 use hypar_core::{baselines, exhaustive, hierarchical};
+use hypar_graph::{partition_graph_with, zoo as graph_zoo};
 use hypar_models::zoo;
 use hypar_sim::{training, ArchConfig};
 use serde::Serialize;
@@ -59,8 +60,12 @@ pub struct GreedyRow {
 /// The full ablation dataset.
 #[derive(Clone, Debug, Serialize)]
 pub struct Ablation {
-    /// Junction-scaling sensitivity rows (all ten networks).
+    /// Junction-scaling sensitivity rows (all ten chain networks).
     pub junction: Vec<JunctionRow>,
+    /// Junction-scaling sensitivity on the **branchy** zoo: the stitched
+    /// DAG planner re-planned and re-priced (inter-segment junctions
+    /// included) under each interpretation.
+    pub junction_branchy: Vec<JunctionRow>,
     /// Overlap rows (all ten networks).
     pub overlap: Vec<OverlapRow>,
     /// Greedy-gap rows (small networks only).
@@ -82,6 +87,37 @@ pub fn run() -> Ablation {
             let plans: Vec<_> = modes
                 .iter()
                 .map(|&m| hierarchical::partition_with(&net, PAPER_LEVELS, m))
+                .collect();
+            JunctionRow {
+                network: (*name).to_owned(),
+                comm_gb: [
+                    plans[0].total_comm_bytes().gigabytes(),
+                    plans[1].total_comm_bytes().gigabytes(),
+                    plans[2].total_comm_bytes().gigabytes(),
+                ],
+                same_plan: [
+                    plans[1].levels() == plans[0].levels(),
+                    plans[2].levels() == plans[0].levels(),
+                ],
+            }
+        })
+        .collect();
+
+    let junction_branchy = graph_zoo::NAMES
+        .iter()
+        .map(|name| {
+            let graph = graph_zoo::by_name(name)
+                .expect("zoo names resolve")
+                .segments(PAPER_BATCH)
+                .expect("zoo networks decompose");
+            let modes = [
+                JunctionScaling::Consumer,
+                JunctionScaling::Producer,
+                JunctionScaling::Unscaled,
+            ];
+            let plans: Vec<_> = modes
+                .iter()
+                .map(|&m| partition_graph_with(&graph, PAPER_LEVELS, m))
                 .collect();
             JunctionRow {
                 network: (*name).to_owned(),
@@ -132,7 +168,8 @@ pub fn run() -> Ablation {
     .map(|&(name, levels)| {
         let net = view(name, PAPER_BATCH);
         let greedy = hierarchical::partition(&net, levels).total_comm_elems();
-        let (joint, _) = exhaustive::best_joint(&net, levels);
+        let (joint, _) =
+            exhaustive::best_joint(&net, levels).expect("small networks fit the search bound");
         GreedyRow {
             network: name.to_owned(),
             levels,
@@ -144,12 +181,13 @@ pub fn run() -> Ablation {
 
     Ablation {
         junction,
+        junction_branchy,
         overlap,
         greedy,
     }
 }
 
-/// Renders the three ablation tables.
+/// Renders the four ablation tables.
 #[must_use]
 pub fn render(a: &Ablation) -> String {
     let mut junction = Table::new(
@@ -164,6 +202,26 @@ pub fn render(a: &Ablation) -> String {
     );
     for r in &a.junction {
         junction.row(&[
+            r.network.clone(),
+            gigabytes(r.comm_gb[0] * 1e9),
+            gigabytes(r.comm_gb[1] * 1e9),
+            gigabytes(r.comm_gb[2] * 1e9),
+            format!("{}/{}", r.same_plan[0], r.same_plan[1]),
+        ]);
+    }
+
+    let mut junction_branchy = Table::new(
+        "Ablation 1b: junction-scaling interpretation on branchy DAGs (stitched HyPar comm, GB)",
+        &[
+            "network",
+            "consumer",
+            "producer",
+            "unscaled",
+            "same plan (prod/unscaled)",
+        ],
+    );
+    for r in &a.junction_branchy {
+        junction_branchy.row(&[
             r.network.clone(),
             gigabytes(r.comm_gb[0] * 1e9),
             gigabytes(r.comm_gb[1] * 1e9),
@@ -196,7 +254,7 @@ pub fn render(a: &Ablation) -> String {
         ]);
     }
 
-    format!("{junction}\n{overlap}\n{greedy}")
+    format!("{junction}\n{junction_branchy}\n{overlap}\n{greedy}")
 }
 
 #[cfg(test)]
@@ -233,6 +291,26 @@ mod tests {
     }
 
     #[test]
+    fn branchy_junction_interpretation_is_second_order_too() {
+        // The DAG path now honors the JunctionScaling ablation: every
+        // branchy zoo network gets re-planned and re-priced under each
+        // interpretation, and — as on chains — the intra-layer terms
+        // dominate.
+        let a = dataset();
+        assert_eq!(a.junction_branchy.len(), graph_zoo::NAMES.len());
+        for r in &a.junction_branchy {
+            let lo = r.comm_gb.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = r.comm_gb.iter().cloned().fold(0.0, f64::max);
+            assert!(lo > 0.0, "{}", r.network);
+            assert!(
+                hi / lo < 2.0,
+                "{}: junction interpretation changed comm {lo} -> {hi}",
+                r.network
+            );
+        }
+    }
+
+    #[test]
     fn overlap_never_hurts_and_sometimes_matters() {
         // Overlap can only shorten the schedule. Notably it helps HyPar
         // *more* than DP on the big conv networks: DP's gradient traffic
@@ -266,8 +344,9 @@ mod tests {
     }
 
     #[test]
-    fn render_emits_three_tables() {
+    fn render_emits_four_tables() {
         let text = render(dataset());
-        assert_eq!(text.matches("Ablation").count(), 3);
+        assert_eq!(text.matches("Ablation").count(), 4);
+        assert!(text.contains("branchy DAGs"));
     }
 }

@@ -9,6 +9,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig5;
 pub mod fig9;
+pub mod greedy_gap_branchy;
 pub mod overall;
 pub mod pe_model;
 pub mod tables;
@@ -29,5 +30,6 @@ pub fn all_ids() -> Vec<&'static str> {
     ids.push("pe");
     ids.push("batch");
     ids.push("branchy");
+    ids.push("greedy_gap_branchy");
     ids
 }

@@ -51,5 +51,5 @@ mod tensors;
 pub use cost::{level_cost, level_cost_with, LevelCost};
 pub use model::{inter_bytes, inter_elems, inter_split, intra_bytes, intra_elems, PRECISION_BYTES};
 pub use parallelism::Parallelism;
-pub use scale::{JunctionScaling, LayerScale, ScaleState};
+pub use scale::{junction_scale_between, JunctionScaling, LayerScale, ScaleState};
 pub use tensors::{LayerCommTensors, NetworkCommTensors};

@@ -212,11 +212,40 @@ impl ScaleState {
     /// Panics if `l + 1` is out of range.
     #[must_use]
     pub fn junction_scale_with(&self, l: usize, mode: JunctionScaling) -> f64 {
-        match mode {
-            JunctionScaling::Consumer => self.layers[l + 1].input_scale(),
-            JunctionScaling::Producer => self.layers[l].output_scale(),
-            JunctionScaling::Unscaled => 1.0,
-        }
+        junction_scale_between(self.layers[l], self.layers[l + 1], mode)
+    }
+}
+
+/// The fraction of a junction tensor in scope between an arbitrary
+/// producer/consumer layer pair, under a [`JunctionScaling`]
+/// interpretation.
+///
+/// For adjacent chain layers this is exactly
+/// [`ScaleState::junction_scale_with`]; the DAG pipeline also prices
+/// *inter-segment* junctions, where the producing and consuming layers
+/// live in different segments and carry independently accumulated scales.
+///
+/// # Examples
+///
+/// ```
+/// use hypar_comm::{junction_scale_between, JunctionScaling, LayerScale, Parallelism};
+///
+/// let producer = LayerScale::default().descend(Parallelism::Data);
+/// let consumer = LayerScale::default().descend(Parallelism::Model);
+/// assert_eq!(junction_scale_between(producer, consumer, JunctionScaling::Consumer), 0.5);
+/// assert_eq!(junction_scale_between(producer, consumer, JunctionScaling::Producer), 0.5);
+/// assert_eq!(junction_scale_between(producer, consumer, JunctionScaling::Unscaled), 1.0);
+/// ```
+#[must_use]
+pub fn junction_scale_between(
+    producer: LayerScale,
+    consumer: LayerScale,
+    mode: JunctionScaling,
+) -> f64 {
+    match mode {
+        JunctionScaling::Consumer => consumer.input_scale(),
+        JunctionScaling::Producer => producer.output_scale(),
+        JunctionScaling::Unscaled => 1.0,
     }
 }
 

@@ -47,4 +47,5 @@ pub mod sweep;
 pub mod two_group;
 
 pub use evaluate::PlanCost;
+pub use exhaustive::ExhaustiveError;
 pub use plan::HierarchicalPlan;

@@ -17,9 +17,10 @@ use crate::parallel;
 use crate::request::{CustomNetwork, GraphSpec, NetworkRef, PlanRequest, PlanResponse, Strategy};
 
 /// Upper bound on `layers × levels` for [`Strategy::Exhaustive`] — beyond
-/// this the `2^(L·H)` joint search is infeasible (mirrors
-/// `hypar_core::exhaustive`'s own guard).
-const EXHAUSTIVE_SLOT_LIMIT: usize = 24;
+/// this the `2^(L·H)` joint search is infeasible.  Chains and branchy
+/// DAGs share the bound (it is `hypar_core::exhaustive`'s own guard, which
+/// the graph-side joint search reuses).
+const EXHAUSTIVE_SLOT_LIMIT: usize = exhaustive::SLOT_LIMIT;
 
 /// Upper bound on the hierarchy depth a request may ask for.  `2^16`
 /// accelerators is already far beyond the paper's largest array (64) and
@@ -173,30 +174,15 @@ impl Resolved {
                 let shapes = NetworkShapes::infer(&chain, request.batch)
                     .map_err(|e| EngineError::InvalidNetwork(e.to_string()))?;
                 let tensors = NetworkCommTensors::from_shapes(&shapes);
-                let assignments = match request.strategy {
-                    Strategy::Explicit => Some(parse_assignments(request, tensors.len())?),
-                    Strategy::Exhaustive => {
-                        let slots = tensors.len() * request.levels;
-                        if slots > EXHAUSTIVE_SLOT_LIMIT {
-                            return Err(EngineError::InvalidRequest(format!(
-                                "exhaustive search over {slots} slots exceeds the limit of \
-                                 {EXHAUSTIVE_SLOT_LIMIT} (layers x levels)"
-                            )));
-                        }
-                        None
-                    }
-                    _ => None,
-                };
+                let assignments = validate_strategy(request, tensors.len())?;
                 (Workload::Chain { shapes, tensors }, assignments)
             }
             ResolvedNet::Dag(dag) => {
-                if matches!(request.strategy, Strategy::Exhaustive | Strategy::Explicit) {
-                    return Err(unsupported_dag_strategy(request.strategy));
-                }
                 let graph = dag
                     .segments(request.batch)
                     .map_err(|e| EngineError::InvalidNetwork(e.to_string()))?;
-                (Workload::Dag(graph), None)
+                let assignments = validate_strategy(request, graph.num_layers())?;
+                (Workload::Dag(graph), assignments)
             }
         };
         Ok(Resolved {
@@ -219,9 +205,14 @@ impl Resolved {
                 &self.cfg,
                 self.simulate,
             ),
-            Workload::Dag(graph) => {
-                fingerprint_dag(graph, self.levels, self.strategy, &self.cfg, self.simulate)
-            }
+            Workload::Dag(graph) => fingerprint_dag(
+                graph,
+                self.levels,
+                self.strategy,
+                self.assignments.as_deref(),
+                &self.cfg,
+                self.simulate,
+            ),
         }
     }
 
@@ -272,7 +263,8 @@ impl Resolved {
             Strategy::Mp => baselines::all_model(net, self.levels),
             Strategy::Owt => baselines::one_weird_trick(net, self.levels),
             Strategy::Exhaustive => {
-                let (cost, levels) = exhaustive::best_joint(net, self.levels);
+                let (cost, levels) = exhaustive::best_joint(net, self.levels)
+                    .map_err(|e| EngineError::InvalidRequest(e.to_string()))?;
                 HierarchicalPlan::from_parts(net.name(), layer_names(net), levels, cost)
             }
             Strategy::Explicit => {
@@ -290,40 +282,82 @@ impl Resolved {
         })
     }
 
-    /// Plans every segment of a branchy DAG — fanned across the
-    /// [`parallel::map`] pool, since segments are independent until the
-    /// stitch — and stitches the results into the whole-model plan.
+    /// Plans a branchy DAG.  The segment-local strategies (hypar and the
+    /// uniform baselines) fan their segments across the [`parallel::map`]
+    /// pool — segments are independent until the stitch — while
+    /// `exhaustive` runs the whole-graph joint search and `explicit`
+    /// evaluates the supplied whole-graph assignment, both priced by the
+    /// identical stitched model.
     fn run_dag_strategy(&self, graph: &SegmentCommGraph) -> Result<HierarchicalPlan, EngineError> {
-        let plan_one = |segment: &NetworkCommTensors| match self.strategy {
-            Strategy::Hypar => Ok(hierarchical::partition(segment, self.levels)),
-            Strategy::Dp => Ok(baselines::all_data(segment, self.levels)),
-            Strategy::Mp => Ok(baselines::all_model(segment, self.levels)),
-            Strategy::Owt => Ok(baselines::one_weird_trick(segment, self.levels)),
-            // Resolution rejects these up front; planning and resolution
-            // can drift, so this stays a typed error rather than a panic
-            // that would take down the long-running service.
-            Strategy::Exhaustive | Strategy::Explicit => {
-                Err(unsupported_dag_strategy(self.strategy))
+        let plan_one: fn(&NetworkCommTensors, usize) -> HierarchicalPlan = match self.strategy {
+            Strategy::Hypar => hierarchical::partition,
+            Strategy::Dp => baselines::all_data,
+            Strategy::Mp => baselines::all_model,
+            Strategy::Owt => baselines::one_weird_trick,
+            Strategy::Exhaustive => {
+                return hypar_graph::best_joint_graph(graph, self.levels)
+                    .map_err(|e| EngineError::InvalidRequest(e.to_string()));
+            }
+            Strategy::Explicit => {
+                // Resolution guarantees assignments for the explicit
+                // strategy; keep the drift guard typed rather than a panic
+                // a service request could reach.
+                let levels = self.assignments.clone().ok_or_else(|| {
+                    EngineError::InvalidRequest(
+                        "strategy `explicit` lost its assignments during resolution".to_owned(),
+                    )
+                })?;
+                let cost = hypar_graph::evaluate_graph_plan(graph, &levels);
+                return Ok(HierarchicalPlan::from_parts(
+                    graph.name(),
+                    graph_layer_names(graph),
+                    levels,
+                    cost,
+                ));
             }
         };
-        let plans = parallel::map(graph.segments(), plan_one)
-            .into_iter()
-            .collect::<Result<Vec<_>, _>>()?;
+        let plans = parallel::map(graph.segments(), |segment| plan_one(segment, self.levels));
         Ok(hypar_graph::stitch(graph, &plans))
     }
 }
 
-/// The typed rejection for strategies the segment-stitched DAG planner
-/// cannot run (shared by request resolution and strategy dispatch).
-fn unsupported_dag_strategy(strategy: Strategy) -> EngineError {
-    EngineError::InvalidRequest(format!(
-        "strategy `{strategy}` is not supported for branchy DAG networks \
-         (chain-shaped DAGs linearize and support every strategy)"
-    ))
-}
-
 fn layer_names(net: &NetworkCommTensors) -> Vec<String> {
     net.layers().iter().map(|l| l.name.clone()).collect()
+}
+
+/// All weighted layer names of a DAG, concatenated in canonical segment
+/// order — the layout [`hypar_graph::stitch`]ed plans use.
+fn graph_layer_names(graph: &SegmentCommGraph) -> Vec<String> {
+    graph
+        .segments()
+        .iter()
+        .flat_map(|s| s.layers())
+        .map(|l| l.name.clone())
+        .collect()
+}
+
+/// Validates the strategy-specific request options against the resolved
+/// workload (shared by the chain and DAG paths): `explicit` needs parsed
+/// assignments covering every weighted layer, `exhaustive` a feasible
+/// `layers × levels` search space.
+fn validate_strategy(
+    request: &PlanRequest,
+    num_layers: usize,
+) -> Result<Option<Vec<Vec<Parallelism>>>, EngineError> {
+    match request.strategy {
+        Strategy::Explicit => Ok(Some(parse_assignments(request, num_layers)?)),
+        Strategy::Exhaustive => {
+            let slots = num_layers * request.levels;
+            if slots > EXHAUSTIVE_SLOT_LIMIT {
+                return Err(EngineError::InvalidRequest(format!(
+                    "exhaustive search over {slots} slots exceeds the limit of \
+                     {EXHAUSTIVE_SLOT_LIMIT} (layers x levels)"
+                )));
+            }
+            Ok(None)
+        }
+        _ => Ok(None),
+    }
 }
 
 /// What a [`NetworkRef`] resolves to before planning.

@@ -72,6 +72,24 @@ impl Fnv {
         self.f64(layer.junction_elems);
     }
 
+    /// Hashes optional explicit per-level assignments — one encoding
+    /// shared by the chain and DAG fingerprints so the two cache-key
+    /// rules cannot drift.
+    fn assignments(&mut self, assignments: Option<&[Vec<Parallelism>]>) {
+        match assignments {
+            None => self.bool(false),
+            Some(levels) => {
+                self.bool(true);
+                self.u64(levels.len() as u64);
+                for level in levels {
+                    for p in level {
+                        self.bool(*p == Parallelism::Model);
+                    }
+                }
+            }
+        }
+    }
+
     /// Hashes a serde value tree canonically (variant tag + contents).
     fn value(&mut self, v: &Value) {
         match v {
@@ -136,18 +154,7 @@ pub fn fingerprint(
     }
     h.u64(levels as u64);
     h.u64(strategy.tag());
-    match assignments {
-        None => h.bool(false),
-        Some(levels) => {
-            h.bool(true);
-            h.u64(levels.len() as u64);
-            for level in levels {
-                for p in level {
-                    h.bool(*p == Parallelism::Model);
-                }
-            }
-        }
-    }
+    h.assignments(assignments);
     // The architecture config covers topology, bandwidths, energy model,
     // precision, and the PE grid; hashing its serialized form keeps the
     // fingerprint in sync with any future ArchConfig fields for free.
@@ -170,6 +177,7 @@ pub fn fingerprint_dag(
     graph: &SegmentCommGraph,
     levels: usize,
     strategy: Strategy,
+    assignments: Option<&[Vec<Parallelism>]>,
     cfg: &ArchConfig,
     simulate: bool,
 ) -> Fingerprint {
@@ -188,9 +196,11 @@ pub fn fingerprint_dag(
         h.u64(edge.from as u64);
         h.u64(edge.to as u64);
         h.f64(edge.elems);
+        h.f64(edge.join_elems);
     }
     h.u64(levels as u64);
     h.u64(strategy.tag());
+    h.assignments(assignments);
     h.value(&cfg.to_value());
     h.bool(simulate);
     Fingerprint(h.0)

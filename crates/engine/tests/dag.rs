@@ -197,15 +197,125 @@ fn chain_shaped_dag_supports_every_chain_strategy() {
 }
 
 #[test]
-fn branchy_requests_reject_unsupported_strategies() {
+fn branchy_exhaustive_plans_through_the_engine_and_caches() {
+    // tiny-res has 3 weighted layers: 3 x 4 = 12 slots, 4096 joint plans.
     let engine = PlanEngine::new();
-    let base = PlanRequest::zoo("resnet18").levels(2).batch(16);
+    let base = PlanRequest::graph(tiny_res_spec(&[0, 1, 2, 3]))
+        .batch(32)
+        .levels(4);
 
-    for strategy in [Strategy::Exhaustive, Strategy::Explicit] {
-        let err = engine.plan(&base.clone().strategy(strategy)).unwrap_err();
-        assert!(matches!(err, EngineError::InvalidRequest(_)), "{err}");
-        assert!(err.to_string().contains(strategy.name()));
+    let joint = engine
+        .plan(&base.clone().strategy(Strategy::Exhaustive))
+        .unwrap();
+    assert!(!joint.cache_hit);
+    assert_eq!(joint.network, "tiny-res");
+    assert_eq!(joint.plan.num_layers(), 3);
+    assert_eq!(joint.plan.num_levels(), 4);
+    assert!(joint.total_comm_elems > 0.0);
+
+    // The joint optimum lower-bounds every other strategy's plan.
+    let hybrid = engine.plan(&base.clone()).unwrap();
+    let dp = engine.plan(&base.clone().strategy(Strategy::Dp)).unwrap();
+    for other in [&hybrid, &dp] {
+        assert!(
+            joint.total_comm_elems <= other.total_comm_elems * (1.0 + 1e-12),
+            "joint {} vs {} {}",
+            joint.total_comm_elems,
+            other.strategy.name(),
+            other.total_comm_elems
+        );
+        assert_ne!(joint.fingerprint, other.fingerprint);
     }
+
+    // Fingerprinted, cached, and simulatable like every other DAG plan.
+    let again = engine
+        .plan(&base.clone().strategy(Strategy::Exhaustive))
+        .unwrap();
+    assert!(again.cache_hit, "identical exhaustive request must hit");
+    assert_eq!(again.fingerprint, joint.fingerprint);
+    let simulated = engine
+        .plan(&base.strategy(Strategy::Exhaustive).simulate(true))
+        .unwrap();
+    let sim = simulated
+        .simulation
+        .expect("simulate attaches a StepReport");
+    assert!(sim.step_time.value() > 0.0);
+}
+
+#[test]
+fn branchy_explicit_assignments_plan_through_the_engine() {
+    let engine = PlanEngine::new();
+    // Three layers (stem, body, fc in canonical order), two levels:
+    // all-dp at the top, fc flipped to mp below.
+    let request = PlanRequest::graph(tiny_res_spec(&[0, 1, 2, 3]))
+        .batch(32)
+        .levels(2)
+        .assignments(vec!["000".to_owned(), "001".to_owned()]);
+    let response = engine.plan(&request).unwrap();
+    assert_eq!(response.strategy, Strategy::Explicit);
+    assert_eq!(response.plan.level_bits(0), "000");
+    assert_eq!(response.plan.level_bits(1), "001");
+
+    // A different assignment is a different workload (own cache entry).
+    let other = engine
+        .plan(
+            &PlanRequest::graph(tiny_res_spec(&[0, 1, 2, 3]))
+                .batch(32)
+                .levels(2)
+                .assignments(vec!["000".to_owned(), "000".to_owned()]),
+        )
+        .unwrap();
+    assert!(!other.cache_hit);
+    assert_ne!(other.fingerprint, response.fingerprint);
+
+    // The exhaustive joint optimum can only be at least as good as any
+    // explicit point of the same space.
+    let joint = engine
+        .plan(
+            &PlanRequest::graph(tiny_res_spec(&[0, 1, 2, 3]))
+                .batch(32)
+                .levels(2)
+                .strategy(Strategy::Exhaustive),
+        )
+        .unwrap();
+    assert!(joint.total_comm_elems <= response.total_comm_elems * (1.0 + 1e-12));
+}
+
+#[test]
+fn branchy_strategy_misuse_is_a_typed_error() {
+    let engine = PlanEngine::new();
+
+    // ResNet-18 has 21 layers: 21 x 2 = 42 slots, over the 24-slot bound.
+    let err = engine
+        .plan(
+            &PlanRequest::zoo("resnet18")
+                .levels(2)
+                .batch(16)
+                .strategy(Strategy::Exhaustive),
+        )
+        .unwrap_err();
+    assert!(matches!(err, EngineError::InvalidRequest(_)), "{err}");
+    assert!(err.to_string().contains("42 slots"), "{err}");
+
+    // Explicit without assignments (and with malformed ones) stays typed.
+    let err = engine
+        .plan(
+            &PlanRequest::zoo("resnet18")
+                .levels(2)
+                .batch(16)
+                .strategy(Strategy::Explicit),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("assignments"), "{err}");
+    let err = engine
+        .plan(
+            &PlanRequest::graph(tiny_res_spec(&[0, 1, 2, 3]))
+                .batch(32)
+                .levels(2)
+                .assignments(vec!["00".to_owned(), "00".to_owned()]),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("3 layers"), "{err}");
 }
 
 #[test]

@@ -278,8 +278,51 @@ fn errors_are_reported_not_panicked() {
     ));
     assert!(matches!(
         engine.plan(&PlanRequest::zoo("VGG-E").strategy(Strategy::Exhaustive)),
-        Err(EngineError::InvalidRequest(_)) // 16 layers x 4 levels >> 24 slots
+        Err(EngineError::InvalidRequest(_)) // 19 layers x 4 levels >> 24 slots
     ));
     // Errors never poison the cache.
     assert_eq!(engine.cache_stats().entries, 0);
+}
+
+#[test]
+fn thirty_layer_exhaustive_request_is_rejected_not_panicked() {
+    // Regression: the brute-force module used to enforce its feasibility
+    // bound with `assert!`, so a crafted service request could unwind a
+    // worker thread.  A 30-layer exhaustive request must now come back as
+    // a typed error at any hierarchy depth.
+    let engine = PlanEngine::new();
+    let wide = CustomNetwork {
+        name: Some("wide".to_owned()),
+        input: InputSpec {
+            channels: 1,
+            height: 1,
+            width: 64,
+        },
+        layers: (0..30).map(|_| fc_layer(64)).collect(),
+    };
+    for levels in [1usize, 4, 16] {
+        let err = engine
+            .plan(
+                &PlanRequest::custom(wide.clone())
+                    .levels(levels)
+                    .strategy(Strategy::Exhaustive),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::InvalidRequest(_)),
+            "levels {levels}: {err}"
+        );
+        assert!(err.to_string().contains("slots"), "{err}");
+    }
+    // The degenerate 0-level request is feasible (one empty plan) and must
+    // answer, not panic.
+    let trivial = engine
+        .plan(
+            &PlanRequest::custom(wide)
+                .levels(0)
+                .strategy(Strategy::Exhaustive),
+        )
+        .unwrap();
+    assert_eq!(trivial.accelerators, 1);
+    assert_eq!(trivial.total_comm_elems, 0.0);
 }

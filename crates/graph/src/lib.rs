@@ -23,7 +23,12 @@
 //! * [`partition_graph`] / [`stitch`] — plan each segment with the
 //!   unmodified [`hypar_core::hierarchical`] search and stitch the results
 //!   into one whole-model [`hypar_core::HierarchicalPlan`], pricing every
-//!   inter-segment junction with [`hypar_comm::inter_elems`];
+//!   inter-segment junction with [`hypar_comm::inter_elems`] (each entry
+//!   point has a `_with` variant taking an explicit
+//!   [`hypar_comm::JunctionScaling`] interpretation);
+//! * [`exhaustive`] — the `O(2^{L·H})` **joint** brute-force baseline over
+//!   all segments and levels at once, quantifying the stitched planner's
+//!   greedy gap on small branchy networks;
 //! * [`zoo`] — ResNet-18-style and Inception-style builders, the branchy
 //!   counterpart of the paper's ten-network chain zoo.
 //!
@@ -46,6 +51,7 @@
 
 mod dag;
 mod error;
+pub mod exhaustive;
 mod node;
 pub mod plan;
 mod segments;
@@ -53,6 +59,10 @@ pub mod zoo;
 
 pub use dag::{DagNetwork, GraphBuilder};
 pub use error::GraphError;
+pub use exhaustive::{best_joint_graph, best_joint_graph_with};
 pub use node::{GraphNode, NodeOp, INPUT};
-pub use plan::{inter_segment_elems, partition_graph, plan_segments, stitch};
+pub use plan::{
+    evaluate_graph_plan, evaluate_graph_plan_with, inter_segment_elems, inter_segment_elems_with,
+    partition_graph, partition_graph_with, plan_segments, plan_segments_with, stitch, stitch_with,
+};
 pub use segments::{SegmentCommGraph, SegmentEdge};

@@ -1,8 +1,17 @@
 //! Whole-DAG planning: per-segment partition search stitched into one
 //! [`HierarchicalPlan`] with inter-segment communication accounting.
+//!
+//! Every entry point has a `_with` variant taking an explicit
+//! [`JunctionScaling`] interpretation; the unsuffixed functions use the
+//! consumer scope (the default throughout the workspace, see DESIGN.md
+//! §2), and the model-ablation experiment sweeps the alternatives on the
+//! DAG path exactly as it does on chains.
 
-use hypar_comm::{inter_elems, LayerScale, NetworkCommTensors, Parallelism};
-use hypar_core::{hierarchical, HierarchicalPlan};
+use hypar_comm::{
+    inter_elems, junction_scale_between, JunctionScaling, LayerScale, NetworkCommTensors,
+    Parallelism,
+};
+use hypar_core::{evaluate::evaluate_plan_with, hierarchical, HierarchicalPlan};
 
 use crate::segments::SegmentCommGraph;
 
@@ -33,8 +42,24 @@ use crate::segments::SegmentCommGraph;
 /// ```
 #[must_use]
 pub fn partition_graph(graph: &SegmentCommGraph, num_levels: usize) -> HierarchicalPlan {
-    plan_segments(graph, |segment| {
-        hierarchical::partition(segment, num_levels)
+    partition_graph_with(graph, num_levels, JunctionScaling::Consumer)
+}
+
+/// [`partition_graph`] under an explicit [`JunctionScaling`]
+/// interpretation, applied both inside every segment's partition search
+/// and to the inter-segment junction pricing.
+///
+/// # Panics
+///
+/// Same as [`partition_graph`].
+#[must_use]
+pub fn partition_graph_with(
+    graph: &SegmentCommGraph,
+    num_levels: usize,
+    mode: JunctionScaling,
+) -> HierarchicalPlan {
+    plan_segments_with(graph, mode, |segment| {
+        hierarchical::partition_with(segment, num_levels, mode)
     })
 }
 
@@ -50,8 +75,23 @@ pub fn plan_segments(
     graph: &SegmentCommGraph,
     plan_segment: impl Fn(&NetworkCommTensors) -> HierarchicalPlan,
 ) -> HierarchicalPlan {
+    plan_segments_with(graph, JunctionScaling::Consumer, plan_segment)
+}
+
+/// [`plan_segments`] with the inter-segment junctions priced under an
+/// explicit [`JunctionScaling`] interpretation.
+///
+/// # Panics
+///
+/// Same as [`plan_segments`].
+#[must_use]
+pub fn plan_segments_with(
+    graph: &SegmentCommGraph,
+    mode: JunctionScaling,
+    plan_segment: impl Fn(&NetworkCommTensors) -> HierarchicalPlan,
+) -> HierarchicalPlan {
     let plans: Vec<HierarchicalPlan> = graph.segments().iter().map(plan_segment).collect();
-    stitch(graph, &plans)
+    stitch_with(graph, &plans, mode)
 }
 
 /// Stitches per-segment plans into one whole-model [`HierarchicalPlan`]:
@@ -65,6 +105,21 @@ pub fn plan_segments(
 /// the plans disagree on the number of hierarchy levels.
 #[must_use]
 pub fn stitch(graph: &SegmentCommGraph, plans: &[HierarchicalPlan]) -> HierarchicalPlan {
+    stitch_with(graph, plans, JunctionScaling::Consumer)
+}
+
+/// [`stitch`] with the inter-segment junctions priced under an explicit
+/// [`JunctionScaling`] interpretation.
+///
+/// # Panics
+///
+/// Same as [`stitch`].
+#[must_use]
+pub fn stitch_with(
+    graph: &SegmentCommGraph,
+    plans: &[HierarchicalPlan],
+    mode: JunctionScaling,
+) -> HierarchicalPlan {
     assert_eq!(
         plans.len(),
         graph.num_segments(),
@@ -92,7 +147,7 @@ pub fn stitch(graph: &SegmentCommGraph, plans: &[HierarchicalPlan]) -> Hierarchi
         .iter()
         .map(HierarchicalPlan::total_comm_elems)
         .sum::<f64>()
-        + inter_segment_elems(graph, plans);
+        + inter_segment_elems_with(graph, plans, mode);
     HierarchicalPlan::from_parts(graph.name(), layer_names, levels, total)
 }
 
@@ -113,6 +168,23 @@ pub fn stitch(graph: &SegmentCommGraph, plans: &[HierarchicalPlan]) -> Hierarchi
 /// Panics if `plans` does not match the graph's segments.
 #[must_use]
 pub fn inter_segment_elems(graph: &SegmentCommGraph, plans: &[HierarchicalPlan]) -> f64 {
+    inter_segment_elems_with(graph, plans, JunctionScaling::Consumer)
+}
+
+/// [`inter_segment_elems`] under an explicit [`JunctionScaling`]
+/// interpretation: the junction fraction follows the consumer's layout,
+/// the producer's layout, or stays unscaled
+/// ([`hypar_comm::junction_scale_between`]).
+///
+/// # Panics
+///
+/// Same as [`inter_segment_elems`].
+#[must_use]
+pub fn inter_segment_elems_with(
+    graph: &SegmentCommGraph,
+    plans: &[HierarchicalPlan],
+    mode: JunctionScaling,
+) -> f64 {
     assert_eq!(
         plans.len(),
         graph.num_segments(),
@@ -123,12 +195,88 @@ pub fn inter_segment_elems(graph: &SegmentCommGraph, plans: &[HierarchicalPlan])
         let producer = &plans[edge.from];
         let consumer = &plans[edge.to];
         let last = producer.num_layers() - 1;
+        let mut producer_scale = LayerScale::IDENTITY;
         let mut consumer_scale = LayerScale::IDENTITY;
         for h in 0..consumer.num_levels() {
             let prev = producer.choice(h, last);
             let next = consumer.choice(h, 0);
-            let pair = inter_elems(prev, next, edge.elems, consumer_scale.input_scale());
+            let scale = junction_scale_between(producer_scale, consumer_scale, mode);
+            let pair = inter_elems(prev, next, edge.elems, scale);
             total += (1u64 << h) as f64 * pair;
+            producer_scale = producer_scale.descend(prev);
+            consumer_scale = consumer_scale.descend(next);
+        }
+    }
+    total
+}
+
+/// Costs an **arbitrary** whole-graph assignment (`levels[h][l]`, top
+/// level first, layers concatenated in canonical segment order) under the
+/// identical model [`stitch`] uses: per-segment
+/// [`hypar_core::evaluate::evaluate_plan`] totals plus the inter-segment
+/// junction pricing.
+///
+/// This is how the engine's `explicit` strategy and the joint exhaustive
+/// search ([`crate::exhaustive::best_joint_graph`]) stay directly
+/// comparable to the stitched planner: the stitched plan's own levels
+/// evaluate to exactly its stitched total.
+///
+/// # Panics
+///
+/// Panics if any level does not cover every weighted layer of the graph.
+#[must_use]
+pub fn evaluate_graph_plan(graph: &SegmentCommGraph, levels: &[Vec<Parallelism>]) -> f64 {
+    evaluate_graph_plan_with(graph, levels, JunctionScaling::Consumer)
+}
+
+/// [`evaluate_graph_plan`] under an explicit [`JunctionScaling`]
+/// interpretation.
+///
+/// # Panics
+///
+/// Same as [`evaluate_graph_plan`].
+#[must_use]
+pub fn evaluate_graph_plan_with(
+    graph: &SegmentCommGraph,
+    levels: &[Vec<Parallelism>],
+    mode: JunctionScaling,
+) -> f64 {
+    let num_layers = graph.num_layers();
+    for level in levels {
+        assert_eq!(
+            level.len(),
+            num_layers,
+            "level must cover every weighted layer of the graph"
+        );
+    }
+    // Per-segment totals over the segment's slice of each level.
+    let mut total = 0.0;
+    let mut offset = 0;
+    let mut first_layer = Vec::with_capacity(graph.num_segments());
+    let mut last_layer = Vec::with_capacity(graph.num_segments());
+    for segment in graph.segments() {
+        let len = segment.len();
+        first_layer.push(offset);
+        last_layer.push(offset + len - 1);
+        let seg_levels: Vec<Vec<Parallelism>> = levels
+            .iter()
+            .map(|level| level[offset..offset + len].to_vec())
+            .collect();
+        total += evaluate_plan_with(segment, &seg_levels, mode).total_elems();
+        offset += len;
+    }
+    // Inter-segment junctions under the boundary layers' choices.
+    for edge in graph.edges() {
+        let from = last_layer[edge.from];
+        let to = first_layer[edge.to];
+        let mut producer_scale = LayerScale::IDENTITY;
+        let mut consumer_scale = LayerScale::IDENTITY;
+        for (h, level) in levels.iter().enumerate() {
+            let prev = level[from];
+            let next = level[to];
+            let scale = junction_scale_between(producer_scale, consumer_scale, mode);
+            total += (1u64 << h) as f64 * inter_elems(prev, next, edge.elems, scale);
+            producer_scale = producer_scale.descend(prev);
             consumer_scale = consumer_scale.descend(next);
         }
     }
@@ -205,6 +353,47 @@ mod tests {
         let stitched = stitch(&graph, &plans);
         assert_eq!(stitched.total_comm_elems(), segment_sum + inter);
         assert!(inter > 0.0, "a residual block must pay branch/join traffic");
+    }
+
+    #[test]
+    fn evaluate_graph_plan_reproduces_the_stitched_total() {
+        for levels in [0usize, 2, 4] {
+            let graph = tiny_residual_graph(32);
+            for mode in [
+                JunctionScaling::Consumer,
+                JunctionScaling::Producer,
+                JunctionScaling::Unscaled,
+            ] {
+                let stitched = partition_graph_with(&graph, levels, mode);
+                let recomputed = evaluate_graph_plan_with(&graph, stitched.levels(), mode);
+                assert!(
+                    (stitched.total_comm_elems() - recomputed).abs() <= 1e-9 * recomputed.max(1.0),
+                    "{mode:?} H{levels}: stitched {} vs evaluated {recomputed}",
+                    stitched.total_comm_elems()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn junction_scaling_modes_change_the_inter_segment_price() {
+        // Force divergent boundary layouts: all-mp producer scales shrink
+        // batch never, so producer scope (output_scale) stays 1 while the
+        // consumer scope (input_scale) halves per level.
+        let graph = tiny_residual_graph(32);
+        let plans: Vec<HierarchicalPlan> = graph
+            .segments()
+            .iter()
+            .map(|s| baselines::all_model(s, 3))
+            .collect();
+        let consumer = inter_segment_elems_with(&graph, &plans, JunctionScaling::Consumer);
+        let producer = inter_segment_elems_with(&graph, &plans, JunctionScaling::Producer);
+        let unscaled = inter_segment_elems_with(&graph, &plans, JunctionScaling::Unscaled);
+        assert!(consumer > 0.0);
+        // mp never shrinks the producer's batch, so producer scope prices
+        // every level at full size — equal to unscaled, above consumer.
+        assert_eq!(producer, unscaled);
+        assert!(consumer < producer, "consumer {consumer} vs {producer}");
     }
 
     #[test]

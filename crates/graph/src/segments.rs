@@ -46,6 +46,13 @@ pub struct SegmentEdge {
     /// reaches the consumer through several (edges are merged per
     /// producer/consumer pair).
     pub elems: f64,
+    /// Batched elements of element-wise join work this edge contributes at
+    /// the consumer's entry: `add` joins accumulate each branch tensor
+    /// into the joined sum and `concat` joins gather each branch slice
+    /// into the joined map, so every edge resolved *through* a join
+    /// charges its full [`SegmentEdge::elems`] here.  Zero for a direct
+    /// branch-forwarding edge (pure fan-out involves no arithmetic).
+    pub join_elems: f64,
 }
 
 /// The communication-model view of a whole DAG at a fixed batch size: one
@@ -256,12 +263,14 @@ impl DagNetwork {
         // down to the producing layers (graph-input edges are free).
         let mut edges = Vec::new();
         for (s, run) in members.iter().enumerate() {
-            let mut push = |p: Option<usize>, mult: f64| {
+            let mut push = |p: Option<usize>, mult: f64, via_join: bool| {
                 if let Some(p) = p {
+                    let elems = mult * (batch * self.node_output(p).volume()) as f64;
                     edges.push(SegmentEdge {
                         from: seg_of[p],
                         to: s,
-                        elems: mult * (batch * self.node_output(p).volume()) as f64,
+                        elems,
+                        join_elems: if via_join { elems } else { 0.0 },
                     });
                 }
             };
@@ -269,10 +278,10 @@ impl DagNetwork {
                 Some(j) if nodes[j].op().is_join() => {
                     let producers = join_producers[j].as_ref().expect("joins were resolved");
                     for (&source, &mult) in producers {
-                        push(source, mult);
+                        push(source, mult, true);
                     }
                 }
-                direct => push(direct, 1.0),
+                direct => push(direct, 1.0, false),
             }
         }
 
@@ -338,6 +347,22 @@ mod tests {
         let fc = graph.segment(2);
         assert_eq!(fc.layer(0).weight_elems, (8 * 16 * 16 * 10) as f64);
         assert_eq!(fc.layer(0).input_elems, (32 * 8 * 16 * 16) as f64);
+    }
+
+    #[test]
+    fn join_work_is_charged_only_on_join_mediated_edges() {
+        let graph = tiny_residual().segments(32).unwrap();
+        let branch = (32 * 8 * 16 * 16) as f64;
+        for edge in graph.edges() {
+            if edge.to == 2 {
+                // stem->fc and body->fc resolve through the `add` join:
+                // each branch tensor is accumulated into the sum.
+                assert_eq!(edge.join_elems, branch, "{edge:?}");
+            } else {
+                // stem->body is pure fan-out: no arithmetic.
+                assert_eq!(edge.join_elems, 0.0, "{edge:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Architecture configuration (the paper's §6.1 evaluation setup).
 
+use hypar_comm::JunctionScaling;
 use serde::{Deserialize, Serialize};
 
 use crate::pe::PeArray;
@@ -55,6 +56,19 @@ pub struct ArchConfig {
     pub detailed_pe: bool,
     /// The PE grid used when `detailed_pe` is enabled.
     pub pe_array: PeArray,
+    /// How junction tensors are scoped when the hierarchy descends —
+    /// consumer layout (default), producer layout, or unscaled.  Must
+    /// match the interpretation the plan was costed under for the
+    /// simulated traffic to reconcile with the analytic total; the
+    /// `ablation` experiment sweeps the alternatives on chains and DAGs
+    /// alike.
+    pub junction_scaling: JunctionScaling,
+    /// Whether `add`/`concat` joins charge their element-wise
+    /// accumulation/gather work to the compute model (`true` by default).
+    /// The analytic communication model never sees this work — it moves no
+    /// tensors between groups — but ignoring it under-counts step time on
+    /// join-heavy networks; `false` reproduces the pure-analytic schedule.
+    pub join_compute: bool,
 }
 
 impl ArchConfig {
@@ -73,6 +87,8 @@ impl ArchConfig {
             precision_bytes: 4,
             detailed_pe: false,
             pe_array: PeArray::paper(),
+            junction_scaling: JunctionScaling::Consumer,
+            join_compute: true,
         }
     }
 
@@ -102,6 +118,22 @@ impl ArchConfig {
     #[must_use]
     pub fn with_detailed_pe(mut self) -> Self {
         self.detailed_pe = true;
+        self
+    }
+
+    /// Returns the configuration with a different junction-scaling
+    /// interpretation.
+    #[must_use]
+    pub fn with_junction_scaling(mut self, mode: JunctionScaling) -> Self {
+        self.junction_scaling = mode;
+        self
+    }
+
+    /// Returns the configuration with join element-wise compute charging
+    /// enabled or disabled.
+    #[must_use]
+    pub fn with_join_compute(mut self, join_compute: bool) -> Self {
+        self.join_compute = join_compute;
         self
     }
 }
@@ -141,5 +173,17 @@ mod tests {
     #[test]
     fn default_is_paper() {
         assert_eq!(ArchConfig::default(), ArchConfig::paper());
+    }
+
+    #[test]
+    fn junction_and_join_knobs_have_paper_defaults() {
+        let cfg = ArchConfig::paper();
+        assert_eq!(cfg.junction_scaling, JunctionScaling::Consumer);
+        assert!(cfg.join_compute);
+        let cfg = cfg
+            .with_junction_scaling(JunctionScaling::Producer)
+            .with_join_compute(false);
+        assert_eq!(cfg.junction_scaling, JunctionScaling::Producer);
+        assert!(!cfg.join_compute);
     }
 }

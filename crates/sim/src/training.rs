@@ -20,11 +20,17 @@
 //! every segment is the same chain schedule, and each
 //! [`hypar_graph::SegmentEdge`] junction adds **branch forwarding** tasks
 //! (the producing segment's `F` tensor fans out to each consumer before
-//! its forward pass) and **join gradient accumulation** tasks (the error
+//! its forward pass), **join gradient accumulation** tasks (the error
 //! `E` flows back along every in-edge of an `add`/`concat` before the
-//! producing segment's backward pass).  A branch-free DAG is one segment
+//! producing segment's backward pass), and — when
+//! [`crate::ArchConfig::join_compute`] is enabled — a **join compute**
+//! stage charging the element-wise accumulation/gather work of
+//! materializing the joined tensor.  A branch-free DAG is one segment
 //! with no edges, so its schedule — and therefore its [`StepReport`] — is
-//! bit-identical to the linearized chain's.
+//! bit-identical to the linearized chain's.  All junction tensors (chain
+//! and inter-segment alike) are scoped by the configured
+//! [`hypar_comm::JunctionScaling`] interpretation, consumer layout by
+//! default.
 //!
 //! With `overlap_comm = false` (the paper's setting) the step executes as
 //! a strict sequence of stages separated by barriers; with `true`, tasks
@@ -33,7 +39,8 @@
 //! branchy DAG, letting independent branches genuinely overlap.
 
 use hypar_comm::{
-    inter_split, intra_elems, LayerScale, NetworkCommTensors, Parallelism, ScaleState,
+    inter_split, intra_elems, junction_scale_between, LayerScale, NetworkCommTensors, Parallelism,
+    ScaleState,
 };
 use hypar_core::HierarchicalPlan;
 use hypar_graph::{SegmentCommGraph, SegmentEdge};
@@ -448,9 +455,9 @@ impl<'a> Builder<'a> {
     /// junction — branch forwarding (`forward`, the `F` tensor) or join
     /// gradient accumulation (backward, the `E` tensor) — pricing each
     /// level exactly as [`hypar_graph::inter_segment_elems`] does: under
-    /// the committed parallelisms of the two boundary layers, scaled to
-    /// the consumer's scope.  Levels whose transfer is free (dp→dp) add no
-    /// tasks.
+    /// the committed parallelisms of the two boundary layers, scoped by
+    /// the configured [`hypar_comm::JunctionScaling`] interpretation.
+    /// Levels whose transfer is free (dp→dp) add no tasks.
     fn edge_comm(&mut self, edge: SegmentEdge, forward: bool, deps: &[TaskId]) -> Vec<TaskId> {
         let last = self.segs[edge.from].len() - 1;
         let label = if self.trace {
@@ -463,17 +470,21 @@ impl<'a> Builder<'a> {
         } else {
             String::new()
         };
-        let mut scale = LayerScale::IDENTITY;
+        let mut producer_scale = LayerScale::IDENTITY;
+        let mut consumer_scale = LayerScale::IDENTITY;
         let mut tasks = Vec::new();
         for h in 0..self.num_levels {
             let prev = self.segs[edge.from].plan.choice(h, last);
             let next = self.segs[edge.to].plan.choice(h, 0);
-            let (f_elems, e_elems) = inter_split(prev, next, edge.elems, scale.input_scale());
+            let scale =
+                junction_scale_between(producer_scale, consumer_scale, self.cfg.junction_scaling);
+            let (f_elems, e_elems) = inter_split(prev, next, edge.elems, scale);
             let elems = if forward { f_elems } else { e_elems };
             if elems > 0.0 {
                 tasks.extend(self.comm_stage(h, elems, &label, deps));
             }
-            scale = scale.descend(next);
+            producer_scale = producer_scale.descend(prev);
+            consumer_scale = consumer_scale.descend(next);
         }
         tasks
     }
@@ -482,7 +493,11 @@ impl<'a> Builder<'a> {
     /// branch-forwarding transfers, scheduled behind the global frontier
     /// (barrier mode) or behind each producer's forward exit (overlap
     /// mode).  An edge whose transfer is free at every level still imposes
-    /// its producer's data dependency.
+    /// its producer's data dependency.  When the incoming edges carry join
+    /// work (`add` accumulation / `concat` gather) and
+    /// [`crate::ArchConfig::join_compute`] is enabled, an element-wise
+    /// compute stage materializes the joined tensor once every
+    /// contribution has arrived.
     fn forward_entry(
         &mut self,
         s: usize,
@@ -491,7 +506,7 @@ impl<'a> Builder<'a> {
         barrier_mode: bool,
     ) -> Vec<TaskId> {
         let incoming: Vec<SegmentEdge> = self.edges.iter().copied().filter(|e| e.to == s).collect();
-        if barrier_mode {
+        let entry = if barrier_mode {
             let mut tasks = Vec::new();
             for &edge in &incoming {
                 tasks.extend(self.edge_comm(edge, true, stage_end));
@@ -513,7 +528,17 @@ impl<'a> Builder<'a> {
                 }
             }
             deps
+        };
+        let join_elems: f64 = incoming.iter().map(|e| e.join_elems).sum();
+        if !self.cfg.join_compute || join_elems == 0.0 {
+            return entry;
         }
+        // The accumulation cannot start before every branch tensor has
+        // arrived, so the join is a synchronization point in both modes.
+        let head = self.segs[s].net.layer(0).name.clone();
+        let deps = vec![self.barrier(&entry)];
+        let tasks = self.compute_stage(0.0, join_elems, 0.0, None, &format!("join {head}"), &deps);
+        vec![self.barrier(&tasks)]
     }
 
     /// The frontier segment `s`'s backward pass starts from: the join
@@ -603,7 +628,7 @@ impl<'a> Builder<'a> {
                         self.segs[s].plan.choice(h, l),
                         self.segs[s].plan.choice(h, l + 1),
                         view.junction_elems,
-                        self.segs[s].scales_at[h].junction_scale(l),
+                        self.segs[s].scales_at[h].junction_scale_with(l, self.cfg.junction_scaling),
                     );
                     if f_elems > 0.0 {
                         let deps = vec![self.barrier(&tasks)];
@@ -651,7 +676,7 @@ impl<'a> Builder<'a> {
                         self.segs[s].plan.choice(h, l),
                         self.segs[s].plan.choice(h, l + 1),
                         view.junction_elems,
-                        self.segs[s].scales_at[h].junction_scale(l),
+                        self.segs[s].scales_at[h].junction_scale_with(l, self.cfg.junction_scaling),
                     );
                     if e_elems > 0.0 {
                         let deps = vec![self.barrier(&bwd_frontier)];
@@ -858,8 +883,9 @@ impl<'a> Builder<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hypar_comm::JunctionScaling;
     use hypar_core::{baselines, hierarchical};
-    use hypar_graph::{partition_graph, plan_segments, zoo as graph_zoo};
+    use hypar_graph::{partition_graph, partition_graph_with, plan_segments, zoo as graph_zoo};
     use hypar_models::zoo;
 
     fn setup(name: &str, batch: u64) -> (NetworkShapes, NetworkCommTensors) {
@@ -1045,6 +1071,63 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn graph_step_comm_matches_the_model_under_every_junction_scaling() {
+        // The JunctionScaling ablation must hold on the DAG path too: when
+        // the simulator prices junctions under the same interpretation the
+        // plan was costed with, traffic reconciles exactly.
+        let graph = graph_zoo::inception_mini().segments(128).unwrap();
+        for mode in [
+            JunctionScaling::Consumer,
+            JunctionScaling::Producer,
+            JunctionScaling::Unscaled,
+        ] {
+            let plan = partition_graph_with(&graph, 4, mode);
+            let cfg = ArchConfig::paper().with_junction_scaling(mode);
+            let report = simulate_graph_step(&graph, &plan, &cfg).unwrap();
+            let expected = plan.total_comm_bytes();
+            assert!(
+                (report.comm_bytes.value() - expected.value()).abs()
+                    <= 1e-6 * expected.value().max(1.0),
+                "{mode:?}: sim {} vs model {}",
+                report.comm_bytes,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn join_compute_strictly_increases_join_heavy_step_time() {
+        // Inception-Mini's concat gathers three branch tensors; charging
+        // that element-wise work must strictly lengthen the step and add
+        // compute energy, while moving no bytes between groups.
+        let graph = graph_zoo::inception_mini().segments(128).unwrap();
+        let plan = partition_graph(&graph, 4);
+        let with = simulate_graph_step(&graph, &plan, &ArchConfig::paper()).unwrap();
+        let without =
+            simulate_graph_step(&graph, &plan, &ArchConfig::paper().with_join_compute(false))
+                .unwrap();
+        assert!(
+            with.step_time > without.step_time,
+            "join compute must lengthen the step: {} vs {}",
+            with.step_time,
+            without.step_time
+        );
+        assert!(with.compute_energy > without.compute_energy);
+        assert_eq!(with.comm_bytes, without.comm_bytes);
+        assert_eq!(with.link_energy, without.link_energy);
+    }
+
+    #[test]
+    fn join_compute_labels_the_trace() {
+        let graph = graph_zoo::inception_mini().segments(128).unwrap();
+        let plan = partition_graph(&graph, 4);
+        let (_, trace) = simulate_graph_step_traced(&graph, &plan, &ArchConfig::paper()).unwrap();
+        // The concat's consumer segment head is conv2: the gather runs
+        // right before its forward pass.
+        assert!(trace.contains("join conv2"), "{trace}");
     }
 
     #[test]
