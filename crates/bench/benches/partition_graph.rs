@@ -4,7 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hypar_graph::{
-    best_joint_graph, partition_graph, zoo, DagNetwork, GraphBuilder, SegmentCommGraph, INPUT,
+    best_joint_graph, partition_graph, partition_graph_refined, zoo, DagNetwork, GraphBuilder,
+    SegmentCommGraph, INPUT,
 };
 use hypar_models::ConvSpec;
 use hypar_tensor::FeatureDims;
@@ -87,11 +88,44 @@ fn bench_best_joint_graph(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_refine_graph(c: &mut Criterion) {
+    // The junction-aware refinement pass on DAGs where the exhaustive
+    // joint search is a typed rejection: polynomial coordinate descent
+    // (sweeps × L·H re-decisions × O((L+E)·H) evaluations) vs the
+    // `O(2^{L·H})` enumeration that tops out at 24 slots.  ResNet-18 at
+    // H=4 is 84 slots; the 64-block ladder is 516.
+    let mut group = c.benchmark_group("refine_graph");
+    let resnet = zoo::resnet18().segments(64).expect("zoo decomposes");
+    assert!(
+        best_joint_graph(&resnet, 4).is_err(),
+        "ResNet-18 must exceed the exhaustive bound for this bench to mean anything"
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("resnet18"),
+        &resnet,
+        |b, graph| {
+            b.iter(|| partition_graph_refined(black_box(graph), black_box(4)).unwrap());
+        },
+    );
+    for num_blocks in [4usize, 16, 64] {
+        let graph = residual_ladder(num_blocks).segments(64).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("ladder{num_blocks}")),
+            &graph,
+            |b, graph| {
+                b.iter(|| partition_graph_refined(black_box(graph), black_box(4)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_segment_decomposition,
     bench_partition_graph_zoo,
     bench_partition_graph_ladder,
-    bench_best_joint_graph
+    bench_best_joint_graph,
+    bench_refine_graph
 );
 criterion_main!(benches);

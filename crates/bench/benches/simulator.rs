@@ -53,7 +53,7 @@ fn bench_simulate_graph_step(c: &mut Criterion) {
             .expect("zoo names resolve")
             .segments(64)
             .expect("zoo networks decompose");
-        let plan = partition_graph(&graph, 4);
+        let plan = partition_graph(&graph, 4).expect("zoo segment graphs stitch");
         for (mode, cfg) in [("serial", &cfg), ("overlap", &overlap)] {
             group.bench_with_input(
                 BenchmarkId::new(name, mode),

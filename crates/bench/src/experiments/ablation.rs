@@ -117,7 +117,10 @@ pub fn run() -> Ablation {
             ];
             let plans: Vec<_> = modes
                 .iter()
-                .map(|&m| partition_graph_with(&graph, PAPER_LEVELS, m))
+                .map(|&m| {
+                    partition_graph_with(&graph, PAPER_LEVELS, m)
+                        .expect("zoo segment graphs stitch")
+                })
                 .collect();
             JunctionRow {
                 network: (*name).to_owned(),

@@ -82,13 +82,17 @@ pub fn run() -> Branchy {
         .map(|name| {
             let dag = zoo::by_name(name).expect("zoo names resolve");
             let graph = dag.segments(batch).expect("zoo networks decompose");
-            let hybrid_plan = partition_graph(&graph, levels);
-            let dp_plan = plan_segments(&graph, |s| baselines::all_data(s, levels));
+            let hybrid_plan = partition_graph(&graph, levels).expect("zoo segment graphs stitch");
+            let dp_plan = plan_segments(&graph, |s| baselines::all_data(s, levels))
+                .expect("zoo segment graphs stitch");
             let hybrid = hybrid_plan.total_comm_elems();
             let dp = dp_plan.total_comm_elems();
-            let mp = plan_segments(&graph, |s| baselines::all_model(s, levels)).total_comm_elems();
-            let owt =
-                plan_segments(&graph, |s| baselines::one_weird_trick(s, levels)).total_comm_elems();
+            let mp = plan_segments(&graph, |s| baselines::all_model(s, levels))
+                .expect("zoo segment graphs stitch")
+                .total_comm_elems();
+            let owt = plan_segments(&graph, |s| baselines::one_weird_trick(s, levels))
+                .expect("zoo segment graphs stitch")
+                .total_comm_elems();
             let hybrid_sim = training::simulate_graph_step(&graph, &hybrid_plan, &cfg)
                 .expect("stitched plans cover the graph");
             let dp_sim = training::simulate_graph_step(&graph, &dp_plan, &cfg)

@@ -18,6 +18,9 @@
 //!   "one weird trick";
 //! * [`exhaustive`] — brute-force optima used to validate the dynamic
 //!   program and to quantify the greedy gap of the hierarchical recursion;
+//! * [`refine`] — polynomial coordinate descent closing part of that
+//!   greedy gap: re-decides each committed bit against the true plan
+//!   cost, monotonically, to a fixed point;
 //! * [`sweep`] — the restricted design-space enumerations of Figures 9/10.
 //!
 //! # Examples
@@ -43,6 +46,7 @@ pub mod evaluate;
 pub mod exhaustive;
 pub mod hierarchical;
 mod plan;
+pub mod refine;
 pub mod sweep;
 pub mod two_group;
 

@@ -1,7 +1,7 @@
 //! The engine's LRU plan cache.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use serde::Serialize;
 
@@ -39,6 +39,14 @@ struct Inner {
 /// Eviction scans for the stale entry on insert; with the engine's default
 /// capacity (1024) that linear scan is far cheaper than the planning work
 /// it saves.  A capacity of 0 disables storage entirely.
+///
+/// The cache **recovers from mutex poisoning**: if a planner thread
+/// panics while holding the lock, later lookups take the inner state as
+/// is instead of propagating the poison.  Every mutation the cache
+/// performs under the lock keeps the map coherent at each step (plain
+/// counter bumps, `HashMap` insert/remove), so the recovered state is at
+/// worst missing one entry — a poisoned service keeps answering instead
+/// of 500ing every subsequent request.
 pub struct PlanCache {
     inner: Mutex<Inner>,
     capacity: usize,
@@ -74,7 +82,7 @@ impl PlanCache {
     /// Looks a fingerprint up, counting a hit or miss.
     #[must_use]
     pub fn get(&self, key: Fingerprint) -> Option<Arc<PlanResponse>> {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.tick += 1;
         let tick = inner.tick;
         let found = inner.map.get_mut(&key.0).map(|entry| {
@@ -99,7 +107,7 @@ impl PlanCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.tick += 1;
         let tick = inner.tick;
         if inner.map.len() >= self.capacity && !inner.map.contains_key(&key.0) {
@@ -124,7 +132,7 @@ impl PlanCache {
     /// Current counters and occupancy.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("cache lock");
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,
@@ -177,6 +185,32 @@ mod tests {
         assert!(cache.get(Fingerprint(1)).is_some());
         assert!(cache.get(Fingerprint(3)).is_some());
         assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_panicking() {
+        // A planner thread that panics while holding the cache lock must
+        // not condemn every later request: get/insert/stats recover the
+        // inner state from the poisoned mutex.
+        let cache = std::sync::Arc::new(PlanCache::new(4));
+        cache.insert(Fingerprint(1), response(1));
+        let poisoner = std::sync::Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            panic!("poison the cache lock");
+        })
+        .join();
+        assert!(cache.inner.is_poisoned(), "the lock must actually poison");
+
+        assert!(cache.get(Fingerprint(1)).is_some());
+        cache.insert(Fingerprint(2), response(2));
+        assert!(cache.get(Fingerprint(2)).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.hits, 2);
     }
 
     #[test]

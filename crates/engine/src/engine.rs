@@ -4,7 +4,9 @@ use std::fmt;
 use std::sync::Arc;
 
 use hypar_comm::{NetworkCommTensors, Parallelism};
-use hypar_core::{baselines, evaluate::evaluate_plan, exhaustive, hierarchical, HierarchicalPlan};
+use hypar_core::{
+    baselines, evaluate::evaluate_plan, exhaustive, hierarchical, refine, HierarchicalPlan,
+};
 use hypar_graph::{zoo as graph_zoo, DagNetwork, SegmentCommGraph};
 use hypar_models::zoo;
 use hypar_models::{ConvSpec, Layer, Network, NetworkShapes, PoolKind, PoolSpec};
@@ -169,6 +171,18 @@ impl Resolved {
                 network = ResolvedNet::Chain(chain);
             }
         }
+        // `refine: true` is a modifier spelling of the refined strategy:
+        // both resolve — and therefore fingerprint and cache — as
+        // `Strategy::Refined`.
+        let strategy = match (request.strategy, request.refine) {
+            (strategy, false) => strategy,
+            (Strategy::Hypar | Strategy::Refined, true) => Strategy::Refined,
+            (other, true) => {
+                return Err(EngineError::InvalidRequest(format!(
+                    "`refine: true` applies to strategy `hypar` (or `refined`), not `{other}`"
+                )))
+            }
+        };
         let (workload, assignments) = match network {
             ResolvedNet::Chain(chain) => {
                 let shapes = NetworkShapes::infer(&chain, request.batch)
@@ -188,7 +202,7 @@ impl Resolved {
         Ok(Resolved {
             workload,
             cfg: ArchConfig::paper().with_topology(request.topology),
-            strategy: request.strategy,
+            strategy,
             assignments,
             levels: request.levels,
             simulate: request.simulate,
@@ -262,6 +276,7 @@ impl Resolved {
             Strategy::Dp => baselines::all_data(net, self.levels),
             Strategy::Mp => baselines::all_model(net, self.levels),
             Strategy::Owt => baselines::one_weird_trick(net, self.levels),
+            Strategy::Refined => refine::refine_partition(net, self.levels),
             Strategy::Exhaustive => {
                 let (cost, levels) = exhaustive::best_joint(net, self.levels)
                     .map_err(|e| EngineError::InvalidRequest(e.to_string()))?;
@@ -289,11 +304,27 @@ impl Resolved {
     /// evaluates the supplied whole-graph assignment, both priced by the
     /// identical stitched model.
     fn run_dag_strategy(&self, graph: &SegmentCommGraph) -> Result<HierarchicalPlan, EngineError> {
+        // Stitch/evaluate mismatches are typed `GraphError`s; an engine
+        // whose own per-segment plans disagree with the graph is a bug,
+        // but it costs the request an error JSON, never the process.
+        let graph_failed = |e: hypar_graph::GraphError| EngineError::InvalidRequest(e.to_string());
         let plan_one: fn(&NetworkCommTensors, usize) -> HierarchicalPlan = match self.strategy {
             Strategy::Hypar => hierarchical::partition,
             Strategy::Dp => baselines::all_data,
             Strategy::Mp => baselines::all_model,
             Strategy::Owt => baselines::one_weird_trick,
+            Strategy::Refined => {
+                // The junction-aware pass: stitched seed, then
+                // whole-graph coordinate descent.  Segments still fan out
+                // across the pool for the seed.
+                let plans = parallel::map(graph.segments(), |s| {
+                    hierarchical::partition(s, self.levels)
+                });
+                let stitched = hypar_graph::stitch(graph, &plans).map_err(graph_failed)?;
+                return hypar_graph::refine_graph_plan(graph, &stitched)
+                    .map(|(refined, _)| refined)
+                    .map_err(graph_failed);
+            }
             Strategy::Exhaustive => {
                 return hypar_graph::best_joint_graph(graph, self.levels)
                     .map_err(|e| EngineError::InvalidRequest(e.to_string()));
@@ -307,7 +338,8 @@ impl Resolved {
                         "strategy `explicit` lost its assignments during resolution".to_owned(),
                     )
                 })?;
-                let cost = hypar_graph::evaluate_graph_plan(graph, &levels);
+                let cost =
+                    hypar_graph::evaluate_graph_plan(graph, &levels).map_err(graph_failed)?;
                 return Ok(HierarchicalPlan::from_parts(
                     graph.name(),
                     graph_layer_names(graph),
@@ -317,7 +349,7 @@ impl Resolved {
             }
         };
         let plans = parallel::map(graph.segments(), |segment| plan_one(segment, self.levels));
-        Ok(hypar_graph::stitch(graph, &plans))
+        hypar_graph::stitch(graph, &plans).map_err(graph_failed)
     }
 }
 

@@ -18,6 +18,13 @@ pub enum Strategy {
     Mp,
     /// Krizhevsky's "one weird trick": dp for conv, mp for fc.
     Owt,
+    /// The HyPar plan improved by polynomial coordinate-descent
+    /// refinement: on a branchy DAG the junction-aware pass re-decides
+    /// every bit against the whole-graph cost (closing the stitcher's
+    /// greedy gap); on a chain it closes Algorithm 2's level-by-level
+    /// greedy gap the same way.  Equivalent to `strategy: "hypar"` with
+    /// `refine: true`.
+    Refined,
     /// Brute-force joint optimum over all levels (guarded to ≤ 24 slots).
     Exhaustive,
     /// The request supplies the assignment itself via
@@ -27,17 +34,18 @@ pub enum Strategy {
 
 impl Strategy {
     /// All strategies, for iteration and help text.
-    pub const ALL: [Strategy; 6] = [
+    pub const ALL: [Strategy; 7] = [
         Strategy::Hypar,
         Strategy::Dp,
         Strategy::Mp,
         Strategy::Owt,
+        Strategy::Refined,
         Strategy::Exhaustive,
         Strategy::Explicit,
     ];
 
-    /// The wire name (`hypar`, `dp`, `mp`, `owt`, `exhaustive`,
-    /// `explicit`).
+    /// The wire name (`hypar`, `dp`, `mp`, `owt`, `refined`,
+    /// `exhaustive`, `explicit`).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
@@ -45,6 +53,7 @@ impl Strategy {
             Strategy::Dp => "dp",
             Strategy::Mp => "mp",
             Strategy::Owt => "owt",
+            Strategy::Refined => "refined",
             Strategy::Exhaustive => "exhaustive",
             Strategy::Explicit => "explicit",
         }
@@ -60,6 +69,7 @@ impl Strategy {
             Strategy::Owt => 3,
             Strategy::Exhaustive => 4,
             Strategy::Explicit => 5,
+            Strategy::Refined => 6,
         }
     }
 }
@@ -78,7 +88,10 @@ impl FromStr for Strategy {
             .into_iter()
             .find(|st| st.name() == s)
             .ok_or_else(|| {
-                format!("unknown strategy `{s}` (expected hypar|dp|mp|owt|exhaustive|explicit)")
+                format!(
+                    "unknown strategy `{s}` \
+                     (expected hypar|dp|mp|owt|refined|exhaustive|explicit)"
+                )
             })
     }
 }
@@ -252,6 +265,12 @@ pub struct PlanRequest {
     pub topology: Topology,
     /// Whether to run the full discrete-event training-step simulation.
     pub simulate: bool,
+    /// Run the coordinate-descent refinement pass on top of the `hypar`
+    /// plan — a modifier spelling of [`Strategy::Refined`]: the engine
+    /// resolves `strategy: "hypar", refine: true` to the identical
+    /// workload (and cache entry) as `strategy: "refined"`.  Rejected
+    /// with any other strategy.
+    pub refine: bool,
 }
 
 impl PlanRequest {
@@ -266,6 +285,7 @@ impl PlanRequest {
             assignments: None,
             topology: Topology::HTree,
             simulate: false,
+            refine: false,
         }
     }
 
@@ -330,6 +350,14 @@ impl PlanRequest {
         self.simulate = simulate;
         self
     }
+
+    /// Enables (or disables) the refinement modifier (see
+    /// [`PlanRequest::refine`]).
+    #[must_use]
+    pub fn refine(mut self, refine: bool) -> Self {
+        self.refine = refine;
+        self
+    }
 }
 
 impl Serialize for PlanRequest {
@@ -344,6 +372,7 @@ impl Serialize for PlanRequest {
                 Value::String(topology_name(self.topology).to_owned()),
             ),
             ("simulate".to_owned(), Value::Bool(self.simulate)),
+            ("refine".to_owned(), Value::Bool(self.refine)),
         ];
         if let Some(assignments) = &self.assignments {
             fields.push(("assignments".to_owned(), assignments.to_value()));
@@ -373,6 +402,7 @@ impl Deserialize for PlanRequest {
                 None => Topology::HTree,
             },
             simulate: field_or(v, "simulate", false)?,
+            refine: field_or(v, "refine", false)?,
         })
     }
 }

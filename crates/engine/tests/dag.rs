@@ -319,6 +319,34 @@ fn branchy_strategy_misuse_is_a_typed_error() {
 }
 
 #[test]
+fn no_dag_request_reaches_a_panic_whatever_the_strategy_or_shape() {
+    // The whole DAG planning path — resolution, per-segment planning,
+    // stitching, refinement, joint search, explicit evaluation,
+    // simulation — must answer every request with Ok or a typed error.
+    // Any panic unwinds this test and fails it.
+    let engine = PlanEngine::new();
+    for strategy in Strategy::ALL {
+        for levels in [0usize, 1, 4, 17] {
+            for batch in [0u64, 1, 32] {
+                for simulate in [false, true] {
+                    let mut request = PlanRequest::graph(tiny_res_spec(&[0, 1, 2, 3]))
+                        .batch(batch)
+                        .levels(levels)
+                        .strategy(strategy)
+                        .simulate(simulate);
+                    if strategy == Strategy::Explicit {
+                        // Deliberately wrong arity half the time.
+                        request.assignments = Some(vec!["000".to_owned(); levels.max(1) - 1]);
+                    }
+                    let _ = engine.plan(&request);
+                    let _ = engine.plan(&request.clone().refine(true));
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn branchy_requests_simulate_end_to_end() {
     let engine = PlanEngine::new();
     let request = PlanRequest::zoo("resnet18")
@@ -393,6 +421,109 @@ fn inline_branchy_graph_simulates() {
     assert_eq!(sim.num_accelerators, 8);
     assert!(sim.step_time.value() > 0.0);
     assert!(sim.energy.value() > 0.0);
+}
+
+#[test]
+fn refined_strategy_plans_branchy_dags_and_never_loses_to_hypar() {
+    let engine = PlanEngine::new();
+    let base = PlanRequest::graph(tiny_res_spec(&[0, 1, 2, 3]))
+        .batch(32)
+        .levels(4);
+    let stitched = engine.plan(&base.clone()).unwrap();
+    let refined = engine
+        .plan(&base.clone().strategy(Strategy::Refined))
+        .unwrap();
+    assert_eq!(refined.strategy, Strategy::Refined);
+    assert!(
+        refined.total_comm_elems <= stitched.total_comm_elems,
+        "refined {} vs stitched {}",
+        refined.total_comm_elems,
+        stitched.total_comm_elems
+    );
+    // On this 12-slot net the joint optimum is certifiable: refinement
+    // must reach it.
+    let joint = engine
+        .plan(&base.clone().strategy(Strategy::Exhaustive))
+        .unwrap();
+    assert!(
+        (refined.total_comm_elems - joint.total_comm_elems).abs()
+            <= 1e-9 * joint.total_comm_elems.max(1.0),
+        "refined {} vs joint {}",
+        refined.total_comm_elems,
+        joint.total_comm_elems
+    );
+
+    // Its own cache entry, distinct from hypar's.
+    let again = engine.plan(&base.strategy(Strategy::Refined)).unwrap();
+    assert!(again.cache_hit);
+    assert_ne!(again.fingerprint, stitched.fingerprint);
+}
+
+#[test]
+fn refine_modifier_resolves_to_the_refined_strategy() {
+    let engine = PlanEngine::new();
+    let base = PlanRequest::graph(tiny_res_spec(&[0, 1, 2, 3]))
+        .batch(32)
+        .levels(3);
+    let refined = engine
+        .plan(&base.clone().strategy(Strategy::Refined))
+        .unwrap();
+    // `hypar` + `refine: true` is the same workload — and the same cache
+    // entry (the second request must hit).
+    let modifier = engine.plan(&base.clone().refine(true)).unwrap();
+    assert_eq!(modifier.strategy, Strategy::Refined);
+    assert_eq!(modifier.fingerprint, refined.fingerprint);
+    assert!(modifier.cache_hit);
+    assert_eq!(modifier.plan, refined.plan);
+
+    // The modifier on any other strategy is a typed rejection.
+    let err = engine
+        .plan(&base.strategy(Strategy::Dp).refine(true))
+        .unwrap_err();
+    assert!(matches!(err, EngineError::InvalidRequest(_)), "{err}");
+    assert!(err.to_string().contains("refine"), "{err}");
+}
+
+#[test]
+fn refined_strategy_simulates_and_scales_past_the_exhaustive_bound() {
+    let engine = PlanEngine::new();
+    // ResNet-18 at H=4 is 84 slots: exhaustive is a typed rejection...
+    let base = PlanRequest::zoo("resnet18").levels(4).batch(64);
+    let err = engine
+        .plan(&base.clone().strategy(Strategy::Exhaustive))
+        .unwrap_err();
+    assert!(err.to_string().contains("exceeds"), "{err}");
+    // ...while refined plans and simulates end to end.
+    let refined = engine
+        .plan(&base.clone().strategy(Strategy::Refined).simulate(true))
+        .unwrap();
+    let stitched = engine.plan(&base.simulate(true)).unwrap();
+    assert!(refined.total_comm_elems <= stitched.total_comm_elems);
+    let sim = refined.simulation.expect("simulated");
+    assert_eq!(sim.num_accelerators, 16);
+    assert!(sim.step_time.value() > 0.0);
+}
+
+#[test]
+fn refined_strategy_works_on_chains_too() {
+    // A chain-shaped request (zoo chain and linearized DAG alike) runs
+    // the chain refinement: never worse than Algorithm 2's plan.
+    let engine = PlanEngine::new();
+    let base = PlanRequest::zoo("lenet_c").levels(4);
+    let hypar = engine.plan(&base.clone()).unwrap();
+    let refined = engine
+        .plan(&base.clone().strategy(Strategy::Refined))
+        .unwrap();
+    assert!(refined.total_comm_elems <= hypar.total_comm_elems);
+    // Lenet-c at H=4 is 16 slots: certify against the joint optimum.
+    let joint = engine.plan(&base.strategy(Strategy::Exhaustive)).unwrap();
+    assert!(
+        (refined.total_comm_elems - joint.total_comm_elems).abs()
+            <= 1e-9 * joint.total_comm_elems.max(1.0),
+        "refined {} vs joint {}",
+        refined.total_comm_elems,
+        joint.total_comm_elems
+    );
 }
 
 #[test]

@@ -103,6 +103,20 @@ pub enum GraphError {
         /// Why it breaks there.
         why: &'static str,
     },
+    /// The stitcher (or the whole-graph plan evaluator) was handed
+    /// per-segment plans or per-level assignments inconsistent with the
+    /// graph: a missing/extra segment plan, plans disagreeing on the
+    /// hierarchy depth, a plan not covering its segment's weighted
+    /// layers, a level not covering the whole graph, or a segment with no
+    /// weighted layers at all.
+    StitchMismatch {
+        /// Which consistency rule broke.
+        what: &'static str,
+        /// The count the graph requires.
+        expected: usize,
+        /// The count actually supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -161,6 +175,11 @@ impl fmt::Display for GraphError {
             Self::NotAChain { node, why } => {
                 write!(f, "not a branch-free chain at `{node}`: {why}")
             }
+            Self::StitchMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "stitch mismatch: {what}: expected {expected}, got {got}"),
         }
     }
 }

@@ -29,6 +29,11 @@
 //! * [`exhaustive`] — the `O(2^{L·H})` **joint** brute-force baseline over
 //!   all segments and levels at once, quantifying the stitched planner's
 //!   greedy gap on small branchy networks;
+//! * [`refine`] — the junction-aware coordinate-descent pass
+//!   ([`partition_graph_refined`]) that closes most of that gap
+//!   polynomially: seeds from the stitched plan and re-decides each bit
+//!   against the true whole-graph cost, boundary layers first, to a
+//!   strict-improvement fixed point;
 //! * [`zoo`] — ResNet-18-style and Inception-style builders, the branchy
 //!   counterpart of the paper's ten-network chain zoo.
 //!
@@ -39,7 +44,7 @@
 //!
 //! let dag = zoo::resnet18();
 //! let graph = dag.segments(64)?;           // batch 64
-//! let plan = partition_graph(&graph, 4);   // 16 accelerators
+//! let plan = partition_graph(&graph, 4)?;  // 16 accelerators
 //! assert_eq!(plan.num_layers(), dag.num_layers());
 //! assert!(plan.total_comm_elems() > 0.0);
 //! # Ok::<(), hypar_graph::GraphError>(())
@@ -54,6 +59,7 @@ mod error;
 pub mod exhaustive;
 mod node;
 pub mod plan;
+pub mod refine;
 mod segments;
 pub mod zoo;
 
@@ -63,6 +69,8 @@ pub use exhaustive::{best_joint_graph, best_joint_graph_with};
 pub use node::{GraphNode, NodeOp, INPUT};
 pub use plan::{
     evaluate_graph_plan, evaluate_graph_plan_with, inter_segment_elems, inter_segment_elems_with,
-    partition_graph, partition_graph_with, plan_segments, plan_segments_with, stitch, stitch_with,
+    partition_graph, partition_graph_refined, partition_graph_refined_with, partition_graph_with,
+    plan_segments, plan_segments_with, stitch, stitch_with,
 };
+pub use refine::{refine_graph_plan, refine_graph_plan_with};
 pub use segments::{SegmentCommGraph, SegmentEdge};

@@ -6,6 +6,11 @@
 //! consumer scope (the default throughout the workspace, see DESIGN.md
 //! §2), and the model-ablation experiment sweeps the alternatives on the
 //! DAG path exactly as it does on chains.
+//!
+//! All entry points are Result-returning: inconsistent inputs (plans
+//! missing a segment, disagreeing hierarchy depths, levels not covering
+//! the graph) surface as [`GraphError::StitchMismatch`] values, never
+//! panics — the planning service feeds this path from untrusted input.
 
 use hypar_comm::{
     inter_elems, junction_scale_between, JunctionScaling, LayerScale, NetworkCommTensors,
@@ -13,6 +18,8 @@ use hypar_comm::{
 };
 use hypar_core::{evaluate::evaluate_plan_with, hierarchical, HierarchicalPlan};
 
+use crate::error::GraphError;
+use crate::refine::refine_graph_plan_with;
 use crate::segments::SegmentCommGraph;
 
 /// Runs the full HyPar partition (Algorithm 2) independently on every
@@ -24,10 +31,11 @@ use crate::segments::SegmentCommGraph;
 /// For a branch-free DAG (one segment, no edges) the result is
 /// bit-identical to [`hierarchical::partition`] on the linearized chain.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any segment has no weighted layers (impossible for a
-/// [`SegmentCommGraph`] built by [`crate::DagNetwork::segments`]).
+/// Returns [`GraphError::StitchMismatch`] if any segment has no weighted
+/// layers (impossible for a [`SegmentCommGraph`] built by
+/// [`crate::DagNetwork::segments`]).
 ///
 /// # Examples
 ///
@@ -35,13 +43,15 @@ use crate::segments::SegmentCommGraph;
 /// use hypar_graph::{partition_graph, zoo};
 ///
 /// let graph = zoo::resnet18().segments(64)?;
-/// let plan = partition_graph(&graph, 4);
+/// let plan = partition_graph(&graph, 4)?;
 /// assert_eq!(plan.num_accelerators(), 16);
 /// assert_eq!(plan.num_layers(), 21);
 /// # Ok::<(), hypar_graph::GraphError>(())
 /// ```
-#[must_use]
-pub fn partition_graph(graph: &SegmentCommGraph, num_levels: usize) -> HierarchicalPlan {
+pub fn partition_graph(
+    graph: &SegmentCommGraph,
+    num_levels: usize,
+) -> Result<HierarchicalPlan, GraphError> {
     partition_graph_with(graph, num_levels, JunctionScaling::Consumer)
 }
 
@@ -49,49 +59,138 @@ pub fn partition_graph(graph: &SegmentCommGraph, num_levels: usize) -> Hierarchi
 /// interpretation, applied both inside every segment's partition search
 /// and to the inter-segment junction pricing.
 ///
-/// # Panics
+/// # Errors
 ///
 /// Same as [`partition_graph`].
-#[must_use]
 pub fn partition_graph_with(
     graph: &SegmentCommGraph,
     num_levels: usize,
     mode: JunctionScaling,
-) -> HierarchicalPlan {
+) -> Result<HierarchicalPlan, GraphError> {
     plan_segments_with(graph, mode, |segment| {
         hierarchical::partition_with(segment, num_levels, mode)
     })
+}
+
+/// The stitched plan of [`partition_graph`], improved by the
+/// junction-aware coordinate-descent pass of [`crate::refine`]: each
+/// layer's per-level bit is re-decided against the **whole-graph** cost
+/// (intra-segment traffic plus junction pricing), segment-boundary layers
+/// first, to a strict-improvement fixed point.  The refined plan never
+/// costs more than the stitched one and closes most of the stitcher's
+/// measured greedy gap — see the `greedy_gap_branchy` experiment —
+/// while staying polynomial (no `L·H ≤ 24` slot limit, unlike
+/// [`crate::exhaustive::best_joint_graph`]).
+///
+/// # Errors
+///
+/// Same as [`partition_graph`].
+///
+/// # Examples
+///
+/// ```
+/// use hypar_graph::{partition_graph, partition_graph_refined, zoo};
+///
+/// let graph = zoo::resnet18().segments(64)?;   // 84 slots: joint search infeasible
+/// let stitched = partition_graph(&graph, 4)?;
+/// let refined = partition_graph_refined(&graph, 4)?;
+/// assert!(refined.total_comm_elems() <= stitched.total_comm_elems());
+/// # Ok::<(), hypar_graph::GraphError>(())
+/// ```
+pub fn partition_graph_refined(
+    graph: &SegmentCommGraph,
+    num_levels: usize,
+) -> Result<HierarchicalPlan, GraphError> {
+    partition_graph_refined_with(graph, num_levels, JunctionScaling::Consumer)
+}
+
+/// [`partition_graph_refined`] under an explicit [`JunctionScaling`]
+/// interpretation (seeding, re-decision cost, and junction pricing all
+/// follow it).
+///
+/// # Errors
+///
+/// Same as [`partition_graph`].
+pub fn partition_graph_refined_with(
+    graph: &SegmentCommGraph,
+    num_levels: usize,
+    mode: JunctionScaling,
+) -> Result<HierarchicalPlan, GraphError> {
+    let stitched = partition_graph_with(graph, num_levels, mode)?;
+    Ok(refine_graph_plan_with(graph, &stitched, mode)?.0)
 }
 
 /// Plans every segment with `plan_segment` and stitches the results; the
 /// hook is how baselines (dp/mp/"one weird trick") reuse the identical
 /// stitching and inter-segment accounting as [`partition_graph`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Propagates panics from `plan_segment` and from [`stitch`].
-#[must_use]
+/// Returns [`GraphError::StitchMismatch`] if any segment has no weighted
+/// layers or `plan_segment` returns plans inconsistent with the graph.
 pub fn plan_segments(
     graph: &SegmentCommGraph,
     plan_segment: impl Fn(&NetworkCommTensors) -> HierarchicalPlan,
-) -> HierarchicalPlan {
+) -> Result<HierarchicalPlan, GraphError> {
     plan_segments_with(graph, JunctionScaling::Consumer, plan_segment)
 }
 
 /// [`plan_segments`] with the inter-segment junctions priced under an
 /// explicit [`JunctionScaling`] interpretation.
 ///
-/// # Panics
+/// # Errors
 ///
 /// Same as [`plan_segments`].
-#[must_use]
 pub fn plan_segments_with(
     graph: &SegmentCommGraph,
     mode: JunctionScaling,
     plan_segment: impl Fn(&NetworkCommTensors) -> HierarchicalPlan,
-) -> HierarchicalPlan {
+) -> Result<HierarchicalPlan, GraphError> {
+    for segment in graph.segments() {
+        if segment.is_empty() {
+            return Err(GraphError::StitchMismatch {
+                what: "weighted layers in a segment",
+                expected: 1,
+                got: 0,
+            });
+        }
+    }
     let plans: Vec<HierarchicalPlan> = graph.segments().iter().map(plan_segment).collect();
     stitch_with(graph, &plans, mode)
+}
+
+/// Validates per-segment plans against the graph: one plan per segment,
+/// each covering exactly its segment's weighted layers, all agreeing on
+/// the hierarchy depth.  Returns that depth.
+fn check_segment_plans(
+    graph: &SegmentCommGraph,
+    plans: &[HierarchicalPlan],
+) -> Result<usize, GraphError> {
+    if plans.len() != graph.num_segments() {
+        return Err(GraphError::StitchMismatch {
+            what: "per-segment plans (one per segment)",
+            expected: graph.num_segments(),
+            got: plans.len(),
+        });
+    }
+    let num_levels = plans.first().map_or(0, HierarchicalPlan::num_levels);
+    for (plan, segment) in plans.iter().zip(graph.segments()) {
+        if plan.num_layers() != segment.len() {
+            return Err(GraphError::StitchMismatch {
+                what: "weighted layers covered by a segment plan",
+                expected: segment.len(),
+                got: plan.num_layers(),
+            });
+        }
+        if plan.num_levels() != num_levels {
+            return Err(GraphError::StitchMismatch {
+                what: "hierarchy levels agreed by every segment plan",
+                expected: num_levels,
+                got: plan.num_levels(),
+            });
+        }
+    }
+    Ok(num_levels)
 }
 
 /// Stitches per-segment plans into one whole-model [`HierarchicalPlan`]:
@@ -99,37 +198,30 @@ pub fn plan_segments_with(
 /// order, and the total is the sum of the segment totals plus
 /// [`inter_segment_elems`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `plans` does not supply exactly one plan per segment, or if
+/// Returns [`GraphError::StitchMismatch`] if `plans` does not supply
+/// exactly one plan per segment, a plan does not cover its segment, or
 /// the plans disagree on the number of hierarchy levels.
-#[must_use]
-pub fn stitch(graph: &SegmentCommGraph, plans: &[HierarchicalPlan]) -> HierarchicalPlan {
+pub fn stitch(
+    graph: &SegmentCommGraph,
+    plans: &[HierarchicalPlan],
+) -> Result<HierarchicalPlan, GraphError> {
     stitch_with(graph, plans, JunctionScaling::Consumer)
 }
 
 /// [`stitch`] with the inter-segment junctions priced under an explicit
 /// [`JunctionScaling`] interpretation.
 ///
-/// # Panics
+/// # Errors
 ///
 /// Same as [`stitch`].
-#[must_use]
 pub fn stitch_with(
     graph: &SegmentCommGraph,
     plans: &[HierarchicalPlan],
     mode: JunctionScaling,
-) -> HierarchicalPlan {
-    assert_eq!(
-        plans.len(),
-        graph.num_segments(),
-        "one plan per segment required"
-    );
-    let num_levels = plans.first().map_or(0, HierarchicalPlan::num_levels);
-    assert!(
-        plans.iter().all(|p| p.num_levels() == num_levels),
-        "all segment plans must cover the same hierarchy depth"
-    );
+) -> Result<HierarchicalPlan, GraphError> {
+    let num_levels = check_segment_plans(graph, plans)?;
 
     let layer_names: Vec<String> = plans
         .iter()
@@ -147,8 +239,13 @@ pub fn stitch_with(
         .iter()
         .map(HierarchicalPlan::total_comm_elems)
         .sum::<f64>()
-        + inter_segment_elems_with(graph, plans, mode);
-    HierarchicalPlan::from_parts(graph.name(), layer_names, levels, total)
+        + inter_segment_elems_unchecked(graph, plans, mode);
+    Ok(HierarchicalPlan::from_parts(
+        graph.name(),
+        layer_names,
+        levels,
+        total,
+    ))
 }
 
 /// Array-wide inter-segment communication, in tensor elements, under the
@@ -163,11 +260,14 @@ pub fn stitch_with(
 /// [`hypar_comm::ScaleState::junction_scale`] scales a chain junction, and
 /// weighted by the `2^h` group pairs of that level.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `plans` does not match the graph's segments.
-#[must_use]
-pub fn inter_segment_elems(graph: &SegmentCommGraph, plans: &[HierarchicalPlan]) -> f64 {
+/// Returns [`GraphError::StitchMismatch`] if `plans` does not match the
+/// graph's segments.
+pub fn inter_segment_elems(
+    graph: &SegmentCommGraph,
+    plans: &[HierarchicalPlan],
+) -> Result<f64, GraphError> {
     inter_segment_elems_with(graph, plans, JunctionScaling::Consumer)
 }
 
@@ -176,20 +276,25 @@ pub fn inter_segment_elems(graph: &SegmentCommGraph, plans: &[HierarchicalPlan])
 /// the producer's layout, or stays unscaled
 /// ([`hypar_comm::junction_scale_between`]).
 ///
-/// # Panics
+/// # Errors
 ///
 /// Same as [`inter_segment_elems`].
-#[must_use]
 pub fn inter_segment_elems_with(
     graph: &SegmentCommGraph,
     plans: &[HierarchicalPlan],
     mode: JunctionScaling,
+) -> Result<f64, GraphError> {
+    check_segment_plans(graph, plans)?;
+    Ok(inter_segment_elems_unchecked(graph, plans, mode))
+}
+
+/// The junction total, assuming [`check_segment_plans`] already passed
+/// (how [`stitch_with`] avoids validating the same plans twice).
+fn inter_segment_elems_unchecked(
+    graph: &SegmentCommGraph,
+    plans: &[HierarchicalPlan],
+    mode: JunctionScaling,
 ) -> f64 {
-    assert_eq!(
-        plans.len(),
-        graph.num_segments(),
-        "one plan per segment required"
-    );
     let mut total = 0.0;
     for edge in graph.edges() {
         let producer = &plans[edge.from];
@@ -216,39 +321,66 @@ pub fn inter_segment_elems_with(
 /// [`hypar_core::evaluate::evaluate_plan`] totals plus the inter-segment
 /// junction pricing.
 ///
-/// This is how the engine's `explicit` strategy and the joint exhaustive
-/// search ([`crate::exhaustive::best_joint_graph`]) stay directly
-/// comparable to the stitched planner: the stitched plan's own levels
-/// evaluate to exactly its stitched total.
+/// This is how the engine's `explicit` strategy, the joint exhaustive
+/// search ([`crate::exhaustive::best_joint_graph`]), and the refinement
+/// pass ([`crate::refine`]) stay directly comparable to the stitched
+/// planner: the stitched plan's own levels evaluate to exactly its
+/// stitched total.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any level does not cover every weighted layer of the graph.
-#[must_use]
-pub fn evaluate_graph_plan(graph: &SegmentCommGraph, levels: &[Vec<Parallelism>]) -> f64 {
+/// Returns [`GraphError::StitchMismatch`] if any level does not cover
+/// every weighted layer of the graph.
+pub fn evaluate_graph_plan(
+    graph: &SegmentCommGraph,
+    levels: &[Vec<Parallelism>],
+) -> Result<f64, GraphError> {
     evaluate_graph_plan_with(graph, levels, JunctionScaling::Consumer)
 }
 
 /// [`evaluate_graph_plan`] under an explicit [`JunctionScaling`]
 /// interpretation.
 ///
-/// # Panics
+/// # Errors
 ///
 /// Same as [`evaluate_graph_plan`].
-#[must_use]
 pub fn evaluate_graph_plan_with(
     graph: &SegmentCommGraph,
     levels: &[Vec<Parallelism>],
     mode: JunctionScaling,
-) -> f64 {
+) -> Result<f64, GraphError> {
+    check_graph_levels(graph, levels)?;
+    Ok(evaluate_graph_levels_unchecked(graph, levels, mode))
+}
+
+/// Validates that every level of a whole-graph assignment covers every
+/// weighted layer.
+pub(crate) fn check_graph_levels(
+    graph: &SegmentCommGraph,
+    levels: &[Vec<Parallelism>],
+) -> Result<(), GraphError> {
     let num_layers = graph.num_layers();
     for level in levels {
-        assert_eq!(
-            level.len(),
-            num_layers,
-            "level must cover every weighted layer of the graph"
-        );
+        if level.len() != num_layers {
+            return Err(GraphError::StitchMismatch {
+                what: "weighted layers covered by a level",
+                expected: num_layers,
+                got: level.len(),
+            });
+        }
     }
+    Ok(())
+}
+
+/// The cost of a whole-graph assignment, assuming [`check_graph_levels`]
+/// already passed.  The refinement pass's inner loop evaluates thousands
+/// of candidates that differ from a validated plan by one bit, so it
+/// skips re-validation.
+pub(crate) fn evaluate_graph_levels_unchecked(
+    graph: &SegmentCommGraph,
+    levels: &[Vec<Parallelism>],
+    mode: JunctionScaling,
+) -> f64 {
     // Per-segment totals over the segment's slice of each level.
     let mut total = 0.0;
     let mut offset = 0;
@@ -318,7 +450,7 @@ mod tests {
         .fully_connected("fc2", 10, "fc1");
         let dag = g.build().unwrap();
         let graph = dag.segments(256).unwrap();
-        let stitched = partition_graph(&graph, 4);
+        let stitched = partition_graph(&graph, 4).unwrap();
 
         let chain = NetworkCommTensors::from_network(&dag.linearize().unwrap(), 256).unwrap();
         let direct = hierarchical::partition(&chain, 4);
@@ -330,7 +462,7 @@ mod tests {
     #[test]
     fn stitched_plan_covers_every_layer_and_level() {
         let graph = tiny_residual_graph(32);
-        let plan = partition_graph(&graph, 3);
+        let plan = partition_graph(&graph, 3).unwrap();
         assert_eq!(plan.num_layers(), 3);
         assert_eq!(plan.num_levels(), 3);
         assert_eq!(plan.network(), "tiny-res");
@@ -349,8 +481,8 @@ mod tests {
             .map(|s| hierarchical::partition(s, 3))
             .collect();
         let segment_sum: f64 = plans.iter().map(HierarchicalPlan::total_comm_elems).sum();
-        let inter = inter_segment_elems(&graph, &plans);
-        let stitched = stitch(&graph, &plans);
+        let inter = inter_segment_elems(&graph, &plans).unwrap();
+        let stitched = stitch(&graph, &plans).unwrap();
         assert_eq!(stitched.total_comm_elems(), segment_sum + inter);
         assert!(inter > 0.0, "a residual block must pay branch/join traffic");
     }
@@ -364,8 +496,8 @@ mod tests {
                 JunctionScaling::Producer,
                 JunctionScaling::Unscaled,
             ] {
-                let stitched = partition_graph_with(&graph, levels, mode);
-                let recomputed = evaluate_graph_plan_with(&graph, stitched.levels(), mode);
+                let stitched = partition_graph_with(&graph, levels, mode).unwrap();
+                let recomputed = evaluate_graph_plan_with(&graph, stitched.levels(), mode).unwrap();
                 assert!(
                     (stitched.total_comm_elems() - recomputed).abs() <= 1e-9 * recomputed.max(1.0),
                     "{mode:?} H{levels}: stitched {} vs evaluated {recomputed}",
@@ -386,9 +518,9 @@ mod tests {
             .iter()
             .map(|s| baselines::all_model(s, 3))
             .collect();
-        let consumer = inter_segment_elems_with(&graph, &plans, JunctionScaling::Consumer);
-        let producer = inter_segment_elems_with(&graph, &plans, JunctionScaling::Producer);
-        let unscaled = inter_segment_elems_with(&graph, &plans, JunctionScaling::Unscaled);
+        let consumer = inter_segment_elems_with(&graph, &plans, JunctionScaling::Consumer).unwrap();
+        let producer = inter_segment_elems_with(&graph, &plans, JunctionScaling::Producer).unwrap();
+        let unscaled = inter_segment_elems_with(&graph, &plans, JunctionScaling::Unscaled).unwrap();
         assert!(consumer > 0.0);
         // mp never shrinks the producer's batch, so producer scope prices
         // every level at full size — equal to unscaled, above consumer.
@@ -399,7 +531,7 @@ mod tests {
     #[test]
     fn zero_levels_is_free() {
         let graph = tiny_residual_graph(32);
-        let plan = partition_graph(&graph, 0);
+        let plan = partition_graph(&graph, 0).unwrap();
         assert_eq!(plan.num_levels(), 0);
         assert_eq!(plan.num_accelerators(), 1);
         assert_eq!(plan.total_comm_elems(), 0.0);
@@ -409,9 +541,13 @@ mod tests {
     fn hybrid_never_loses_to_uniform_baselines() {
         for batch in [16u64, 256] {
             let graph = tiny_residual_graph(batch);
-            let hybrid = partition_graph(&graph, 4).total_comm_elems();
-            let dp = plan_segments(&graph, |s| baselines::all_data(s, 4)).total_comm_elems();
-            let mp = plan_segments(&graph, |s| baselines::all_model(s, 4)).total_comm_elems();
+            let hybrid = partition_graph(&graph, 4).unwrap().total_comm_elems();
+            let dp = plan_segments(&graph, |s| baselines::all_data(s, 4))
+                .unwrap()
+                .total_comm_elems();
+            let mp = plan_segments(&graph, |s| baselines::all_model(s, 4))
+                .unwrap()
+                .total_comm_elems();
             // The segment-local search is greedy w.r.t. inter-segment
             // traffic, but uniform dp/mp are fixed points of the segment
             // planner's search space, so hybrid can only win on the
@@ -424,10 +560,75 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one plan per segment")]
-    fn stitch_rejects_missing_plans() {
+    fn stitch_rejects_missing_plans_as_a_typed_error() {
         let graph = tiny_residual_graph(32);
-        let _ = stitch(&graph, &[]);
+        assert_eq!(
+            stitch(&graph, &[]).unwrap_err(),
+            GraphError::StitchMismatch {
+                what: "per-segment plans (one per segment)",
+                expected: 3,
+                got: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn stitch_rejects_disagreeing_level_counts_as_a_typed_error() {
+        let graph = tiny_residual_graph(32);
+        let mut plans: Vec<HierarchicalPlan> = graph
+            .segments()
+            .iter()
+            .map(|s| hierarchical::partition(s, 3))
+            .collect();
+        plans[2] = hierarchical::partition(graph.segment(2), 2);
+        assert_eq!(
+            stitch(&graph, &plans).unwrap_err(),
+            GraphError::StitchMismatch {
+                what: "hierarchy levels agreed by every segment plan",
+                expected: 3,
+                got: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn stitch_rejects_plans_not_covering_their_segment() {
+        let graph = tiny_residual_graph(32);
+        let mut plans: Vec<HierarchicalPlan> = graph
+            .segments()
+            .iter()
+            .map(|s| hierarchical::partition(s, 3))
+            .collect();
+        // Swap in a plan for the wrong segment shape: 2 layers where the
+        // segment has 1.
+        plans[0] = HierarchicalPlan::from_parts(
+            "bogus",
+            vec!["a".into(), "b".into()],
+            vec![vec![Parallelism::Data; 2]; 3],
+            0.0,
+        );
+        assert_eq!(
+            stitch(&graph, &plans).unwrap_err(),
+            GraphError::StitchMismatch {
+                what: "weighted layers covered by a segment plan",
+                expected: 1,
+                got: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn evaluate_rejects_short_levels_as_a_typed_error() {
+        let graph = tiny_residual_graph(32);
+        let err = evaluate_graph_plan(&graph, &[vec![Parallelism::Data; 2]]).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::StitchMismatch {
+                what: "weighted layers covered by a level",
+                expected: 3,
+                got: 2,
+            }
+        );
     }
 
     #[test]
@@ -440,6 +641,24 @@ mod tests {
             .iter()
             .map(|s| baselines::all_data(s, 4))
             .collect();
-        assert_eq!(inter_segment_elems(&graph, &plans), 0.0);
+        assert_eq!(inter_segment_elems(&graph, &plans).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn refined_plan_never_exceeds_the_stitched_plan() {
+        for levels in [1usize, 2, 4] {
+            let graph = tiny_residual_graph(32);
+            let stitched = partition_graph(&graph, levels).unwrap();
+            let refined = partition_graph_refined(&graph, levels).unwrap();
+            assert!(
+                refined.total_comm_elems() <= stitched.total_comm_elems(),
+                "H{levels}: refined {} vs stitched {}",
+                refined.total_comm_elems(),
+                stitched.total_comm_elems()
+            );
+            assert_eq!(refined.num_layers(), stitched.num_layers());
+            assert_eq!(refined.num_levels(), stitched.num_levels());
+            assert_eq!(refined.layer_names(), stitched.layer_names());
+        }
     }
 }

@@ -124,7 +124,7 @@ proptest! {
     ) {
         let graph = spec.graph(batch);
         prop_assert!(graph.num_segments() > 1, "residual blocks are branchy");
-        let stitched = partition_graph(&graph, levels).total_comm_elems();
+        let stitched = partition_graph(&graph, levels).unwrap().total_comm_elems();
         let joint = best_joint_graph(&graph, levels).unwrap().total_comm_elems();
         prop_assert!(
             joint <= stitched * (1.0 + 1e-12),
@@ -134,8 +134,8 @@ proptest! {
         // stitched point itself.
         let evaluated = hypar_graph::evaluate_graph_plan(
             &graph,
-            partition_graph(&graph, levels).levels(),
-        );
+            partition_graph(&graph, levels).unwrap().levels(),
+        ).unwrap();
         prop_assert!((evaluated - stitched).abs() <= 1e-9 * stitched.max(1.0));
     }
 }

@@ -130,7 +130,7 @@ proptest! {
         let chain = NetworkCommTensors::from_network(&spec.chain(), 32).unwrap();
         let direct = hierarchical::partition(&chain, levels);
         let graph = spec.dag().segments(32).unwrap();
-        let stitched = hypar_graph::partition_graph(&graph, levels);
+        let stitched = hypar_graph::partition_graph(&graph, levels).unwrap();
         prop_assert_eq!(direct.levels(), stitched.levels());
         prop_assert_eq!(direct.total_comm_elems(), stitched.total_comm_elems());
         prop_assert_eq!(direct.layer_names(), stitched.layer_names());

@@ -125,7 +125,7 @@ pub fn simulate_step_traced(
 /// use hypar_sim::{training, ArchConfig};
 ///
 /// let graph = zoo::inception_mini().segments(128)?;
-/// let plan = partition_graph(&graph, 4);
+/// let plan = partition_graph(&graph, 4).unwrap();
 /// let report = training::simulate_graph_step(&graph, &plan, &ArchConfig::paper()).unwrap();
 /// assert!(report.step_time.value() > 0.0);
 /// assert_eq!(report.num_accelerators, 16);
@@ -156,15 +156,23 @@ pub fn simulate_graph_step_traced(
 
 /// Simulates one training step on a **single** accelerator (an empty
 /// hierarchy) — the normalization baseline of the paper's Figure 11.
-#[must_use]
-pub fn simulate_single_accelerator(shapes: &NetworkShapes, cfg: &ArchConfig) -> StepReport {
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the underlying simulation rather
+/// than unwinding: the service must never pay for a malformed workload
+/// with a worker thread.
+pub fn simulate_single_accelerator(
+    shapes: &NetworkShapes,
+    cfg: &ArchConfig,
+) -> Result<StepReport, SimError> {
     let plan = HierarchicalPlan::from_parts(
         shapes.name(),
         shapes.layers().iter().map(|l| l.name.clone()).collect(),
         Vec::new(),
         0.0,
     );
-    simulate_step(shapes, &plan, cfg).expect("plan covers every layer by construction")
+    simulate_step(shapes, &plan, cfg)
 }
 
 /// Validates and assembles the single-segment (chain) builder.
@@ -897,7 +905,7 @@ mod tests {
     #[test]
     fn single_accelerator_has_no_communication() {
         let (shapes, _) = setup("Lenet-c", 256);
-        let report = simulate_single_accelerator(&shapes, &ArchConfig::paper());
+        let report = simulate_single_accelerator(&shapes, &ArchConfig::paper()).unwrap();
         assert_eq!(report.num_accelerators, 1);
         assert!(report.comm_bytes.is_zero());
         assert!(report.link_energy.is_zero());
@@ -944,7 +952,7 @@ mod tests {
     fn sixteen_accelerators_beat_one_for_vgg() {
         let (shapes, net) = setup("VGG-A", 256);
         let cfg = ArchConfig::paper();
-        let one = simulate_single_accelerator(&shapes, &cfg);
+        let one = simulate_single_accelerator(&shapes, &cfg).unwrap();
         let hypar = simulate_step(&shapes, &hierarchical::partition(&net, 4), &cfg).unwrap();
         let gain = hypar.performance_gain_over(&one);
         assert!(
@@ -1056,9 +1064,9 @@ mod tests {
         for (name, batch) in [("Inception-Mini", 128), ("ResNet-18", 32)] {
             let graph = graph_zoo::by_name(name).unwrap().segments(batch).unwrap();
             for plan in [
-                partition_graph(&graph, 4),
-                plan_segments(&graph, |s| baselines::all_data(s, 4)),
-                plan_segments(&graph, |s| baselines::all_model(s, 4)),
+                partition_graph(&graph, 4).unwrap(),
+                plan_segments(&graph, |s| baselines::all_data(s, 4)).unwrap(),
+                plan_segments(&graph, |s| baselines::all_model(s, 4)).unwrap(),
             ] {
                 let report = simulate_graph_step(&graph, &plan, &ArchConfig::paper()).unwrap();
                 let expected = plan.total_comm_bytes();
@@ -1084,7 +1092,7 @@ mod tests {
             JunctionScaling::Producer,
             JunctionScaling::Unscaled,
         ] {
-            let plan = partition_graph_with(&graph, 4, mode);
+            let plan = partition_graph_with(&graph, 4, mode).unwrap();
             let cfg = ArchConfig::paper().with_junction_scaling(mode);
             let report = simulate_graph_step(&graph, &plan, &cfg).unwrap();
             let expected = plan.total_comm_bytes();
@@ -1104,7 +1112,7 @@ mod tests {
         // that element-wise work must strictly lengthen the step and add
         // compute energy, while moving no bytes between groups.
         let graph = graph_zoo::inception_mini().segments(128).unwrap();
-        let plan = partition_graph(&graph, 4);
+        let plan = partition_graph(&graph, 4).unwrap();
         let with = simulate_graph_step(&graph, &plan, &ArchConfig::paper()).unwrap();
         let without =
             simulate_graph_step(&graph, &plan, &ArchConfig::paper().with_join_compute(false))
@@ -1123,7 +1131,7 @@ mod tests {
     #[test]
     fn join_compute_labels_the_trace() {
         let graph = graph_zoo::inception_mini().segments(128).unwrap();
-        let plan = partition_graph(&graph, 4);
+        let plan = partition_graph(&graph, 4).unwrap();
         let (_, trace) = simulate_graph_step_traced(&graph, &plan, &ArchConfig::paper()).unwrap();
         // The concat's consumer segment head is conv2: the gather runs
         // right before its forward pass.
@@ -1133,7 +1141,7 @@ mod tests {
     #[test]
     fn graph_step_is_deterministic_and_traced_matches() {
         let graph = graph_zoo::inception_mini().segments(128).unwrap();
-        let plan = partition_graph(&graph, 4);
+        let plan = partition_graph(&graph, 4).unwrap();
         let cfg = ArchConfig::paper();
         let a = simulate_graph_step(&graph, &plan, &cfg).unwrap();
         let b = simulate_graph_step(&graph, &plan, &cfg).unwrap();
@@ -1155,13 +1163,14 @@ mod tests {
             } else {
                 baselines::all_model(s, 4)
             }
-        });
+        })
+        .unwrap();
         let (_, trace) = simulate_graph_step_traced(&graph, &mixed, &cfg).unwrap();
         assert!(trace.contains("xfer F stem->b1x1"), "{trace}");
 
         // An all-mp plan pays the backward `E` gradient accumulation on
         // every junction (mp->mp costs the error tensor only).
-        let mp = plan_segments(&graph, |s| baselines::all_model(s, 4));
+        let mp = plan_segments(&graph, |s| baselines::all_model(s, 4)).unwrap();
         let (_, trace) = simulate_graph_step_traced(&graph, &mp, &cfg).unwrap();
         assert!(trace.contains("xfer E stem->b1x1"), "{trace}");
         assert!(trace.contains("xfer E b3x3->conv2"), "{trace}");
@@ -1185,7 +1194,7 @@ mod tests {
     #[test]
     fn graph_overlap_never_hurts_and_preserves_energy() {
         let graph = graph_zoo::inception_mini().segments(128).unwrap();
-        let plan = partition_graph(&graph, 4);
+        let plan = partition_graph(&graph, 4).unwrap();
         let serial = simulate_graph_step(&graph, &plan, &ArchConfig::paper()).unwrap();
         let overlap =
             simulate_graph_step(&graph, &plan, &ArchConfig::paper().with_overlap(true)).unwrap();

@@ -119,7 +119,7 @@ proptest! {
 
         let graph = spec.dag().segments(batch).unwrap();
         prop_assert_eq!(graph.num_segments(), 1);
-        let dag_plan = partition_graph(&graph, levels);
+        let dag_plan = partition_graph(&graph, levels).unwrap();
         let dag_report = training::simulate_graph_step(&graph, &dag_plan, &cfg).unwrap();
 
         prop_assert_eq!(chain_report, dag_report);
@@ -130,7 +130,7 @@ proptest! {
     #[test]
     fn branchy_overlap_preserves_traffic_and_never_hurts(levels in 1usize..5) {
         let graph = zoo::inception_mini().segments(64).unwrap();
-        let plan = partition_graph(&graph, levels);
+        let plan = partition_graph(&graph, levels).unwrap();
         let serial = training::simulate_graph_step(&graph, &plan, &ArchConfig::paper()).unwrap();
         let overlap = training::simulate_graph_step(
             &graph,
@@ -151,7 +151,7 @@ fn branch_overlap_shortens_the_inception_step() {
     // hide under other branches' work once `overlap_comm` lifts the phase
     // barriers — the simulated step must get strictly faster.
     let graph = zoo::inception_mini().segments(128).unwrap();
-    let plan = partition_graph(&graph, 4);
+    let plan = partition_graph(&graph, 4).unwrap();
     let cfg = ArchConfig::paper();
     let serial = training::simulate_graph_step(&graph, &plan, &cfg).unwrap();
     let overlap =
@@ -174,8 +174,9 @@ fn resnet18_hybrid_step_beats_data_parallelism() {
     // uniform dp baseline under the identical simulator.
     let graph = zoo::resnet18().segments(64).unwrap();
     let cfg = ArchConfig::paper();
-    let hybrid = training::simulate_graph_step(&graph, &partition_graph(&graph, 4), &cfg).unwrap();
-    let dp_plan = plan_segments(&graph, |s| baselines::all_data(s, 4));
+    let hybrid =
+        training::simulate_graph_step(&graph, &partition_graph(&graph, 4).unwrap(), &cfg).unwrap();
+    let dp_plan = plan_segments(&graph, |s| baselines::all_data(s, 4)).unwrap();
     let dp = training::simulate_graph_step(&graph, &dp_plan, &cfg).unwrap();
     assert!(
         hybrid.performance_gain_over(&dp) >= 1.0,
@@ -194,7 +195,7 @@ fn resnet18_hybrid_step_beats_data_parallelism() {
 #[test]
 fn zero_levels_graph_step_has_no_communication() {
     let graph = zoo::resnet18().segments(16).unwrap();
-    let plan = partition_graph(&graph, 0);
+    let plan = partition_graph(&graph, 0).unwrap();
     let report = training::simulate_graph_step(&graph, &plan, &ArchConfig::paper()).unwrap();
     assert_eq!(report.num_accelerators, 1);
     assert!(report.comm_bytes.is_zero());
