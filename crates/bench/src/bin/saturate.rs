@@ -1,0 +1,340 @@
+//! Saturation benchmark for the planning engine: drives the batch
+//! (`plan_many`-shaped) and service (`handle_line`) front-ends at
+//! increasing request counts, cold and hot cache, and reports throughput
+//! plus latency percentiles.
+//!
+//! ```text
+//! saturate [--short] [--out PATH] [--check PATH]
+//!
+//!   (default)     full sweep (10/100/1000 requests per cell), written to
+//!                 BENCH_engine.json in the current directory
+//!   --short       CI-sized sweep (10/25/50) — same schema, seconds not
+//!                 minutes
+//!   --out PATH    write the JSON document to PATH instead
+//!   --check PATH  validate an existing document against the
+//!                 `hypar-engine-saturation/v1` schema and exit
+//! ```
+//!
+//! The cold cells plan distinct-fingerprint workloads on a fresh engine;
+//! the hot cells replay the identical mix on the warmed engine, so the
+//! cold/hot gap is exactly the plan cache's contribution.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hypar_engine::scenario::LatencySummary;
+use hypar_engine::{parallel, service, CacheStats, PlanEngine, PlanRequest};
+use serde::{Serialize, Value};
+
+/// Document format tag; bump when the shape changes.
+const SCHEMA: &str = "hypar-engine-saturation/v1";
+
+/// Hierarchy depth of every benchmark request: deep enough to exercise
+/// the full recursion, cheap enough to saturate with thousands of plans.
+const LEVELS: usize = 3;
+
+/// Cheap chain networks the mix cycles through.
+const NETS: [&str; 3] = ["lenet_c", "sfc", "sconv"];
+
+fn usage() -> &'static str {
+    "usage: saturate [--short] [--out PATH] [--check PATH]"
+}
+
+#[derive(Clone, Debug, Serialize)]
+struct RunRecord {
+    /// `cold_plan_many` / `hot_plan_many` / `cold_service` / `hot_service`.
+    mode: String,
+    /// Requests driven through the engine in this cell.
+    requests: usize,
+    /// Wall-clock time for the whole cell, in milliseconds.
+    elapsed_ms: f64,
+    /// `requests / elapsed`, in requests per second.
+    requests_per_sec: f64,
+    /// Per-request latency percentiles, in milliseconds.
+    latency: LatencySummary,
+    /// Cache counters after the cell (fresh engine per cold/hot pair).
+    cache: CacheStats,
+}
+
+#[derive(Clone, Debug, Serialize)]
+struct BenchDoc {
+    /// Always [`SCHEMA`].
+    schema: String,
+    /// `full` or `short`.
+    mode: String,
+    /// Hierarchy levels of every request.
+    levels: usize,
+    /// Worker threads available to `plan_many`-shaped cells.
+    workers: usize,
+    /// One record per (front-end, temperature, size) cell.
+    runs: Vec<RunRecord>,
+}
+
+/// A mix of `n` distinct-fingerprint requests (network and batch vary).
+fn request_mix(n: usize) -> Vec<PlanRequest> {
+    (0..n)
+        .map(|i| {
+            PlanRequest::zoo(NETS[i % NETS.len()])
+                .levels(LEVELS)
+                .batch(8 + i as u64)
+        })
+        .collect()
+}
+
+fn record(mode: &str, samples: &[f64], elapsed_ms: f64, cache: CacheStats) -> RunRecord {
+    RunRecord {
+        mode: mode.to_owned(),
+        requests: samples.len(),
+        elapsed_ms,
+        requests_per_sec: samples.len() as f64 / (elapsed_ms / 1e3),
+        latency: LatencySummary::from_samples(samples),
+        cache,
+    }
+}
+
+/// One `plan_many`-shaped cell: fans the mix across the worker pool,
+/// timing each request on its worker thread.
+fn run_batch(engine: &PlanEngine, requests: &[PlanRequest], mode: &str) -> RunRecord {
+    let started = Instant::now();
+    let samples = parallel::map(requests, |request| {
+        let t = Instant::now();
+        let result = engine.plan(request);
+        assert!(result.is_ok(), "benchmark workloads must plan");
+        t.elapsed().as_secs_f64() * 1e3
+    });
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    record(mode, &samples, elapsed_ms, engine.cache_stats())
+}
+
+/// One service cell: the same mix as serial line-delimited JSON, the way
+/// a single stdin/TCP client would see it.
+fn run_service(engine: &PlanEngine, lines: &[String], mode: &str) -> RunRecord {
+    let started = Instant::now();
+    let samples: Vec<f64> = lines
+        .iter()
+        .map(|line| {
+            let t = Instant::now();
+            let reply = service::handle_line(engine, line);
+            assert!(
+                !reply.contains("\"error\""),
+                "benchmark workloads must plan: {reply}"
+            );
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    record(mode, &samples, elapsed_ms, engine.cache_stats())
+}
+
+fn run_sweep(short: bool) -> BenchDoc {
+    let sizes: &[usize] = if short {
+        &[10, 25, 50]
+    } else {
+        &[10, 100, 1000]
+    };
+    let mut runs = Vec::new();
+    for &n in sizes {
+        let requests = request_mix(n);
+        let lines: Vec<String> = requests
+            .iter()
+            .map(|r| {
+                format!(
+                    r#"{{"network": "{}", "levels": {LEVELS}, "batch": {}}}"#,
+                    NETS[(r.batch - 8) as usize % NETS.len()],
+                    r.batch
+                )
+            })
+            .collect();
+
+        let engine = PlanEngine::new();
+        eprintln!("plan_many cold/hot: {n} request(s)...");
+        runs.push(run_batch(&engine, &requests, "cold_plan_many"));
+        runs.push(run_batch(&engine, &requests, "hot_plan_many"));
+
+        let engine = PlanEngine::new();
+        eprintln!("service   cold/hot: {n} request(s)...");
+        runs.push(run_service(&engine, &lines, "cold_service"));
+        runs.push(run_service(&engine, &lines, "hot_service"));
+    }
+    BenchDoc {
+        schema: SCHEMA.to_owned(),
+        mode: if short { "short" } else { "full" }.to_owned(),
+        levels: LEVELS,
+        workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        runs,
+    }
+}
+
+/// Validates a saturation document: schema tag, required fields, sane
+/// percentile ordering, and cold/hot cache behaviour.
+fn check(value: &Value) -> Result<usize, String> {
+    let schema = value.get("schema").and_then(Value::as_str);
+    if schema != Some(SCHEMA) {
+        return Err(format!("schema must be `{SCHEMA}`, got {schema:?}"));
+    }
+    let runs = value
+        .get("runs")
+        .and_then(Value::as_array)
+        .ok_or("missing `runs` array")?;
+    if runs.is_empty() {
+        return Err("`runs` must not be empty".to_owned());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        let ctx = |field: &str| format!("run {i}: bad `{field}`");
+        let mode = run
+            .get("mode")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ctx("mode"))?;
+        if !matches!(
+            mode,
+            "cold_plan_many" | "hot_plan_many" | "cold_service" | "hot_service"
+        ) {
+            return Err(format!("run {i}: unknown mode `{mode}`"));
+        }
+        let requests = run
+            .get("requests")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ctx("requests"))?;
+        let rps = run
+            .get("requests_per_sec")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| ctx("requests_per_sec"))?;
+        if requests == 0 || !(rps.is_finite() && rps > 0.0) {
+            return Err(format!(
+                "run {i}: degenerate throughput ({requests} req, {rps}/s)"
+            ));
+        }
+        let latency = run.get("latency").ok_or_else(|| ctx("latency"))?;
+        let pct = |field: &str| {
+            latency
+                .get(field)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| ctx(field))
+        };
+        let count = latency
+            .get("count")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ctx("latency.count"))?;
+        if count != requests {
+            return Err(format!("run {i}: {count} samples for {requests} requests"));
+        }
+        let (p50, p90, p99, max) = (
+            pct("p50_ms")?,
+            pct("p90_ms")?,
+            pct("p99_ms")?,
+            pct("max_ms")?,
+        );
+        if !(p50 <= p90 && p90 <= p99 && p99 <= max) {
+            return Err(format!(
+                "run {i}: percentiles out of order ({p50} / {p90} / {p99} / {max})"
+            ));
+        }
+        let cache_u64 = |field: &str| {
+            run.get("cache")
+                .and_then(|c| c.get(field))
+                .and_then(Value::as_u64)
+                .ok_or_else(|| ctx(field))
+        };
+        let hits = cache_u64("hits")?;
+        let misses = cache_u64("misses")?;
+        if mode.starts_with("cold") && hits != 0 {
+            return Err(format!("run {i}: a cold cell recorded {hits} hit(s)"));
+        }
+        if mode.starts_with("hot") && hits < requests {
+            return Err(format!(
+                "run {i}: a hot cell must replay from cache ({hits} hit(s) of {requests})"
+            ));
+        }
+        if hits + misses < requests {
+            return Err(format!(
+                "run {i}: {hits} + {misses} lookups for {requests} requests"
+            ));
+        }
+    }
+    Ok(runs.len())
+}
+
+fn main() -> ExitCode {
+    let mut short = false;
+    let mut out: Option<PathBuf> = None;
+    let mut check_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--short" => short = true,
+            "--out" => match args.next() {
+                Some(path) => out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--out expects a file path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--check" => match args.next() {
+                Some(path) => check_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--check expects a file path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = check_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("{}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let value: Value = match serde_json::from_str(&text) {
+            Ok(value) => value,
+            Err(err) => {
+                eprintln!("{}: invalid JSON: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        return match check(&value) {
+            Ok(n) => {
+                println!("{}: valid {SCHEMA} document, {n} run(s)", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("{}: {err}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let doc = run_sweep(short);
+    for run in &doc.runs {
+        println!(
+            "{:<16} {:>5} req  {:>10.1} req/s  p50 {:>8.3} ms  p99 {:>8.3} ms",
+            run.mode, run.requests, run.requests_per_sec, run.latency.p50_ms, run.latency.p99_ms
+        );
+    }
+    let path = out.unwrap_or_else(|| PathBuf::from("BENCH_engine.json"));
+    let payload = match serde_json::to_string_pretty(&doc) {
+        Ok(payload) => payload,
+        Err(err) => {
+            eprintln!("failed to serialize document: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(err) = std::fs::write(&path, payload) {
+        eprintln!("failed to write {}: {err}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}

@@ -141,18 +141,49 @@ pub fn refine_partition_with(
     num_levels: usize,
     mode: hypar_comm::JunctionScaling,
 ) -> crate::HierarchicalPlan {
+    refine_partition_reported_with(net, num_levels, mode).0
+}
+
+/// [`refine_partition`] returning the [`DescentReport`] alongside the
+/// plan, so callers (the engine's telemetry layer) can surface the sweep
+/// and flip counts the descent performed.
+///
+/// # Panics
+///
+/// Same as [`refine_partition`].
+#[must_use]
+pub fn refine_partition_reported(
+    net: &hypar_comm::NetworkCommTensors,
+    num_levels: usize,
+) -> (crate::HierarchicalPlan, DescentReport) {
+    refine_partition_reported_with(net, num_levels, hypar_comm::JunctionScaling::Consumer)
+}
+
+/// [`refine_partition_reported`] under an explicit
+/// [`hypar_comm::JunctionScaling`] interpretation.
+///
+/// # Panics
+///
+/// Same as [`refine_partition`].
+#[must_use]
+pub fn refine_partition_reported_with(
+    net: &hypar_comm::NetworkCommTensors,
+    num_levels: usize,
+    mode: hypar_comm::JunctionScaling,
+) -> (crate::HierarchicalPlan, DescentReport) {
     let seed = crate::hierarchical::partition_with(net, num_levels, mode);
     let mut levels = seed.levels().to_vec();
     let order: Vec<usize> = (0..net.len()).collect();
     let report = descend(&mut levels, &order, |candidate| {
         crate::evaluate::evaluate_plan_with(net, candidate, mode).total_elems()
     });
-    crate::HierarchicalPlan::from_parts(
+    let plan = crate::HierarchicalPlan::from_parts(
         net.name(),
         net.layers().iter().map(|l| l.name.clone()).collect(),
         levels,
         report.refined_cost,
-    )
+    );
+    (plan, report)
 }
 
 #[cfg(test)]
@@ -211,6 +242,16 @@ mod tests {
             let refined = refine_partition(&net, 4).total_comm_elems();
             assert!(refined <= seed, "{name}: {refined} vs seed {seed}");
         }
+    }
+
+    #[test]
+    fn reported_variant_matches_the_plain_one() {
+        let net = view("SFC", 256);
+        let plain = refine_partition(&net, 4);
+        let (plan, report) = refine_partition_reported(&net, 4);
+        assert_eq!(plan, plain);
+        assert_eq!(report.refined_cost, plan.total_comm_elems());
+        assert!(report.sweeps >= 1);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The engine's LRU plan cache.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use serde::Serialize;
 
@@ -19,6 +20,11 @@ pub struct CacheStats {
     pub entries: usize,
     /// Maximum number of entries.
     pub capacity: usize,
+    /// Entries evicted to make room for newer ones.
+    pub evictions: u64,
+    /// Times a lock poisoned by a panicking planner thread was recovered
+    /// instead of propagated (each post-poison lock acquisition counts).
+    pub poison_recoveries: u64,
 }
 
 struct Entry {
@@ -31,6 +37,7 @@ struct Inner {
     tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 /// A thread-safe least-recently-used cache of [`PlanResponse`]s keyed by
@@ -50,6 +57,7 @@ struct Inner {
 pub struct PlanCache {
     inner: Mutex<Inner>,
     capacity: usize,
+    poison_recoveries: AtomicU64,
 }
 
 impl std::fmt::Debug for PlanCache {
@@ -74,15 +82,29 @@ impl PlanCache {
                 tick: 0,
                 hits: 0,
                 misses: 0,
+                evictions: 0,
             }),
             capacity,
+            poison_recoveries: AtomicU64::new(0),
+        }
+    }
+
+    /// Acquires the inner lock, recovering (and counting) a poisoned
+    /// mutex instead of propagating the poison.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                poisoned.into_inner()
+            }
         }
     }
 
     /// Looks a fingerprint up, counting a hit or miss.
     #[must_use]
     pub fn get(&self, key: Fingerprint) -> Option<Arc<PlanResponse>> {
-        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
         let found = inner.map.get_mut(&key.0).map(|entry| {
@@ -107,7 +129,7 @@ impl PlanCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
         if inner.map.len() >= self.capacity && !inner.map.contains_key(&key.0) {
@@ -118,6 +140,7 @@ impl PlanCache {
                 .map(|(k, _)| *k)
             {
                 inner.map.remove(&oldest);
+                inner.evictions += 1;
             }
         }
         inner.map.insert(
@@ -132,12 +155,14 @@ impl PlanCache {
     /// Current counters and occupancy.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let inner = self.lock();
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,
             entries: inner.map.len(),
             capacity: self.capacity,
+            evictions: inner.evictions,
+            poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),
         }
     }
 }
@@ -161,6 +186,7 @@ mod tests {
             total_comm_bytes: 0.0,
             plan: HierarchicalPlan::from_parts("n", vec![], vec![], 0.0),
             simulation: None,
+            timing: None,
         })
     }
 
@@ -184,7 +210,10 @@ mod tests {
         assert!(cache.get(Fingerprint(2)).is_none());
         assert!(cache.get(Fingerprint(1)).is_some());
         assert!(cache.get(Fingerprint(3)).is_some());
-        assert_eq!(cache.stats().entries, 2);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.poison_recoveries, 0);
     }
 
     #[test]
@@ -196,10 +225,7 @@ mod tests {
         cache.insert(Fingerprint(1), response(1));
         let poisoner = std::sync::Arc::clone(&cache);
         let _ = std::thread::spawn(move || {
-            let _guard = poisoner
-                .inner
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
+            let _guard = poisoner.inner.lock().unwrap();
             panic!("poison the cache lock");
         })
         .join();
@@ -211,6 +237,11 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.entries, 2);
         assert_eq!(stats.hits, 2);
+        // The recovery path is no longer silent: every post-poison lock
+        // acquisition (get, insert, get, and the stats call itself) is
+        // counted.
+        assert_eq!(stats.poison_recoveries, 4);
+        assert_eq!(stats.evictions, 0);
     }
 
     #[test]

@@ -11,12 +11,16 @@ use hypar_graph::{zoo as graph_zoo, DagNetwork, SegmentCommGraph};
 use hypar_models::zoo;
 use hypar_models::{ConvSpec, Layer, Network, NetworkShapes, PoolKind, PoolSpec};
 use hypar_sim::{training, ArchConfig};
+use hypar_telemetry::{duration_ns_since, RegistrySnapshot, SpanRecorder};
 use hypar_tensor::FeatureDims;
 
 use crate::cache::{CacheStats, PlanCache};
 use crate::fingerprint::{fingerprint, fingerprint_dag, Fingerprint};
+use crate::metrics::EngineMetrics;
 use crate::parallel;
-use crate::request::{CustomNetwork, GraphSpec, NetworkRef, PlanRequest, PlanResponse, Strategy};
+use crate::request::{
+    CustomNetwork, GraphSpec, NetworkRef, PlanRequest, PlanResponse, PlanTiming, Strategy,
+};
 
 /// Upper bound on `layers × levels` for [`Strategy::Exhaustive`] — beyond
 /// this the `2^(L·H)` joint search is infeasible.  Chains and branchy
@@ -68,6 +72,7 @@ impl std::error::Error for EngineError {}
 #[derive(Debug)]
 pub struct PlanEngine {
     cache: PlanCache,
+    metrics: EngineMetrics,
 }
 
 impl Default for PlanEngine {
@@ -92,24 +97,69 @@ impl PlanEngine {
     pub fn with_cache_capacity(capacity: usize) -> Self {
         PlanEngine {
             cache: PlanCache::new(capacity),
+            metrics: EngineMetrics::new(),
         }
     }
 
     /// Plans one request, serving repeated workloads from the cache.
+    ///
+    /// Every call is counted and timed in the engine's metric registry
+    /// (see [`PlanEngine::metrics_snapshot`]); with `trace: true` on the
+    /// request, the response additionally carries the request's own
+    /// [`PlanTiming`] span tree.
     ///
     /// # Errors
     ///
     /// Returns an [`EngineError`] for unknown networks, malformed custom
     /// specs, or inconsistent request options.
     pub fn plan(&self, request: &PlanRequest) -> Result<PlanResponse, EngineError> {
-        let resolved = Resolved::new(request)?;
+        self.metrics.requests.inc();
+        self.metrics.inflight.add(1);
+        let mut root = SpanRecorder::start("plan");
+        let result = self.plan_recorded(request, &mut root);
+        self.metrics.inflight.sub(1);
+        let span = root.finish();
+        self.metrics.plan_latency_ns.record(span.duration_ns);
+        match result {
+            Ok(mut response) => {
+                if request.trace {
+                    response.timing = Some(PlanTiming {
+                        total_ns: span.duration_ns,
+                        trace: span,
+                    });
+                }
+                Ok(response)
+            }
+            Err(err) => {
+                self.metrics.errors.inc();
+                Err(err)
+            }
+        }
+    }
+
+    /// The `plan` pipeline proper, with every stage recorded under
+    /// `root`.  Returned responses never carry timing: the caller
+    /// attaches the finished span tree, and the cache stores timing-free
+    /// entries so traced and untraced requests share them.
+    fn plan_recorded(
+        &self,
+        request: &PlanRequest,
+        root: &mut SpanRecorder,
+    ) -> Result<PlanResponse, EngineError> {
+        let resolved = root.time_in("resolve", |span| Resolved::new(request, span))?;
         let key = resolved.fingerprint();
-        if let Some(cached) = self.cache.get(key) {
+        if let Some(cached) = root.time("cache_lookup", || self.cache.get(key)) {
             let mut response = (*cached).clone();
             response.cache_hit = true;
             return Ok(response);
         }
-        let response = Arc::new(resolved.compute(key)?);
+        let compute_started = std::time::Instant::now();
+        let response =
+            root.time_in("compute", |span| resolved.compute(key, span, &self.metrics))?;
+        self.metrics
+            .plan_compute_ns
+            .record(duration_ns_since(compute_started));
+        let response = Arc::new(response);
         self.cache.insert(key, Arc::clone(&response));
         Ok((*response).clone())
     }
@@ -127,6 +177,15 @@ impl PlanEngine {
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// A point-in-time snapshot of the engine's metric registry: request
+    /// and error counters, the in-flight gauge, search counters
+    /// (refine sweeps/flips, exhaustive candidates, segments planned),
+    /// and latency histograms with p50/p90/p99 summaries.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        self.metrics.snapshot()
     }
 }
 
@@ -152,7 +211,7 @@ struct Resolved {
 }
 
 impl Resolved {
-    fn new(request: &PlanRequest) -> Result<Self, EngineError> {
+    fn new(request: &PlanRequest, span: &mut SpanRecorder) -> Result<Self, EngineError> {
         if request.levels > MAX_LEVELS {
             return Err(EngineError::InvalidRequest(format!(
                 "levels {} exceeds the limit of {MAX_LEVELS} (2^{MAX_LEVELS} accelerators); \
@@ -192,8 +251,8 @@ impl Resolved {
                 (Workload::Chain { shapes, tensors }, assignments)
             }
             ResolvedNet::Dag(dag) => {
-                let graph = dag
-                    .segments(request.batch)
+                let graph = span
+                    .time("segment_decomposition", || dag.segments(request.batch))
                     .map_err(|e| EngineError::InvalidNetwork(e.to_string()))?;
                 let assignments = validate_strategy(request, graph.num_layers())?;
                 (Workload::Dag(graph), assignments)
@@ -230,25 +289,42 @@ impl Resolved {
         }
     }
 
-    fn compute(&self, key: Fingerprint) -> Result<PlanResponse, EngineError> {
+    fn compute(
+        &self,
+        key: Fingerprint,
+        span: &mut SpanRecorder,
+        metrics: &EngineMetrics,
+    ) -> Result<PlanResponse, EngineError> {
         let sim_failed = |e: hypar_sim::SimError| EngineError::InvalidRequest(e.to_string());
         let (network, batch, plan, simulation) = match &self.workload {
             Workload::Chain { shapes, tensors } => {
-                let plan = self.run_chain_strategy(tensors)?;
-                let simulation = self
-                    .simulate
-                    .then(|| training::simulate_step(shapes, &plan, &self.cfg))
-                    .transpose()
-                    .map_err(sim_failed)?;
+                let plan = self.run_chain_strategy(tensors, span, metrics)?;
+                let simulation = if self.simulate {
+                    metrics.sim_steps.inc();
+                    Some(
+                        span.time("simulate", || {
+                            training::simulate_step(shapes, &plan, &self.cfg)
+                        })
+                        .map_err(sim_failed)?,
+                    )
+                } else {
+                    None
+                };
                 (tensors.name().to_owned(), tensors.batch(), plan, simulation)
             }
             Workload::Dag(graph) => {
-                let plan = self.run_dag_strategy(graph)?;
-                let simulation = self
-                    .simulate
-                    .then(|| training::simulate_graph_step(graph, &plan, &self.cfg))
-                    .transpose()
-                    .map_err(sim_failed)?;
+                let plan = self.run_dag_strategy(graph, span, metrics)?;
+                let simulation = if self.simulate {
+                    metrics.sim_steps.inc();
+                    Some(
+                        span.time("simulate", || {
+                            training::simulate_graph_step(graph, &plan, &self.cfg)
+                        })
+                        .map_err(sim_failed)?,
+                    )
+                } else {
+                    None
+                };
                 (graph.name().to_owned(), graph.batch(), plan, simulation)
             }
         };
@@ -264,22 +340,42 @@ impl Resolved {
             total_comm_bytes: plan.total_comm_bytes().value(),
             plan,
             simulation,
+            timing: None,
         })
     }
 
     fn run_chain_strategy(
         &self,
         net: &NetworkCommTensors,
+        span: &mut SpanRecorder,
+        metrics: &EngineMetrics,
     ) -> Result<HierarchicalPlan, EngineError> {
         Ok(match self.strategy {
-            Strategy::Hypar => hierarchical::partition(net, self.levels),
-            Strategy::Dp => baselines::all_data(net, self.levels),
-            Strategy::Mp => baselines::all_model(net, self.levels),
-            Strategy::Owt => baselines::one_weird_trick(net, self.levels),
-            Strategy::Refined => refine::refine_partition(net, self.levels),
+            Strategy::Hypar => span.time("search", || hierarchical::partition(net, self.levels)),
+            Strategy::Dp => span.time("search", || baselines::all_data(net, self.levels)),
+            Strategy::Mp => span.time("search", || baselines::all_model(net, self.levels)),
+            Strategy::Owt => span.time("search", || baselines::one_weird_trick(net, self.levels)),
+            Strategy::Refined => {
+                let (plan, report) = span.time_in("refine", |s| {
+                    let (plan, report) = refine::refine_partition_reported(net, self.levels);
+                    s.counter("sweeps", report.sweeps as u64);
+                    s.counter("flips", report.flips);
+                    (plan, report)
+                });
+                metrics.refine_sweeps.add(report.sweeps as u64);
+                metrics.refine_flips.add(report.flips);
+                plan
+            }
             Strategy::Exhaustive => {
-                let (cost, levels) = exhaustive::best_joint(net, self.levels)
-                    .map_err(|e| EngineError::InvalidRequest(e.to_string()))?;
+                // The slot guard ran at resolution, so the candidate
+                // count (2^slots) fits comfortably in a u64.
+                let candidates = 1u64 << (net.len() * self.levels);
+                metrics.exhaustive_candidates.add(candidates);
+                let (cost, levels) = span.time_in("exhaustive", |s| {
+                    s.counter("candidates", candidates);
+                    exhaustive::best_joint(net, self.levels)
+                        .map_err(|e| EngineError::InvalidRequest(e.to_string()))
+                })?;
                 HierarchicalPlan::from_parts(net.name(), layer_names(net), levels, cost)
             }
             Strategy::Explicit => {
@@ -291,7 +387,7 @@ impl Resolved {
                         "strategy `explicit` lost its assignments during resolution".to_owned(),
                     )
                 })?;
-                let cost = evaluate_plan(net, &levels).total_elems();
+                let cost = span.time("evaluate", || evaluate_plan(net, &levels).total_elems());
                 HierarchicalPlan::from_parts(net.name(), layer_names(net), levels, cost)
             }
         })
@@ -303,11 +399,29 @@ impl Resolved {
     /// `exhaustive` runs the whole-graph joint search and `explicit`
     /// evaluates the supplied whole-graph assignment, both priced by the
     /// identical stitched model.
-    fn run_dag_strategy(&self, graph: &SegmentCommGraph) -> Result<HierarchicalPlan, EngineError> {
+    fn run_dag_strategy(
+        &self,
+        graph: &SegmentCommGraph,
+        span: &mut SpanRecorder,
+        metrics: &EngineMetrics,
+    ) -> Result<HierarchicalPlan, EngineError> {
         // Stitch/evaluate mismatches are typed `GraphError`s; an engine
         // whose own per-segment plans disagree with the graph is a bug,
         // but it costs the request an error JSON, never the process.
         let graph_failed = |e: hypar_graph::GraphError| EngineError::InvalidRequest(e.to_string());
+        // Fans the segment-local seed planning across the pool, counted
+        // and timed as one `plan_segments` span (the segments run
+        // concurrently, so per-segment child spans would overlap).
+        let plan_segments = |span: &mut SpanRecorder,
+                             plan_one: fn(&NetworkCommTensors, usize) -> HierarchicalPlan|
+         -> Vec<HierarchicalPlan> {
+            let segments = graph.segments();
+            metrics.segments_planned.add(segments.len() as u64);
+            span.time_in("plan_segments", |s| {
+                s.counter("segments", segments.len() as u64);
+                parallel::map(segments, |segment| plan_one(segment, self.levels))
+            })
+        };
         let plan_one: fn(&NetworkCommTensors, usize) -> HierarchicalPlan = match self.strategy {
             Strategy::Hypar => hierarchical::partition,
             Strategy::Dp => baselines::all_data,
@@ -317,17 +431,34 @@ impl Resolved {
                 // The junction-aware pass: stitched seed, then
                 // whole-graph coordinate descent.  Segments still fan out
                 // across the pool for the seed.
-                let plans = parallel::map(graph.segments(), |s| {
-                    hierarchical::partition(s, self.levels)
-                });
-                let stitched = hypar_graph::stitch(graph, &plans).map_err(graph_failed)?;
-                return hypar_graph::refine_graph_plan(graph, &stitched)
-                    .map(|(refined, _)| refined)
-                    .map_err(graph_failed);
+                let plans = plan_segments(span, hierarchical::partition);
+                let stitched = span
+                    .time("stitch", || hypar_graph::stitch(graph, &plans))
+                    .map_err(graph_failed)?;
+                let (refined, report) = span
+                    .time_in("refine", |s| {
+                        let result = hypar_graph::refine_graph_plan(graph, &stitched);
+                        if let Ok((_, report)) = &result {
+                            s.counter("sweeps", report.sweeps as u64);
+                            s.counter("flips", report.flips);
+                        }
+                        result
+                    })
+                    .map_err(graph_failed)?;
+                metrics.refine_sweeps.add(report.sweeps as u64);
+                metrics.refine_flips.add(report.flips);
+                return Ok(refined);
             }
             Strategy::Exhaustive => {
-                return hypar_graph::best_joint_graph(graph, self.levels)
-                    .map_err(|e| EngineError::InvalidRequest(e.to_string()));
+                // The slot guard ran at resolution, so the candidate
+                // count (2^slots) fits comfortably in a u64.
+                let candidates = 1u64 << (graph.num_layers() * self.levels);
+                metrics.exhaustive_candidates.add(candidates);
+                return span.time_in("exhaustive", |s| {
+                    s.counter("candidates", candidates);
+                    hypar_graph::best_joint_graph(graph, self.levels)
+                        .map_err(|e| EngineError::InvalidRequest(e.to_string()))
+                });
             }
             Strategy::Explicit => {
                 // Resolution guarantees assignments for the explicit
@@ -338,8 +469,11 @@ impl Resolved {
                         "strategy `explicit` lost its assignments during resolution".to_owned(),
                     )
                 })?;
-                let cost =
-                    hypar_graph::evaluate_graph_plan(graph, &levels).map_err(graph_failed)?;
+                let cost = span
+                    .time("evaluate", || {
+                        hypar_graph::evaluate_graph_plan(graph, &levels)
+                    })
+                    .map_err(graph_failed)?;
                 return Ok(HierarchicalPlan::from_parts(
                     graph.name(),
                     graph_layer_names(graph),
@@ -348,8 +482,9 @@ impl Resolved {
                 ));
             }
         };
-        let plans = parallel::map(graph.segments(), |segment| plan_one(segment, self.levels));
-        hypar_graph::stitch(graph, &plans).map_err(graph_failed)
+        let plans = plan_segments(span, plan_one);
+        span.time("stitch", || hypar_graph::stitch(graph, &plans))
+            .map_err(graph_failed)
     }
 }
 

@@ -27,7 +27,11 @@
 //!   `BufRead`/`Write` pair or a TCP listener, used by the `hypar-engine`
 //!   binary;
 //! * [`scenario`] — reproducible sweep files (`scenarios/*.json`) run as a
-//!   batch through the engine.
+//!   batch through the engine;
+//! * **telemetry** — every request is timed into a metrics registry
+//!   ([`PlanEngine::metrics_snapshot`], the service's `{"stats": true}`
+//!   command); `trace: true` on a request attaches a [`PlanTiming`] span
+//!   tree without changing its cache fingerprint.
 //!
 //! # Examples
 //!
@@ -55,6 +59,7 @@
 pub mod cache;
 mod engine;
 pub mod fingerprint;
+mod metrics;
 pub mod parallel;
 mod request;
 pub mod scenario;
@@ -64,5 +69,5 @@ pub use cache::CacheStats;
 pub use engine::{EngineError, PlanEngine};
 pub use request::{
     CustomNetwork, GraphNodeSpec, GraphSpec, InputSpec, LayerSpec, PlanRequest, PlanResponse,
-    Strategy,
+    PlanTiming, Strategy,
 };

@@ -122,7 +122,15 @@ fn run_scenarios(
         let scenario = match scenario::load(path) {
             Ok(s) => s,
             Err(err) => {
-                eprintln!("{err}");
+                // Structured like the service's error objects, so scripts
+                // driving `--scenarios` can parse stderr: the typed
+                // ScenarioError keeps kind/path/message separable.
+                use serde::Serialize;
+                let value = serde::Value::Object(vec![("error".to_owned(), err.to_value())]);
+                match serde_json::to_string(&value) {
+                    Ok(json) => eprintln!("{json}"),
+                    Err(_) => eprintln!("{err}"),
+                }
                 return ExitCode::FAILURE;
             }
         };

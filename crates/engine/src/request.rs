@@ -5,6 +5,7 @@ use std::str::FromStr;
 
 use hypar_core::HierarchicalPlan;
 use hypar_sim::{StepReport, Topology};
+use hypar_telemetry::Span;
 use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Which planner produces the per-layer parallelism assignment.
@@ -271,6 +272,11 @@ pub struct PlanRequest {
     /// workload (and cache entry) as `strategy: "refined"`.  Rejected
     /// with any other strategy.
     pub refine: bool,
+    /// Attach a [`PlanTiming`] section (wall-clock span tree of the
+    /// request's processing) to the response.  Tracing never changes the
+    /// plan and is **excluded from the fingerprint**, so traced and
+    /// untraced spellings of a workload share one cache entry.
+    pub trace: bool,
 }
 
 impl PlanRequest {
@@ -286,6 +292,7 @@ impl PlanRequest {
             topology: Topology::HTree,
             simulate: false,
             refine: false,
+            trace: false,
         }
     }
 
@@ -358,6 +365,14 @@ impl PlanRequest {
         self.refine = refine;
         self
     }
+
+    /// Enables (or disables) the response timing trace (see
+    /// [`PlanRequest::trace`]).
+    #[must_use]
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
 }
 
 impl Serialize for PlanRequest {
@@ -373,6 +388,7 @@ impl Serialize for PlanRequest {
             ),
             ("simulate".to_owned(), Value::Bool(self.simulate)),
             ("refine".to_owned(), Value::Bool(self.refine)),
+            ("trace".to_owned(), Value::Bool(self.trace)),
         ];
         if let Some(assignments) = &self.assignments {
             fields.push(("assignments".to_owned(), assignments.to_value()));
@@ -403,6 +419,7 @@ impl Deserialize for PlanRequest {
             },
             simulate: field_or(v, "simulate", false)?,
             refine: field_or(v, "refine", false)?,
+            trace: field_or(v, "trace", false)?,
         })
     }
 }
@@ -436,6 +453,24 @@ pub(crate) fn topology_name(topology: Topology) -> &'static str {
     }
 }
 
+/// Wall-clock timing of one request's processing, attached to a
+/// [`PlanResponse`] when the request set `trace: true`.
+///
+/// The span tree mirrors the engine's pipeline: a `plan` root with
+/// `resolve` (network resolution, shape inference, and — for branchy
+/// DAGs — `segment_decomposition`) and `cache_lookup` children, plus,
+/// on a cache miss, a `compute` subtree covering the strategy search
+/// (`plan_segments`/`stitch`/`refine`/`exhaustive`/…) and `simulate`.
+/// A cache hit's trace stops at the lookup — the compute subtree
+/// belongs to whichever request populated the entry.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlanTiming {
+    /// End-to-end wall-clock of [`crate::PlanEngine::plan`], ns.
+    pub total_ns: u64,
+    /// The span tree (root span `plan`; its duration equals `total_ns`).
+    pub trace: Span,
+}
+
 /// The engine's answer to one [`PlanRequest`].
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PlanResponse {
@@ -461,4 +496,8 @@ pub struct PlanResponse {
     pub plan: HierarchicalPlan,
     /// Discrete-event simulation of one training step, when requested.
     pub simulation: Option<StepReport>,
+    /// Wall-clock timing breakdown, when the request set `trace: true`.
+    /// Never stored in the plan cache (a cached entry is timing-free;
+    /// the trace always describes *this* request's processing).
+    pub timing: Option<PlanTiming>,
 }

@@ -5,9 +5,13 @@
 //! TCP listener ([`serve_tcp`], one thread per connection, all sharing
 //! the engine's plan cache).
 //!
-//! Besides [`crate::PlanRequest`] objects, a line may carry the control
-//! command `{"cmd": "stats"}`, answered with the engine's
-//! [`crate::CacheStats`].
+//! Besides [`crate::PlanRequest`] objects, a line may carry an admin
+//! command:
+//!
+//! * `{"stats": true}` — the full telemetry snapshot
+//!   `{"cache": <CacheStats>, "metrics": <RegistrySnapshot>}`;
+//! * `{"cmd": "stats"}` — the legacy cache-only form, answered with the
+//!   engine's [`crate::CacheStats`] alone.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, ToSocketAddrs};
@@ -27,6 +31,9 @@ pub fn handle_line(engine: &PlanEngine, line: &str) -> String {
         Ok(v) => v,
         Err(err) => return error_json(&format!("invalid JSON: {err}")),
     };
+    if parsed.get("stats").and_then(Value::as_bool) == Some(true) {
+        return stats_json(engine);
+    }
     if let Some(cmd) = parsed.get("cmd").and_then(Value::as_str) {
         return match cmd {
             "stats" => reply_json(&engine.cache_stats()),
@@ -40,6 +47,18 @@ pub fn handle_line(engine: &PlanEngine, line: &str) -> String {
         },
         Err(err) => error_json(&format!("invalid request: {err}")),
     }
+}
+
+/// Builds the `{"stats": true}` reply: the cache counters plus the full
+/// engine metrics registry, under stable `cache`/`metrics` keys.
+fn stats_json(engine: &PlanEngine) -> String {
+    use serde::Serialize;
+    let value = Value::Object(vec![
+        ("cache".to_owned(), engine.cache_stats().to_value()),
+        ("metrics".to_owned(), engine.metrics_snapshot().to_value()),
+    ]);
+    serde_json::to_string(&value)
+        .unwrap_or_else(|err| error_json(&format!("stats serialization failed: {err}")))
 }
 
 /// Serializes a reply, degrading to an error object rather than panicking
@@ -142,6 +161,25 @@ mod tests {
         let value: Value = serde_json::from_str(&reply).unwrap();
         assert_eq!(value.get("hits").and_then(Value::as_u64), Some(0));
         assert_eq!(value.get("capacity").and_then(Value::as_u64), Some(1024));
+    }
+
+    #[test]
+    fn stats_true_returns_cache_and_metrics_sections() {
+        let engine = PlanEngine::new();
+        let _ = handle_line(&engine, "{\"network\": \"sfc\", \"levels\": 2}");
+        let reply = handle_line(&engine, r#"{"stats": true}"#);
+        let value: Value = serde_json::from_str(&reply).unwrap();
+        let cache = value.get("cache").expect("cache section");
+        assert_eq!(cache.get("misses").and_then(Value::as_u64), Some(1));
+        assert_eq!(cache.get("evictions").and_then(Value::as_u64), Some(0));
+        let metrics = value.get("metrics").expect("metrics section");
+        let counters = metrics.get("counters").expect("counters section");
+        assert_eq!(counters.get("requests").and_then(Value::as_u64), Some(1));
+        let latency = metrics
+            .get("histograms")
+            .and_then(|h| h.get("plan_latency_ns"))
+            .expect("plan_latency_ns histogram");
+        assert_eq!(latency.get("count").and_then(Value::as_u64), Some(1));
     }
 
     #[test]

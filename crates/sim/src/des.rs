@@ -188,6 +188,12 @@ impl Engine {
         TaskId(id)
     }
 
+    /// Number of resources added so far.
+    #[must_use]
+    pub fn num_resources(&self) -> usize {
+        self.resources.len()
+    }
+
     /// Number of tasks added so far.
     #[must_use]
     pub fn num_tasks(&self) -> usize {

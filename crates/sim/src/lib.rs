@@ -59,4 +59,4 @@ pub use config::ArchConfig;
 pub use energy::EnergyModel;
 pub use error::SimError;
 pub use noc::Topology;
-pub use report::StepReport;
+pub use report::{SimTraceSummary, StepReport};

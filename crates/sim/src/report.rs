@@ -3,6 +3,18 @@
 use hypar_tensor::{Bytes, Joules, Seconds};
 use serde::{Deserialize, Serialize};
 
+/// Shape of the discrete-event schedule behind a [`StepReport`]: a cheap
+/// summary of the simulation trace that ships with every report (the
+/// full event log stays internal — it is orders of magnitude larger).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimTraceSummary {
+    /// DES tasks scheduled: compute stages, transfers, junction
+    /// forwarding/accumulation, and synchronization barriers.
+    pub tasks: u64,
+    /// Resources the schedule ran over (processing units and links).
+    pub resources: u64,
+}
+
 /// Measured outcome of simulating one synchronous training step on the
 /// accelerator array.
 ///
@@ -39,6 +51,8 @@ pub struct StepReport {
     pub dram_footprint_bytes: Bytes,
     /// Number of accelerators simulated.
     pub num_accelerators: u64,
+    /// Size of the discrete-event schedule that produced this report.
+    pub trace_summary: SimTraceSummary,
 }
 
 impl StepReport {
@@ -81,6 +95,7 @@ mod tests {
             link_busy: Seconds::ZERO,
             dram_footprint_bytes: Bytes(100.0),
             num_accelerators: 16,
+            trace_summary: SimTraceSummary::default(),
         }
     }
 

@@ -837,6 +837,10 @@ impl<'a> Builder<'a> {
             ..
         } = self;
 
+        let trace_summary = crate::SimTraceSummary {
+            tasks: engine.num_tasks() as u64,
+            resources: engine.num_resources() as u64,
+        };
         let schedule = engine.run();
         let chrome_trace = trace.then(|| schedule.chrome_trace());
         let compute_busy = schedule.busy_time(accels[0]);
@@ -883,6 +887,7 @@ impl<'a> Builder<'a> {
             link_busy,
             dram_footprint_bytes: Bytes(footprint),
             num_accelerators: accels.len() as u64,
+            trace_summary,
         };
         (report, chrome_trace)
     }

@@ -12,6 +12,7 @@
 //! | [`core`]   | `hypar-core`   | Algorithms 1 and 2, baselines, exhaustive search |
 //! | [`graph`]  | `hypar-graph`  | DAG network IR: branchy models segmented and planned |
 //! | [`sim`]    | `hypar-sim`    | the event-driven accelerator-array simulator |
+//! | [`telemetry`] | `hypar-telemetry` | metrics registry and per-request span traces |
 //! | [`bench`]  | `hypar-bench`  | paper table/figure reproduction harness |
 //! | [`engine`] | `hypar-engine` | the cached, parallel planning-engine service |
 
@@ -25,4 +26,5 @@ pub use hypar_engine as engine;
 pub use hypar_graph as graph;
 pub use hypar_models as models;
 pub use hypar_sim as sim;
+pub use hypar_telemetry as telemetry;
 pub use hypar_tensor as tensor;
