@@ -12,12 +12,17 @@
 //!                 minutes
 //!   --out PATH    write the JSON document to PATH instead
 //!   --check PATH  validate an existing document against the
-//!                 `hypar-engine-saturation/v1` schema and exit
+//!                 `hypar-engine-saturation/v2` schema and exit
 //! ```
 //!
 //! The cold cells plan distinct-fingerprint workloads on a fresh engine;
 //! the hot cells replay the identical mix on the warmed engine, so the
 //! cold/hot gap is exactly the plan cache's contribution.
+//!
+//! Every cell also folds its responses' canonical `state_hash`es (in
+//! request order) into a per-cell `state_digest`, and the sweep asserts
+//! the cold and hot digests of each front-end agree — a cache hit must
+//! be bit-identical to the plan it replays, not merely "fast".
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,10 +30,12 @@ use std::time::Instant;
 
 use hypar_engine::scenario::LatencySummary;
 use hypar_engine::{parallel, service, CacheStats, PlanEngine, PlanRequest};
+use hypar_telemetry::statehash::{hash_hex, StateHasher};
 use serde::{Serialize, Value};
 
 /// Document format tag; bump when the shape changes.
-const SCHEMA: &str = "hypar-engine-saturation/v1";
+/// v2 added the per-cell `state_digest` determinism pin.
+const SCHEMA: &str = "hypar-engine-saturation/v2";
 
 /// Hierarchy depth of every benchmark request: deep enough to exercise
 /// the full recursion, cheap enough to saturate with thousands of plans.
@@ -53,6 +60,9 @@ struct RunRecord {
     requests_per_sec: f64,
     /// Per-request latency percentiles, in milliseconds.
     latency: LatencySummary,
+    /// FNV digest over the cell's per-request `state_hash`es in request
+    /// order; cold and hot cells of a front-end must agree.
+    state_digest: String,
     /// Cache counters after the cell (fresh engine per cold/hot pair).
     cache: CacheStats,
 }
@@ -82,49 +92,85 @@ fn request_mix(n: usize) -> Vec<PlanRequest> {
         .collect()
 }
 
-fn record(mode: &str, samples: &[f64], elapsed_ms: f64, cache: CacheStats) -> RunRecord {
+/// Folds per-request state hashes (in request order) into one cell
+/// digest, rendered the usual 16-hex-digit way.
+fn cell_digest(hashes: &[String]) -> String {
+    let mut h = StateHasher::new();
+    h.write_str("saturation-digest/v1");
+    for hash in hashes {
+        h.write_str(hash);
+    }
+    hash_hex(h.finish())
+}
+
+fn record(mode: &str, cell: &CellRun, elapsed_ms: f64, cache: CacheStats) -> RunRecord {
     RunRecord {
         mode: mode.to_owned(),
-        requests: samples.len(),
+        requests: cell.samples.len(),
         elapsed_ms,
-        requests_per_sec: samples.len() as f64 / (elapsed_ms / 1e3),
-        latency: LatencySummary::from_samples(samples),
+        requests_per_sec: cell.samples.len() as f64 / (elapsed_ms / 1e3),
+        latency: LatencySummary::from_samples(&cell.samples),
+        state_digest: cell_digest(&cell.hashes),
         cache,
     }
+}
+
+/// Per-request latencies and state hashes of one cell, in request order.
+struct CellRun {
+    samples: Vec<f64>,
+    hashes: Vec<String>,
 }
 
 /// One `plan_many`-shaped cell: fans the mix across the worker pool,
 /// timing each request on its worker thread.
 fn run_batch(engine: &PlanEngine, requests: &[PlanRequest], mode: &str) -> RunRecord {
     let started = Instant::now();
-    let samples = parallel::map(requests, |request| {
+    let timed = parallel::map(requests, |request| {
         let t = Instant::now();
-        let result = engine.plan(request);
-        assert!(result.is_ok(), "benchmark workloads must plan");
-        t.elapsed().as_secs_f64() * 1e3
+        let response = engine.plan(request).expect("benchmark workloads must plan");
+        (t.elapsed().as_secs_f64() * 1e3, response.state_hash)
     });
     let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
-    record(mode, &samples, elapsed_ms, engine.cache_stats())
+    let (samples, hashes) = timed.into_iter().unzip();
+    record(
+        mode,
+        &CellRun { samples, hashes },
+        elapsed_ms,
+        engine.cache_stats(),
+    )
 }
 
 /// One service cell: the same mix as serial line-delimited JSON, the way
 /// a single stdin/TCP client would see it.
 fn run_service(engine: &PlanEngine, lines: &[String], mode: &str) -> RunRecord {
     let started = Instant::now();
-    let samples: Vec<f64> = lines
+    let (samples, hashes): (Vec<f64>, Vec<String>) = lines
         .iter()
         .map(|line| {
             let t = Instant::now();
             let reply = service::handle_line(engine, line);
+            let elapsed = t.elapsed().as_secs_f64() * 1e3;
+            let value: Value =
+                serde_json::from_str(&reply).expect("service replies are valid JSON");
             assert!(
-                !reply.contains("\"error\""),
+                value.get("error").is_none(),
                 "benchmark workloads must plan: {reply}"
             );
-            t.elapsed().as_secs_f64() * 1e3
+            let hash = value
+                .get("state_hash")
+                .and_then(Value::as_str)
+                .expect("every planned reply carries a state_hash")
+                .to_owned();
+            (elapsed, hash)
         })
-        .collect();
+        .unzip();
     let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
-    record(mode, &samples, elapsed_ms, engine.cache_stats())
+    record(
+        mode,
+        &CellRun { samples, hashes },
+        elapsed_ms,
+        engine.cache_stats(),
+    )
 }
 
 fn run_sweep(short: bool) -> BenchDoc {
@@ -149,13 +195,25 @@ fn run_sweep(short: bool) -> BenchDoc {
 
         let engine = PlanEngine::new();
         eprintln!("plan_many cold/hot: {n} request(s)...");
-        runs.push(run_batch(&engine, &requests, "cold_plan_many"));
-        runs.push(run_batch(&engine, &requests, "hot_plan_many"));
+        let cold = run_batch(&engine, &requests, "cold_plan_many");
+        let hot = run_batch(&engine, &requests, "hot_plan_many");
+        assert_eq!(
+            cold.state_digest, hot.state_digest,
+            "a cache hit must replay the cold plan bit-identically (plan_many, {n} requests)"
+        );
+        runs.push(cold);
+        runs.push(hot);
 
         let engine = PlanEngine::new();
         eprintln!("service   cold/hot: {n} request(s)...");
-        runs.push(run_service(&engine, &lines, "cold_service"));
-        runs.push(run_service(&engine, &lines, "hot_service"));
+        let cold = run_service(&engine, &lines, "cold_service");
+        let hot = run_service(&engine, &lines, "hot_service");
+        assert_eq!(
+            cold.state_digest, hot.state_digest,
+            "a cache hit must replay the cold plan bit-identically (service, {n} requests)"
+        );
+        runs.push(cold);
+        runs.push(hot);
     }
     BenchDoc {
         schema: SCHEMA.to_owned(),
@@ -180,6 +238,8 @@ fn check(value: &Value) -> Result<usize, String> {
     if runs.is_empty() {
         return Err("`runs` must not be empty".to_owned());
     }
+    // (front-end, size) -> cold digest, to pin hot cells against.
+    let mut cold_digests: Vec<((String, u64), String)> = Vec::new();
     for (i, run) in runs.iter().enumerate() {
         let ctx = |field: &str| format!("run {i}: bad `{field}`");
         let mode = run
@@ -229,6 +289,27 @@ fn check(value: &Value) -> Result<usize, String> {
             return Err(format!(
                 "run {i}: percentiles out of order ({p50} / {p90} / {p99} / {max})"
             ));
+        }
+        let digest = run
+            .get("state_digest")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ctx("state_digest"))?;
+        if digest.len() != 16 || !digest.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(format!("run {i}: malformed state_digest `{digest}`"));
+        }
+        let front_end = mode.trim_start_matches("cold_").trim_start_matches("hot_");
+        let key = (front_end.to_owned(), requests);
+        if mode.starts_with("cold") {
+            cold_digests.push((key, digest.to_owned()));
+        } else if let Some((_, cold)) = cold_digests.iter().find(|(k, _)| *k == key) {
+            if cold != digest {
+                return Err(format!(
+                    "run {i}: hot digest {digest} disagrees with cold digest {cold} \
+                     ({front_end}, {requests} requests) — cache replay drifted"
+                ));
+            }
+        } else {
+            return Err(format!("run {i}: hot cell without a matching cold cell"));
         }
         let cache_u64 = |field: &str| {
             run.get("cache")

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use hypar_comm::{Parallelism, ScaleState};
+use hypar_telemetry::{StateHash, StateHasher};
 use hypar_tensor::Bytes;
 use serde::{Deserialize, Serialize};
 
@@ -147,6 +148,29 @@ impl HierarchicalPlan {
     }
 }
 
+impl StateHash for HierarchicalPlan {
+    /// Folds the complete plan: network and layer names, every per-level
+    /// dp/mp bit (level 0 first, layer 0 first — the canonical layout
+    /// every planner emits), and the total cost **bit-exactly**.  Two
+    /// plans hash equal iff they are indistinguishable on the wire, so a
+    /// one-ulp cost drift or a single flipped bit changes the digest.
+    fn state_hash_into(&self, h: &mut StateHasher) {
+        h.write_str("plan/v1");
+        h.write_str(&self.network);
+        h.write_u64(self.layer_names.len() as u64);
+        for name in &self.layer_names {
+            h.write_str(name);
+        }
+        h.write_u64(self.levels.len() as u64);
+        for level in &self.levels {
+            for p in level {
+                h.write_bool(*p == Parallelism::Model);
+            }
+        }
+        h.write_f64(self.total_comm_elems);
+    }
+}
+
 impl fmt::Display for HierarchicalPlan {
     /// Renders the Figure-5-style grid: one row per weighted layer, one
     /// column per hierarchy level.
@@ -231,6 +255,28 @@ mod tests {
         assert!(text.contains("H2"));
         assert!(text.contains("conv1"));
         assert!(text.contains("mp"));
+    }
+
+    #[test]
+    fn state_hash_pins_bits_and_cost() {
+        let base = sample().state_hash();
+        assert_eq!(base, sample().state_hash(), "hashing is deterministic");
+        // Flip one dp/mp bit.
+        let flipped = HierarchicalPlan::from_parts(
+            "demo",
+            vec!["conv1".into(), "fc1".into()],
+            vec![vec![Data, Model], vec![Data, Model]],
+            1000.0,
+        );
+        assert_ne!(base, flipped.state_hash());
+        // Drift the cost by one ulp.
+        let drifted = HierarchicalPlan::from_parts(
+            "demo",
+            vec!["conv1".into(), "fc1".into()],
+            vec![vec![Data, Model], vec![Data, Data]],
+            f64::from_bits(1000.0f64.to_bits() + 1),
+        );
+        assert_ne!(base, drifted.state_hash());
     }
 
     #[test]

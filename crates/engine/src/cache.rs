@@ -181,6 +181,7 @@ mod tests {
             accelerators: 1,
             strategy: Strategy::Hypar,
             fingerprint: String::new(),
+            state_hash: String::new(),
             cache_hit: false,
             total_comm_elems: 0.0,
             total_comm_bytes: 0.0,

@@ -328,20 +328,26 @@ impl Resolved {
                 (graph.name().to_owned(), graph.batch(), plan, simulation)
             }
         };
-        Ok(PlanResponse {
+        let mut response = PlanResponse {
             network,
             batch,
             levels: self.levels,
             accelerators: plan.num_accelerators(),
             strategy: self.strategy,
             fingerprint: key.to_string(),
+            state_hash: String::new(),
             cache_hit: false,
             total_comm_elems: plan.total_comm_elems(),
             total_comm_bytes: plan.total_comm_bytes().value(),
             plan,
             simulation,
             timing: None,
-        })
+        };
+        // Stamped once at compute time and shared by every cache hit:
+        // the digest describes the content, which hits return verbatim
+        // (`cache_hit`/`timing` are excluded for exactly that reason).
+        response.state_hash = response.compute_state_hash();
+        Ok(response)
     }
 
     fn run_chain_strategy(

@@ -31,7 +31,12 @@
 //! * **telemetry** — every request is timed into a metrics registry
 //!   ([`PlanEngine::metrics_snapshot`], the service's `{"stats": true}`
 //!   command); `trace: true` on a request attaches a [`PlanTiming`] span
-//!   tree without changing its cache fingerprint.
+//!   tree without changing its cache fingerprint;
+//! * **determinism** — every [`PlanResponse`] carries a canonical
+//!   [`state_hash`](PlanResponse::state_hash) content digest; [`record`]
+//!   appends request/response JSONL logs (`--record PATH` on the binary)
+//!   that the companion `hypar-replay` crate re-executes and diffs, and
+//!   `scenarios/golden.json` pins every scenario's hash in CI.
 //!
 //! # Examples
 //!
@@ -61,13 +66,15 @@ mod engine;
 pub mod fingerprint;
 mod metrics;
 pub mod parallel;
+pub mod record;
 mod request;
 pub mod scenario;
 pub mod service;
 
 pub use cache::CacheStats;
 pub use engine::{EngineError, PlanEngine};
+pub use record::{RecordEntry, Recorder};
 pub use request::{
-    CustomNetwork, GraphNodeSpec, GraphSpec, InputSpec, LayerSpec, PlanRequest, PlanResponse,
-    PlanTiming, Strategy,
+    CustomNetwork, GraphNodeSpec, GraphSpec, InputSpec, LayerSpec, NetworkRef, PlanRequest,
+    PlanResponse, PlanTiming, Strategy,
 };

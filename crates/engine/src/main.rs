@@ -2,14 +2,18 @@
 //!
 //! ```text
 //! hypar-engine [--scenarios FILE...] [--listen ADDR] [--cache-capacity N]
-//!              [--json PATH]
+//!              [--json PATH] [--record PATH]
 //!
 //!   (default)          serve line-delimited JSON PlanRequests on
-//!                      stdin/stdout; `{"cmd": "stats"}` reports the cache
+//!                      stdin/stdout; `{"stats": true}` (or the legacy
+//!                      `{"cmd": "stats"}`) reports cache + metrics
 //!   --scenarios FILE   run one or more scenario files and print a summary
 //!   --json PATH        with --scenarios: also dump the full reports as JSON
 //!   --listen ADDR      serve the same protocol over TCP (e.g. 127.0.0.1:7878)
 //!   --cache-capacity N plan-cache size (default 1024; 0 disables)
+//!   --record PATH      append every planned request + response (with its
+//!                      canonical state_hash) to a JSONL replay log for
+//!                      the `hypar-replay` harness; works in all modes
 //! ```
 //!
 //! Example request:
@@ -23,11 +27,11 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use hypar_engine::{scenario, service, PlanEngine};
+use hypar_engine::{scenario, service, PlanEngine, Recorder};
 
 fn usage() -> &'static str {
     "usage: hypar-engine [--scenarios FILE...] [--listen ADDR] \
-     [--cache-capacity N] [--json PATH]\n  \
+     [--cache-capacity N] [--json PATH] [--record PATH]\n  \
      default mode reads line-delimited JSON PlanRequests from stdin"
 }
 
@@ -35,6 +39,7 @@ fn main() -> ExitCode {
     let mut scenario_paths: Vec<PathBuf> = Vec::new();
     let mut listen: Option<String> = None;
     let mut json_path: Option<PathBuf> = None;
+    let mut record_path: Option<PathBuf> = None;
     let mut capacity = PlanEngine::DEFAULT_CACHE_CAPACITY;
 
     let mut args = std::env::args().skip(1).peekable();
@@ -63,6 +68,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--record" => match args.next() {
+                Some(path) => record_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--record expects a file path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--cache-capacity" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => capacity = n,
                 None => {
@@ -86,12 +98,28 @@ fn main() -> ExitCode {
 
     let engine = PlanEngine::with_cache_capacity(capacity);
 
+    let recorder = match record_path {
+        Some(path) => match Recorder::append_to(&path) {
+            Ok(recorder) => Some(Arc::new(recorder)),
+            Err(err) => {
+                eprintln!("failed to open record log {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     if !scenario_paths.is_empty() {
-        return run_scenarios(&engine, &scenario_paths, json_path.as_deref());
+        return run_scenarios(
+            &engine,
+            &scenario_paths,
+            json_path.as_deref(),
+            recorder.as_deref(),
+        );
     }
 
     if let Some(addr) = listen {
-        return match service::serve_tcp(Arc::new(engine), addr.as_str()) {
+        return match service::serve_tcp_recorded(Arc::new(engine), addr.as_str(), recorder) {
             Ok(()) => ExitCode::SUCCESS,
             Err(err) => {
                 eprintln!("failed to serve on {addr}: {err}");
@@ -102,7 +130,12 @@ fn main() -> ExitCode {
 
     let stdin = io::stdin();
     let mut stdout = io::stdout();
-    match service::serve_lines(&engine, BufReader::new(stdin.lock()), &mut stdout) {
+    match service::serve_lines_recorded(
+        &engine,
+        BufReader::new(stdin.lock()),
+        &mut stdout,
+        recorder.as_deref(),
+    ) {
         Ok(()) => ExitCode::SUCCESS,
         Err(err) => {
             eprintln!("i/o error: {err}");
@@ -115,6 +148,7 @@ fn run_scenarios(
     engine: &PlanEngine,
     paths: &[PathBuf],
     json_path: Option<&std::path::Path>,
+    recorder: Option<&Recorder>,
 ) -> ExitCode {
     let mut reports = Vec::new();
     let mut failures = 0usize;
@@ -135,6 +169,12 @@ fn run_scenarios(
             }
         };
         let report = scenario::run(engine, &scenario);
+        if let Some(recorder) = recorder {
+            if let Err(err) = scenario::record_report(recorder, &scenario, &report) {
+                eprintln!("record write failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
         println!("{report}");
         failures += report.num_errors();
         reports.push(report);

@@ -5,7 +5,7 @@ use std::str::FromStr;
 
 use hypar_core::HierarchicalPlan;
 use hypar_sim::{StepReport, Topology};
-use hypar_telemetry::Span;
+use hypar_telemetry::{statehash, Span, StateHash, StateHasher};
 use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Which planner produces the per-layer parallelism assignment.
@@ -486,6 +486,16 @@ pub struct PlanResponse {
     pub strategy: Strategy,
     /// Stable fingerprint of the resolved workload (the cache key), hex.
     pub fingerprint: String,
+    /// Canonical digest of the response's *content* — everything above
+    /// and below except `cache_hit`, `timing`, and this field itself —
+    /// as 16 hex digits.  Plan bits, costs, and simulation fields fold
+    /// in bit-exactly ([`hypar_telemetry::StateHash`]), so two responses
+    /// share a `state_hash` iff a caller could not tell them apart: the
+    /// determinism guarantee `scenarios/golden.json` pins and the
+    /// `hypar-replay` harness diffs across commits.  Like `timing`, the
+    /// hash is an output of planning, never an input to the cache
+    /// fingerprint.
+    pub state_hash: String,
     /// Whether this response was served from the plan cache.
     pub cache_hit: bool,
     /// Total communication of one training step, in tensor elements.
@@ -500,4 +510,33 @@ pub struct PlanResponse {
     /// Never stored in the plan cache (a cached entry is timing-free;
     /// the trace always describes *this* request's processing).
     pub timing: Option<PlanTiming>,
+}
+
+impl PlanResponse {
+    /// Recomputes the canonical content digest this response *should*
+    /// carry (see [`PlanResponse::state_hash`]).  The engine stamps the
+    /// field at compute time; replay tooling re-derives it to validate
+    /// logs and manifests against tampering or drift.
+    #[must_use]
+    pub fn compute_state_hash(&self) -> String {
+        let mut h = StateHasher::new();
+        h.write_str("response/v1");
+        h.write_str(&self.network);
+        h.write_u64(self.batch);
+        h.write_u64(self.levels as u64);
+        h.write_u64(self.accelerators);
+        h.write_str(self.strategy.name());
+        h.write_str(&self.fingerprint);
+        h.write_f64(self.total_comm_elems);
+        h.write_f64(self.total_comm_bytes);
+        self.plan.state_hash_into(&mut h);
+        match &self.simulation {
+            None => h.write_bool(false),
+            Some(report) => {
+                h.write_bool(true);
+                report.state_hash_into(&mut h);
+            }
+        }
+        statehash::hash_hex(h.finish())
+    }
 }

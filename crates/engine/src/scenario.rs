@@ -15,6 +15,7 @@
 //! ```
 
 use std::fmt;
+use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -23,6 +24,7 @@ use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::engine::PlanEngine;
 use crate::parallel;
+use crate::record::{RecordEntry, Recorder};
 use crate::request::{PlanRequest, PlanResponse};
 
 /// Why a scenario file could not be turned into a [`Scenario`].
@@ -287,6 +289,29 @@ pub fn load(path: &Path) -> Result<Scenario, ScenarioError> {
         },
         other => other,
     })
+}
+
+/// Appends one [`RecordEntry`] per request of a finished run to
+/// `recorder`, in request order (the report preserves it), so a scenario
+/// sweep under `--record` yields the same replayable JSONL log shape as
+/// the line service.
+///
+/// # Errors
+///
+/// Returns the first I/O error from the record sink.
+pub fn record_report(
+    recorder: &Recorder,
+    scenario: &Scenario,
+    report: &ScenarioReport,
+) -> io::Result<()> {
+    for (request, entry) in scenario.requests.iter().zip(&report.entries) {
+        recorder.record(&RecordEntry {
+            request: request.clone(),
+            response: entry.response.clone(),
+            error: entry.error.clone(),
+        })?;
+    }
+    Ok(())
 }
 
 /// Runs every request of a scenario through the engine, in parallel,

@@ -9,9 +9,15 @@
 //! command:
 //!
 //! * `{"stats": true}` — the full telemetry snapshot
-//!   `{"cache": <CacheStats>, "metrics": <RegistrySnapshot>}`;
-//! * `{"cmd": "stats"}` — the legacy cache-only form, answered with the
-//!   engine's [`crate::CacheStats`] alone.
+//!   `{"cache": <CacheStats>, "metrics": <RegistrySnapshot>}`, with every
+//!   metrics section key-sorted so the reply is byte-deterministic;
+//! * `{"cmd": "stats"}` — the legacy spelling, answered **byte-identically**
+//!   to `{"stats": true}` (pinned by test so dashboards can migrate
+//!   spelling-by-spelling).
+//!
+//! When the engine runs with `--record PATH`, every planning line (not
+//! admin commands, not unparseable lines) is appended to a JSONL
+//! [`crate::RecordEntry`] log for the `hypar-replay` harness.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, ToSocketAddrs};
@@ -21,12 +27,27 @@ use std::thread;
 use serde::Value;
 
 use crate::engine::PlanEngine;
+use crate::record::Recorder;
 use crate::request::PlanRequest;
 
 /// Handles one request line, returning the JSON reply (never fails — every
 /// error becomes an `{"error": ...}` object).
 #[must_use]
 pub fn handle_line(engine: &PlanEngine, line: &str) -> String {
+    handle_line_recorded(engine, line, None)
+}
+
+/// [`handle_line`] with an optional record sink: planning requests (and
+/// their outcomes) are appended to `recorder`; admin commands and lines
+/// that never parsed into a request are not workloads and are skipped.
+/// Recording failures are reported on stderr but never fail the request —
+/// observability must not take the service down.
+#[must_use]
+pub fn handle_line_recorded(
+    engine: &PlanEngine,
+    line: &str,
+    recorder: Option<&Recorder>,
+) -> String {
     let parsed: Value = match serde_json::from_str(line) {
         Ok(v) => v,
         Err(err) => return error_json(&format!("invalid JSON: {err}")),
@@ -36,21 +57,31 @@ pub fn handle_line(engine: &PlanEngine, line: &str) -> String {
     }
     if let Some(cmd) = parsed.get("cmd").and_then(Value::as_str) {
         return match cmd {
-            "stats" => reply_json(&engine.cache_stats()),
+            "stats" => stats_json(engine),
             other => error_json(&format!("unknown command `{other}`")),
         };
     }
     match serde_json::from_value::<PlanRequest>(&parsed) {
-        Ok(request) => match engine.plan(&request) {
-            Ok(response) => reply_json(&response),
-            Err(err) => error_json(&err.to_string()),
-        },
+        Ok(request) => {
+            let outcome = engine.plan(&request);
+            if let Some(recorder) = recorder {
+                if let Err(err) = recorder.record_outcome(&request, &outcome) {
+                    eprintln!("record write failed: {err}");
+                }
+            }
+            match outcome {
+                Ok(response) => reply_json(&response),
+                Err(err) => error_json(&err.to_string()),
+            }
+        }
         Err(err) => error_json(&format!("invalid request: {err}")),
     }
 }
 
 /// Builds the `{"stats": true}` reply: the cache counters plus the full
-/// engine metrics registry, under stable `cache`/`metrics` keys.
+/// engine metrics registry, under stable `cache`/`metrics` keys.  The
+/// registry snapshot is key-sorted, so two engines that observed the same
+/// traffic produce byte-identical stats replies.
 fn stats_json(engine: &PlanEngine) -> String {
     use serde::Serialize;
     let value = Value::Object(vec![
@@ -90,12 +121,27 @@ pub fn serve_lines<R: BufRead, W: Write>(
     input: R,
     output: &mut W,
 ) -> io::Result<()> {
+    serve_lines_recorded(engine, input, output, None)
+}
+
+/// [`serve_lines`] with an optional record sink (see
+/// [`handle_line_recorded`]).
+///
+/// # Errors
+///
+/// Returns the first I/O error encountered on the reply stream.
+pub fn serve_lines_recorded<R: BufRead, W: Write>(
+    engine: &PlanEngine,
+    input: R,
+    output: &mut W,
+    recorder: Option<&Recorder>,
+) -> io::Result<()> {
     for line in input.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        writeln!(output, "{}", handle_line(engine, &line))?;
+        writeln!(output, "{}", handle_line_recorded(engine, &line, recorder))?;
         output.flush()?;
     }
     Ok(())
@@ -109,6 +155,21 @@ pub fn serve_lines<R: BufRead, W: Write>(
 ///
 /// Returns an error if the address cannot be bound.
 pub fn serve_tcp(engine: Arc<PlanEngine>, addr: impl ToSocketAddrs) -> io::Result<()> {
+    serve_tcp_recorded(engine, addr, None)
+}
+
+/// [`serve_tcp`] with an optional shared record sink: every connection
+/// thread appends to the same JSONL log (the [`Recorder`] serializes
+/// writes internally).
+///
+/// # Errors
+///
+/// Returns an error if the address cannot be bound.
+pub fn serve_tcp_recorded(
+    engine: Arc<PlanEngine>,
+    addr: impl ToSocketAddrs,
+    recorder: Option<Arc<Recorder>>,
+) -> io::Result<()> {
     let listener = TcpListener::bind(addr)?;
     eprintln!(
         "hypar-engine listening on {}",
@@ -125,6 +186,7 @@ pub fn serve_tcp(engine: Arc<PlanEngine>, addr: impl ToSocketAddrs) -> io::Resul
             }
         };
         let engine = Arc::clone(&engine);
+        let recorder = recorder.clone();
         thread::spawn(move || {
             let reader = match stream.try_clone() {
                 Ok(clone) => BufReader::new(clone),
@@ -134,7 +196,9 @@ pub fn serve_tcp(engine: Arc<PlanEngine>, addr: impl ToSocketAddrs) -> io::Resul
                 }
             };
             let mut writer = stream;
-            if let Err(err) = serve_lines(&engine, reader, &mut writer) {
+            if let Err(err) =
+                serve_lines_recorded(&engine, reader, &mut writer, recorder.as_deref())
+            {
                 eprintln!("connection error: {err}");
             }
         });
@@ -159,8 +223,18 @@ mod tests {
         let engine = PlanEngine::new();
         let reply = handle_line(&engine, r#"{"cmd": "stats"}"#);
         let value: Value = serde_json::from_str(&reply).unwrap();
-        assert_eq!(value.get("hits").and_then(Value::as_u64), Some(0));
-        assert_eq!(value.get("capacity").and_then(Value::as_u64), Some(1024));
+        let cache = value.get("cache").expect("cache section");
+        assert_eq!(cache.get("hits").and_then(Value::as_u64), Some(0));
+        assert_eq!(cache.get("capacity").and_then(Value::as_u64), Some(1024));
+    }
+
+    #[test]
+    fn legacy_stats_spelling_is_byte_identical_to_new_one() {
+        let engine = PlanEngine::new();
+        let _ = handle_line(&engine, "{\"network\": \"sfc\", \"levels\": 2}");
+        let legacy = handle_line(&engine, r#"{"cmd": "stats"}"#);
+        let new = handle_line(&engine, r#"{"stats": true}"#);
+        assert_eq!(legacy, new);
     }
 
     #[test]
@@ -180,6 +254,34 @@ mod tests {
             .and_then(|h| h.get("plan_latency_ns"))
             .expect("plan_latency_ns histogram");
         assert_eq!(latency.get("count").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn recorded_service_logs_workloads_but_not_admin_lines() {
+        let dir = std::env::temp_dir().join(format!(
+            "hypar-service-record-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.jsonl");
+        let engine = PlanEngine::new();
+        let recorder = Recorder::append_to(&path).unwrap();
+        let input = "{\"network\": \"sfc\", \"levels\": 2}\n\
+                     {\"stats\": true}\n\
+                     {nope\n\
+                     {\"network\": \"no-such-net\"}\n";
+        let mut output = Vec::new();
+        serve_lines_recorded(&engine, input.as_bytes(), &mut output, Some(&recorder)).unwrap();
+        drop(recorder);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let entries = crate::record::parse_log(&text).unwrap();
+        // The plan and the typed rejection are logged; the stats command
+        // and the unparseable line are not.
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].state_hash().is_some());
+        assert!(entries[1].error.is_some());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -77,13 +77,18 @@ fn answers_a_vgg_a_request_and_caches_the_repeat() {
     assert_eq!(second.get("fingerprint"), first.get("fingerprint"));
 
     let stats: serde_json::Value = serde_json::from_str(lines[2]).expect("valid json");
+    let cache = stats.get("cache").expect("cache section");
     assert_eq!(
-        stats.get("hits").and_then(serde_json::Value::as_u64),
+        cache.get("hits").and_then(serde_json::Value::as_u64),
         Some(1)
     );
     assert_eq!(
-        stats.get("misses").and_then(serde_json::Value::as_u64),
+        cache.get("misses").and_then(serde_json::Value::as_u64),
         Some(1)
+    );
+    assert!(
+        stats.get("metrics").is_some(),
+        "legacy stats spelling now answers the full telemetry snapshot"
     );
 }
 

@@ -27,6 +27,7 @@ use std::collections::BTreeMap;
 
 use hypar_comm::NetworkCommTensors;
 use hypar_models::{Network, NetworkShapes};
+use hypar_telemetry::{StateHash, StateHasher};
 use hypar_tensor::FeatureDims;
 
 use crate::dag::DagNetwork;
@@ -85,6 +86,40 @@ pub struct SegmentCommGraph {
     /// communication tensors do not carry.
     shapes: Vec<NetworkShapes>,
     edges: Vec<SegmentEdge>,
+}
+
+impl StateHash for SegmentCommGraph {
+    /// Folds the whole resolved workload view: per-segment layer tensors
+    /// (names included — this is a state transcript, not a cache key) and
+    /// every junction edge, floats bit-exact.  Because
+    /// [`DagNetwork::segments`] emits segments and edges in canonical
+    /// topological order, the digest is invariant under the builder's
+    /// node-insertion order — the same guarantee the engine's cache
+    /// fingerprint relies on.
+    fn state_hash_into(&self, h: &mut StateHasher) {
+        h.write_str("segment-graph/v1");
+        h.write_str(&self.name);
+        h.write_u64(self.batch);
+        h.write_u64(self.segments.len() as u64);
+        for segment in &self.segments {
+            h.write_u64(segment.len() as u64);
+            for layer in segment.layers() {
+                h.write_str(&layer.name);
+                h.write_bool(layer.is_conv);
+                h.write_f64(layer.weight_elems);
+                h.write_f64(layer.input_elems);
+                h.write_f64(layer.output_elems);
+                h.write_f64(layer.junction_elems);
+            }
+        }
+        h.write_u64(self.edges.len() as u64);
+        for edge in &self.edges {
+            h.write_u64(edge.from as u64);
+            h.write_u64(edge.to as u64);
+            h.write_f64(edge.elems);
+            h.write_f64(edge.join_elems);
+        }
+    }
 }
 
 impl SegmentCommGraph {

@@ -1,0 +1,511 @@
+//! Drift attribution: turning "the hashes differ" into "*this* is what
+//! changed".
+//!
+//! A bare `state_hash` mismatch says a build stopped reproducing a
+//! pinned result but not why.  [`diff_responses`] walks two
+//! [`PlanResponse`]s field by field — scalars, then the plan bit matrix
+//! layer by layer and level by level, then the bit-exact simulation
+//! numbers — and reports the **first** divergence, which is almost
+//! always the root cause (everything downstream of a changed partition
+//! bit changes with it).  [`diff_spans`] walks two trace trees in
+//! lockstep (ignoring wall-clock durations, which never reproduce) and
+//! names the first span whose structure or counters diverged, locating
+//! the drift in the engine pipeline (`compute/refine`, …).
+//! [`attribute`] combines both into the message CI prints, e.g.:
+//!
+//! ```text
+//! drift in `compute/refine`, plan layer 7 (`conv4_2`) level 1: cost 4.12e9 -> 4.09e9
+//! ```
+
+use std::fmt;
+
+use hypar_comm::Parallelism;
+use hypar_engine::{PlanResponse, PlanTiming};
+use hypar_sim::StepReport;
+use hypar_telemetry::Span;
+
+/// One attributed divergence between a recorded and a re-executed
+/// response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DriftReport {
+    /// Where the drift was located: a span path (`compute/refine`), a
+    /// response field (`plan`, `simulation/step_time`), or both joined
+    /// with `, `.
+    pub location: String,
+    /// What changed there, old value first (`cost 4.12e9 -> 4.09e9`).
+    pub detail: String,
+}
+
+impl fmt::Display for DriftReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "drift in `{}`: {}", self.location, self.detail)
+    }
+}
+
+fn report(location: impl Into<String>, detail: impl Into<String>) -> Option<DriftReport> {
+    Some(DriftReport {
+        location: location.into(),
+        detail: detail.into(),
+    })
+}
+
+fn bit_name(p: Parallelism) -> &'static str {
+    match p {
+        Parallelism::Data => "dp",
+        Parallelism::Model => "mp",
+    }
+}
+
+/// Compares two responses as *content* — everything the `state_hash`
+/// covers, in hash order — and returns the first divergence.  The
+/// non-reproducible fields (`cache_hit`, `timing`) are ignored, exactly
+/// as the hash ignores them.
+///
+/// `None` means the responses are content-identical; their state hashes
+/// must then agree too (pinned by test).
+#[must_use]
+pub fn diff_responses(old: &PlanResponse, new: &PlanResponse) -> Option<DriftReport> {
+    if old.network != new.network {
+        return report("network", format!("`{}` -> `{}`", old.network, new.network));
+    }
+    if old.batch != new.batch {
+        return report("batch", format!("{} -> {}", old.batch, new.batch));
+    }
+    if old.levels != new.levels {
+        return report("levels", format!("{} -> {}", old.levels, new.levels));
+    }
+    if old.accelerators != new.accelerators {
+        return report(
+            "accelerators",
+            format!("{} -> {}", old.accelerators, new.accelerators),
+        );
+    }
+    if old.strategy != new.strategy {
+        return report(
+            "strategy",
+            format!("`{}` -> `{}`", old.strategy.name(), new.strategy.name()),
+        );
+    }
+    if old.fingerprint != new.fingerprint {
+        return report(
+            "fingerprint",
+            format!("`{}` -> `{}`", old.fingerprint, new.fingerprint),
+        );
+    }
+    if let Some(drift) = diff_plans(old, new) {
+        return Some(drift);
+    }
+    if old.total_comm_elems.to_bits() != new.total_comm_elems.to_bits() {
+        return report(
+            "total_comm_elems",
+            format!(
+                "cost {:.6e} -> {:.6e}",
+                old.total_comm_elems, new.total_comm_elems
+            ),
+        );
+    }
+    if old.total_comm_bytes.to_bits() != new.total_comm_bytes.to_bits() {
+        return report(
+            "total_comm_bytes",
+            format!(
+                "cost {:.6e} -> {:.6e}",
+                old.total_comm_bytes, new.total_comm_bytes
+            ),
+        );
+    }
+    if let Some(drift) = diff_simulations(old.simulation.as_ref(), new.simulation.as_ref()) {
+        return Some(drift);
+    }
+    None
+}
+
+/// The plan half of [`diff_responses`]: the first layer/level whose
+/// dp/mp bit differs, then the plan's aggregate communication cost.
+fn diff_plans(old: &PlanResponse, new: &PlanResponse) -> Option<DriftReport> {
+    let (old_plan, new_plan) = (&old.plan, &new.plan);
+    if old_plan.network() != new_plan.network() {
+        return report(
+            "plan/network",
+            format!("`{}` -> `{}`", old_plan.network(), new_plan.network()),
+        );
+    }
+    if old_plan.layer_names() != new_plan.layer_names() {
+        return report(
+            "plan/layers",
+            format!(
+                "layer set changed ({} -> {} layers)",
+                old_plan.num_layers(),
+                new_plan.num_layers()
+            ),
+        );
+    }
+    if old_plan.num_levels() != new_plan.num_levels() {
+        return report(
+            "plan/levels",
+            format!("{} -> {}", old_plan.num_levels(), new_plan.num_levels()),
+        );
+    }
+    for h in 0..old_plan.num_levels() {
+        for l in 0..old_plan.num_layers() {
+            let (a, b) = (old_plan.choice(h, l), new_plan.choice(h, l));
+            if a != b {
+                return report(
+                    "plan",
+                    format!(
+                        "layer {l} (`{}`) level {h}: {} -> {}",
+                        old_plan.layer_names()[l],
+                        bit_name(a),
+                        bit_name(b)
+                    ),
+                );
+            }
+        }
+    }
+    if old_plan.total_comm_elems().to_bits() != new_plan.total_comm_elems().to_bits() {
+        return report(
+            "plan/cost",
+            format!(
+                "cost {:.6e} -> {:.6e}",
+                old_plan.total_comm_elems(),
+                new_plan.total_comm_elems()
+            ),
+        );
+    }
+    None
+}
+
+/// The simulation half of [`diff_responses`]: presence first, then every
+/// report field bit-exactly, per-level byte counts by index.
+fn diff_simulations(old: Option<&StepReport>, new: Option<&StepReport>) -> Option<DriftReport> {
+    let (old, new) = match (old, new) {
+        (None, None) => return None,
+        (Some(_), None) => return report("simulation", "report present -> absent"),
+        (None, Some(_)) => return report("simulation", "report absent -> present"),
+        (Some(old), Some(new)) => (old, new),
+    };
+    let scalars = [
+        ("step_time", old.step_time.value(), new.step_time.value()),
+        ("energy", old.energy.value(), new.energy.value()),
+        (
+            "compute_energy",
+            old.compute_energy.value(),
+            new.compute_energy.value(),
+        ),
+        (
+            "dram_energy",
+            old.dram_energy.value(),
+            new.dram_energy.value(),
+        ),
+        (
+            "link_energy",
+            old.link_energy.value(),
+            new.link_energy.value(),
+        ),
+        ("comm_bytes", old.comm_bytes.value(), new.comm_bytes.value()),
+        ("dram_bytes", old.dram_bytes.value(), new.dram_bytes.value()),
+        (
+            "compute_busy",
+            old.compute_busy.value(),
+            new.compute_busy.value(),
+        ),
+        ("link_busy", old.link_busy.value(), new.link_busy.value()),
+        (
+            "dram_footprint_bytes",
+            old.dram_footprint_bytes.value(),
+            new.dram_footprint_bytes.value(),
+        ),
+    ];
+    for (name, a, b) in scalars {
+        if a.to_bits() != b.to_bits() {
+            return report(format!("simulation/{name}"), format!("{a:.6e} -> {b:.6e}"));
+        }
+    }
+    if old.comm_bytes_per_level.len() != new.comm_bytes_per_level.len() {
+        return report(
+            "simulation/comm_bytes_per_level",
+            format!(
+                "{} -> {} levels",
+                old.comm_bytes_per_level.len(),
+                new.comm_bytes_per_level.len()
+            ),
+        );
+    }
+    for (h, (a, b)) in old
+        .comm_bytes_per_level
+        .iter()
+        .zip(&new.comm_bytes_per_level)
+        .enumerate()
+    {
+        if a.value().to_bits() != b.value().to_bits() {
+            return report(
+                format!("simulation/comm_bytes_per_level[{h}]"),
+                format!("level {h}: {:.6e} -> {:.6e}", a.value(), b.value()),
+            );
+        }
+    }
+    if old.num_accelerators != new.num_accelerators {
+        return report(
+            "simulation/num_accelerators",
+            format!("{} -> {}", old.num_accelerators, new.num_accelerators),
+        );
+    }
+    if old.trace_summary != new.trace_summary {
+        return report(
+            "simulation/trace_summary",
+            format!(
+                "{} tasks / {} resources -> {} tasks / {} resources",
+                old.trace_summary.tasks,
+                old.trace_summary.resources,
+                new.trace_summary.tasks,
+                new.trace_summary.resources
+            ),
+        );
+    }
+    None
+}
+
+/// Walks two span trees in lockstep and reports the first *structural*
+/// divergence: a renamed span, a changed counter, or a different child
+/// list.  Wall-clock durations are ignored — they never reproduce and
+/// are not part of the determinism contract.
+///
+/// The report's location is the `/`-joined path from the root to the
+/// divergent span (e.g. `plan/compute/refine`).
+#[must_use]
+pub fn diff_spans(old: &Span, new: &Span) -> Option<DriftReport> {
+    diff_spans_at(old, new, "")
+}
+
+fn diff_spans_at(old: &Span, new: &Span, parent: &str) -> Option<DriftReport> {
+    if old.name != new.name {
+        let location = if parent.is_empty() { "(root)" } else { parent };
+        return report(location, format!("span `{}` -> `{}`", old.name, new.name));
+    }
+    let path = if parent.is_empty() {
+        old.name.clone()
+    } else {
+        format!("{parent}/{}", old.name)
+    };
+    for (name, value) in &old.counters {
+        match new.counter(name) {
+            Some(v) if v == *value => {}
+            Some(v) => {
+                return report(&path, format!("counter `{name}`: {value} -> {v}"));
+            }
+            None => return report(&path, format!("counter `{name}` disappeared")),
+        }
+    }
+    for (name, value) in &new.counters {
+        if old.counter(name).is_none() {
+            return report(&path, format!("counter `{name}` appeared (= {value})"));
+        }
+    }
+    for (child_old, child_new) in old.children.iter().zip(&new.children) {
+        if let Some(drift) = diff_spans_at(child_old, child_new, &path) {
+            return Some(drift);
+        }
+    }
+    if old.children.len() != new.children.len() {
+        let names = |spans: &[Span]| {
+            spans
+                .iter()
+                .map(|s| s.name.clone())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        return report(
+            &path,
+            format!(
+                "children [{}] -> [{}]",
+                names(&old.children),
+                names(&new.children)
+            ),
+        );
+    }
+    None
+}
+
+/// Full attribution for one replayed request: locate the drift in the
+/// span tree when both sides carry a trace, describe it from the
+/// response content, and fall back to a raw hash message when the
+/// content diff cannot see the change (which would itself indicate a
+/// hash-coverage bug).
+#[must_use]
+pub fn attribute(
+    old: &PlanResponse,
+    new: &PlanResponse,
+    old_timing: Option<&PlanTiming>,
+    new_timing: Option<&PlanTiming>,
+) -> Option<DriftReport> {
+    let span_drift = match (old_timing, new_timing) {
+        (Some(old_t), Some(new_t)) => diff_spans(&old_t.trace, &new_t.trace),
+        _ => None,
+    };
+    let content_drift = diff_responses(old, new);
+    match (span_drift, content_drift) {
+        (Some(span), Some(content)) => report(
+            format!("{}, {}", span.location, content.location),
+            content.detail,
+        ),
+        (None, Some(content)) => Some(content),
+        (Some(span), None) => Some(span),
+        (None, None) => {
+            if old.state_hash == new.state_hash {
+                None
+            } else {
+                report(
+                    "state_hash",
+                    format!(
+                        "`{}` -> `{}` with no visible content change (hash coverage bug?)",
+                        old.state_hash, new.state_hash
+                    ),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypar_engine::{PlanEngine, PlanRequest};
+
+    fn planned(simulate: bool) -> PlanResponse {
+        let engine = PlanEngine::new();
+        let request = PlanRequest::zoo("lenet_c").levels(2).simulate(simulate);
+        engine.plan(&request).expect("zoo request plans")
+    }
+
+    #[test]
+    fn identical_responses_have_no_drift() {
+        let response = planned(true);
+        assert_eq!(diff_responses(&response, &response.clone()), None);
+        assert_eq!(attribute(&response, &response.clone(), None, None), None);
+    }
+
+    #[test]
+    fn a_flipped_plan_bit_is_attributed_to_its_layer_and_level() {
+        let old = planned(false);
+        let mut new = old.clone();
+        let mut levels: Vec<Vec<Parallelism>> = new.plan.levels().to_vec();
+        let flipped = match levels[1][2] {
+            Parallelism::Data => Parallelism::Model,
+            Parallelism::Model => Parallelism::Data,
+        };
+        levels[1][2] = flipped;
+        new.plan = hypar_core::HierarchicalPlan::from_parts(
+            new.plan.network().to_owned(),
+            new.plan.layer_names().to_vec(),
+            levels,
+            new.plan.total_comm_elems(),
+        );
+        let drift = diff_responses(&old, &new).expect("bit flip must be drift");
+        assert_eq!(drift.location, "plan");
+        assert!(
+            drift.detail.contains("layer 2") && drift.detail.contains("level 1"),
+            "{drift}"
+        );
+        // The canonical hash must see the same change the differ sees.
+        assert_ne!(old.compute_state_hash(), new.compute_state_hash());
+    }
+
+    #[test]
+    fn a_one_ulp_cost_change_is_attributed_in_scientific_notation() {
+        let old = planned(false);
+        let mut new = old.clone();
+        new.plan = hypar_core::HierarchicalPlan::from_parts(
+            new.plan.network().to_owned(),
+            new.plan.layer_names().to_vec(),
+            new.plan.levels().to_vec(),
+            f64::from_bits(new.plan.total_comm_elems().to_bits() + 1),
+        );
+        let drift = diff_responses(&old, &new).expect("one-ulp cost drift must be caught");
+        assert_eq!(drift.location, "plan/cost");
+        assert!(
+            drift.detail.contains("cost") && drift.detail.contains('e'),
+            "{drift}"
+        );
+        assert_ne!(old.compute_state_hash(), new.compute_state_hash());
+    }
+
+    #[test]
+    fn simulation_drift_names_the_field_and_level() {
+        let old = planned(true);
+        let mut new = old.clone();
+        {
+            let sim = new.simulation.as_mut().unwrap();
+            let perturbed = sim.comm_bytes_per_level[1].value() * (1.0 + 1e-12);
+            sim.comm_bytes_per_level[1] = hypar_tensor::Bytes(perturbed);
+        }
+        let drift = diff_responses(&old, &new).expect("per-level sim drift must be caught");
+        assert_eq!(drift.location, "simulation/comm_bytes_per_level[1]");
+        assert_ne!(old.compute_state_hash(), new.compute_state_hash());
+    }
+
+    #[test]
+    fn span_diff_ignores_durations_but_catches_structure() {
+        let make = |refine_flips: u64, with_extra: bool, duration: u64| {
+            let mut refine = Span {
+                name: "refine".to_owned(),
+                duration_ns: duration,
+                counters: vec![("flips".to_owned(), refine_flips)],
+                children: vec![],
+            };
+            if with_extra {
+                refine.children.push(Span {
+                    name: "extra".to_owned(),
+                    duration_ns: 1,
+                    counters: vec![],
+                    children: vec![],
+                });
+            }
+            Span {
+                name: "plan".to_owned(),
+                duration_ns: duration * 2,
+                counters: vec![],
+                children: vec![Span {
+                    name: "compute".to_owned(),
+                    duration_ns: duration,
+                    counters: vec![],
+                    children: vec![refine],
+                }],
+            }
+        };
+        // Durations differ wildly: not drift.
+        assert_eq!(
+            diff_spans(&make(3, false, 10), &make(3, false, 99_999)),
+            None
+        );
+        // A counter change is drift, located by path.
+        let drift = diff_spans(&make(3, false, 10), &make(4, false, 10)).unwrap();
+        assert_eq!(drift.location, "plan/compute/refine");
+        assert!(drift.detail.contains("flips"), "{drift}");
+        // A structural change is drift too.
+        let drift = diff_spans(&make(3, false, 10), &make(3, true, 10)).unwrap();
+        assert_eq!(drift.location, "plan/compute/refine");
+        assert!(drift.detail.contains("children"), "{drift}");
+    }
+
+    #[test]
+    fn attribute_joins_span_location_with_content_detail() {
+        let engine = PlanEngine::new();
+        let request = PlanRequest::zoo("lenet_c").levels(2).trace(true);
+        let old = engine.plan(&request).unwrap();
+        // Fresh engine so the second run recomputes (and re-traces) fully.
+        let engine2 = PlanEngine::new();
+        let mut new = engine2.plan(&request).unwrap();
+        assert_eq!(old.state_hash, new.state_hash, "same build must reproduce");
+
+        new.plan = hypar_core::HierarchicalPlan::from_parts(
+            new.plan.network().to_owned(),
+            new.plan.layer_names().to_vec(),
+            new.plan.levels().to_vec(),
+            f64::from_bits(new.plan.total_comm_elems().to_bits() + 1),
+        );
+        new.state_hash = new.compute_state_hash();
+        let drift = attribute(&old, &new, old.timing.as_ref(), new.timing.as_ref())
+            .expect("perturbed cost must be attributed");
+        assert_eq!(drift.location, "plan/cost");
+        assert!(drift.detail.contains("cost"), "{drift}");
+    }
+}

@@ -1,0 +1,400 @@
+//! Golden manifests: every scenario's canonical state hashes, pinned in
+//! the repository and verified in CI.
+//!
+//! `scenarios/golden.json` holds one [`GoldenEntry`] per scenario file —
+//! the per-request `state_hash` sequence (or `error:<message>` for
+//! requests the engine rejects) in request order.  [`capture`] runs each
+//! scenario three ways before trusting a hash: cold on a fresh engine,
+//! hot against the warm cache, and recomputed on a second fresh engine.
+//! Any disagreement among the three is *intra-build* nondeterminism
+//! (e.g. a float-order bug in the parallel planner) and fails the
+//! capture with an attributed report, so a manifest can only ever pin
+//! reproducible numbers.  [`verify`] re-captures and diffs against a
+//! pinned manifest; `hypar-replay golden --bless` rewrites it.
+
+use std::fmt;
+use std::path::Path;
+
+use hypar_engine::{scenario, PlanEngine};
+use serde::{Deserialize, Serialize};
+
+use crate::drift::attribute;
+
+/// Schema tag stamped into every manifest.
+pub const MANIFEST_SCHEMA: &str = "hypar-golden/v1";
+
+/// The pinned hash sequence of one scenario file.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoldenEntry {
+    /// Scenario file name (base name, so the manifest is stable across
+    /// checkouts), e.g. `lenet_levels.json`.
+    pub file: String,
+    /// The scenario's `name` field, for readable reports.
+    pub name: String,
+    /// One string per request, in request order: the response's
+    /// `state_hash`, or `error:<message>` for typed rejections (those
+    /// are pinned behaviour too).
+    pub hashes: Vec<String>,
+}
+
+/// A full manifest: schema tag plus entries sorted by file name, so
+/// re-blessing is byte-stable regardless of argument order.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoldenManifest {
+    /// Always [`MANIFEST_SCHEMA`].
+    pub schema: String,
+    /// Per-scenario pinned hashes, sorted by `file`.
+    pub scenarios: Vec<GoldenEntry>,
+}
+
+impl GoldenManifest {
+    /// The entry for a scenario file, if pinned.
+    #[must_use]
+    pub fn entry(&self, file: &str) -> Option<&GoldenEntry> {
+        self.scenarios.iter().find(|e| e.file == file)
+    }
+}
+
+/// Why capturing or verifying golden hashes failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GoldenError {
+    /// A scenario file failed to load or parse.
+    Scenario(String),
+    /// The same build produced different hashes across cold/hot/fresh
+    /// runs of one request: intra-build nondeterminism, attributed.
+    NonDeterministic {
+        /// Scenario file the request came from.
+        file: String,
+        /// Request index within the scenario.
+        index: usize,
+        /// Which pair of runs disagreed (`cold/hot` or `cold/fresh`).
+        runs: &'static str,
+        /// The attributed first divergence.
+        report: String,
+    },
+    /// Manifest I/O or parse failure.
+    Manifest(String),
+}
+
+impl fmt::Display for GoldenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GoldenError::Scenario(message) => write!(f, "scenario error: {message}"),
+            GoldenError::NonDeterministic {
+                file,
+                index,
+                runs,
+                report,
+            } => write!(
+                f,
+                "{file} request {index}: non-deterministic across {runs} runs: {report}"
+            ),
+            GoldenError::Manifest(message) => write!(f, "manifest error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GoldenError {}
+
+/// One divergence between a pinned manifest and the current build.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GoldenDrift {
+    /// Scenario file.
+    pub file: String,
+    /// Request index within the scenario (`None` for whole-scenario
+    /// problems such as a changed request count or a missing pin).
+    pub index: Option<usize>,
+    /// What changed (`<old> -> <new>`, or a structural message).
+    pub detail: String,
+}
+
+impl fmt::Display for GoldenDrift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.index {
+            Some(index) => write!(f, "{} request {}: {}", self.file, index, self.detail),
+            None => write!(f, "{}: {}", self.file, self.detail),
+        }
+    }
+}
+
+fn file_key(path: &Path) -> String {
+    path.file_name().map_or_else(
+        || path.display().to_string(),
+        |n| n.to_string_lossy().into_owned(),
+    )
+}
+
+/// The per-request hash strings of one scenario run.
+fn run_hashes(report: &scenario::ScenarioReport) -> Vec<String> {
+    report
+        .entries
+        .iter()
+        .map(|entry| match (&entry.response, &entry.error) {
+            (Some(response), _) => response.state_hash.clone(),
+            (None, Some(error)) => format!("error:{error}"),
+            (None, None) => "error:<empty entry>".to_owned(),
+        })
+        .collect()
+}
+
+/// Captures the golden hashes of the given scenario files, triple-running
+/// each (cold, hot, fresh engine) and failing on any intra-build
+/// disagreement.
+///
+/// # Errors
+///
+/// Returns [`GoldenError::Scenario`] for unloadable files and
+/// [`GoldenError::NonDeterministic`] when a request does not reproduce
+/// within this build.
+pub fn capture(paths: &[impl AsRef<Path>]) -> Result<GoldenManifest, GoldenError> {
+    let mut entries = Vec::new();
+    for path in paths {
+        let path = path.as_ref();
+        let file = file_key(path);
+        let loaded = scenario::load(path).map_err(|e| GoldenError::Scenario(e.to_string()))?;
+
+        let engine = PlanEngine::new();
+        let cold = scenario::run(&engine, &loaded);
+        let hot = scenario::run(&engine, &loaded);
+        let fresh = scenario::run(&PlanEngine::new(), &loaded);
+
+        for (runs, other) in [("cold/hot", &hot), ("cold/fresh", &fresh)] {
+            if let Some((index, report)) = first_disagreement(&cold, other) {
+                return Err(GoldenError::NonDeterministic {
+                    file: file.clone(),
+                    index,
+                    runs,
+                    report,
+                });
+            }
+        }
+
+        entries.push(GoldenEntry {
+            file,
+            name: loaded.name.clone(),
+            hashes: run_hashes(&cold),
+        });
+    }
+    entries.sort_by(|a, b| a.file.cmp(&b.file));
+    Ok(GoldenManifest {
+        schema: MANIFEST_SCHEMA.to_owned(),
+        scenarios: entries,
+    })
+}
+
+/// The first request where two same-build runs disagree, with full
+/// response-level attribution (both sides are in hand).
+fn first_disagreement(
+    a: &scenario::ScenarioReport,
+    b: &scenario::ScenarioReport,
+) -> Option<(usize, String)> {
+    for (index, (ea, eb)) in a.entries.iter().zip(&b.entries).enumerate() {
+        match (&ea.response, &eb.response) {
+            (Some(ra), Some(rb)) => {
+                if ra.state_hash != rb.state_hash {
+                    let report = attribute(ra, rb, ra.timing.as_ref(), rb.timing.as_ref())
+                        .map_or_else(
+                            || format!("`{}` -> `{}`", ra.state_hash, rb.state_hash),
+                            |r| r.to_string(),
+                        );
+                    return Some((index, report));
+                }
+            }
+            (None, None) => {
+                if ea.error != eb.error {
+                    return Some((index, format!("error `{:?}` -> `{:?}`", ea.error, eb.error)));
+                }
+            }
+            (Some(ra), None) => {
+                return Some((
+                    index,
+                    format!("plan `{}` -> error `{:?}`", ra.state_hash, eb.error),
+                ));
+            }
+            (None, Some(rb)) => {
+                return Some((
+                    index,
+                    format!("error `{:?}` -> plan `{}`", ea.error, rb.state_hash),
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Verifies scenario files against a pinned manifest: re-captures (which
+/// itself triple-runs) and diffs hash-by-hash.  Returns every
+/// divergence; an empty vector means the build reproduces the manifest.
+///
+/// # Errors
+///
+/// Propagates [`capture`]'s errors — a non-deterministic build cannot be
+/// meaningfully diffed against a pin.
+pub fn verify(
+    manifest: &GoldenManifest,
+    paths: &[impl AsRef<Path>],
+) -> Result<Vec<GoldenDrift>, GoldenError> {
+    let current = capture(paths)?;
+    let mut drifts = Vec::new();
+    for entry in &current.scenarios {
+        let Some(pinned) = manifest.entry(&entry.file) else {
+            drifts.push(GoldenDrift {
+                file: entry.file.clone(),
+                index: None,
+                detail: "not pinned in the manifest (run `hypar-replay golden --bless` to add it)"
+                    .to_owned(),
+            });
+            continue;
+        };
+        if pinned.hashes.len() != entry.hashes.len() {
+            drifts.push(GoldenDrift {
+                file: entry.file.clone(),
+                index: None,
+                detail: format!(
+                    "request count {} -> {}",
+                    pinned.hashes.len(),
+                    entry.hashes.len()
+                ),
+            });
+            continue;
+        }
+        for (index, (old, new)) in pinned.hashes.iter().zip(&entry.hashes).enumerate() {
+            if old != new {
+                drifts.push(GoldenDrift {
+                    file: entry.file.clone(),
+                    index: Some(index),
+                    detail: format!("`{old}` -> `{new}`"),
+                });
+            }
+        }
+    }
+    Ok(drifts)
+}
+
+/// Parses a manifest from JSON text, rejecting unknown schemas.
+///
+/// # Errors
+///
+/// Returns [`GoldenError::Manifest`] on malformed JSON or a schema
+/// mismatch.
+pub fn parse_manifest(text: &str) -> Result<GoldenManifest, GoldenError> {
+    let manifest: GoldenManifest =
+        serde_json::from_str(text).map_err(|e| GoldenError::Manifest(e.to_string()))?;
+    if manifest.schema != MANIFEST_SCHEMA {
+        return Err(GoldenError::Manifest(format!(
+            "unsupported schema `{}` (expected `{MANIFEST_SCHEMA}`)",
+            manifest.schema
+        )));
+    }
+    Ok(manifest)
+}
+
+/// Loads a manifest file from disk.
+///
+/// # Errors
+///
+/// Returns [`GoldenError::Manifest`] for unreadable or malformed files.
+pub fn load_manifest(path: &Path) -> Result<GoldenManifest, GoldenError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| GoldenError::Manifest(format!("{}: {e}", path.display())))?;
+    parse_manifest(&text)
+}
+
+/// Serializes a manifest as pretty JSON (with a trailing newline, so the
+/// blessed file is diff-friendly).
+#[must_use]
+pub fn manifest_to_json(manifest: &GoldenManifest) -> String {
+    let mut text = serde_json::to_string_pretty(manifest).unwrap_or_else(|_| "{}".to_owned());
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_scenario(dir: &Path, file: &str, body: &str) -> std::path::PathBuf {
+        let path = dir.join(file);
+        std::fs::write(&path, body).unwrap();
+        path
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hypar-golden-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const SCENARIO: &str = r#"{
+        "name": "golden-test",
+        "requests": [
+            {"network": "lenet_c", "levels": 2},
+            {"network": "lenet_c", "levels": 2},
+            {"network": "no-such-net"},
+            {"network": "sfc", "levels": 3, "simulate": true}
+        ]
+    }"#;
+
+    #[test]
+    fn capture_verify_round_trip_is_clean_and_stable() {
+        let dir = temp_dir("roundtrip");
+        let path = write_scenario(&dir, "a.json", SCENARIO);
+        let manifest = capture(&[&path]).unwrap();
+        assert_eq!(manifest.schema, MANIFEST_SCHEMA);
+        assert_eq!(manifest.scenarios.len(), 1);
+        let entry = &manifest.scenarios[0];
+        assert_eq!(entry.file, "a.json");
+        assert_eq!(entry.hashes.len(), 4);
+        // Duplicate requests pin identical hashes; rejections pin errors.
+        assert_eq!(entry.hashes[0], entry.hashes[1]);
+        assert!(entry.hashes[2].starts_with("error:"), "{:?}", entry.hashes);
+
+        // Verifying immediately after blessing is clean, twice.
+        assert_eq!(verify(&manifest, &[&path]).unwrap(), vec![]);
+        assert_eq!(verify(&manifest, &[&path]).unwrap(), vec![]);
+
+        // The JSON round-trips through the schema gate.
+        let reparsed = parse_manifest(&manifest_to_json(&manifest)).unwrap();
+        assert_eq!(reparsed, manifest);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_perturbed_pin_is_reported_per_request() {
+        let dir = temp_dir("perturb");
+        let path = write_scenario(&dir, "a.json", SCENARIO);
+        let mut manifest = capture(&[&path]).unwrap();
+        manifest.scenarios[0].hashes[3] = "f".repeat(16);
+        let drifts = verify(&manifest, &[&path]).unwrap();
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].file, "a.json");
+        assert_eq!(drifts[0].index, Some(3));
+        assert!(drifts[0].detail.contains("->"), "{}", drifts[0]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn an_unpinned_scenario_fails_verification() {
+        let dir = temp_dir("unpinned");
+        let path = write_scenario(&dir, "a.json", SCENARIO);
+        let manifest = GoldenManifest {
+            schema: MANIFEST_SCHEMA.to_owned(),
+            scenarios: vec![],
+        };
+        let drifts = verify(&manifest, &[&path]).unwrap();
+        assert_eq!(drifts.len(), 1);
+        assert!(drifts[0].detail.contains("not pinned"), "{}", drifts[0]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected() {
+        let err =
+            parse_manifest(r#"{"schema": "hypar-golden/v999", "scenarios": []}"#).unwrap_err();
+        assert!(err.to_string().contains("unsupported schema"), "{err}");
+    }
+}

@@ -1,0 +1,170 @@
+//! The `hypar-replay` binary: golden replay and drift attribution.
+//!
+//! ```text
+//! hypar-replay replay LOG...
+//!     re-execute recorded JSONL sessions (hypar-engine --record) against
+//!     the current build; exit non-zero on any drift, printing the first
+//!     divergent span / plan bit / cost per drifted entry
+//!
+//! hypar-replay golden [--bless] [--manifest PATH] SCENARIO...
+//!     verify scenario files against the pinned manifest (default
+//!     scenarios/golden.json); --bless regenerates the pins instead.
+//!     Files named golden.json are skipped, so `scenarios/*.json` globs
+//!     work unmodified.  Every capture triple-runs each scenario
+//!     (cold / warm-cache / fresh engine) and fails on intra-build
+//!     nondeterminism even when blessing.
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use hypar_engine::{record, PlanEngine};
+use hypar_replay::{golden, replay};
+
+fn usage() -> &'static str {
+    "usage: hypar-replay replay LOG...\n       \
+     hypar-replay golden [--bless] [--manifest PATH] SCENARIO..."
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("replay") => run_replay(&args.map(PathBuf::from).collect::<Vec<_>>()),
+        Some("golden") => run_golden(args),
+        Some("--help" | "-h") => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`\n{}", usage());
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_replay(paths: &[PathBuf]) -> ExitCode {
+    if paths.is_empty() {
+        eprintln!("replay expects at least one log file\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let mut clean = true;
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("{}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let entries = match record::parse_log(&text) {
+            Ok(entries) => entries,
+            Err(err) => {
+                eprintln!("{}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        // One engine per log: the replay session shares a cache across
+        // entries exactly like the recorded session did.
+        let summary = replay::replay(&PlanEngine::new(), &entries);
+        println!("{}: {summary}", path.display());
+        clean &= summary.is_clean();
+    }
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_golden(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut bless = false;
+    let mut manifest_path = PathBuf::from("scenarios/golden.json");
+    let mut scenario_paths: Vec<PathBuf> = Vec::new();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bless" => bless = true,
+            "--manifest" => match args.next() {
+                Some(path) => manifest_path = PathBuf::from(path),
+                None => {
+                    eprintln!("--manifest expects a file path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            path => scenario_paths.push(PathBuf::from(path)),
+        }
+    }
+    // The manifest lives next to the scenarios, so globs pick it up;
+    // it is a pin list, not a workload.
+    scenario_paths.retain(|p| !is_manifest_file(p));
+    if scenario_paths.is_empty() {
+        eprintln!("golden expects at least one scenario file\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    if bless {
+        let manifest = match golden::capture(&scenario_paths) {
+            Ok(manifest) => manifest,
+            Err(err) => {
+                eprintln!("bless failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(err) = std::fs::write(&manifest_path, golden::manifest_to_json(&manifest)) {
+            eprintln!("failed to write {}: {err}", manifest_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "blessed {} scenario(s) into {}",
+            manifest.scenarios.len(),
+            manifest_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let manifest = match golden::load_manifest(&manifest_path) {
+        Ok(manifest) => manifest,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match golden::verify(&manifest, &scenario_paths) {
+        Ok(drifts) if drifts.is_empty() => {
+            println!(
+                "{} scenario(s) reproduce {}",
+                scenario_paths.len(),
+                manifest_path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(drifts) => {
+            for drift in &drifts {
+                eprintln!("{drift}");
+            }
+            eprintln!(
+                "{} drift(s) against {} — if intentional, re-pin with \
+                 `hypar-replay golden --bless`",
+                drifts.len(),
+                manifest_path.display()
+            );
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("{err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn is_manifest_file(path: &Path) -> bool {
+    path.file_name().is_some_and(|n| n == "golden.json")
+}

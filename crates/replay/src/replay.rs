@@ -1,0 +1,271 @@
+//! Log replay: re-execute a recorded JSONL session against the current
+//! build and diff every outcome.
+//!
+//! Each [`hypar_engine::RecordEntry`] is replayed through a
+//! [`PlanEngine`] in log order (sharing one cache, like the original
+//! session).  An entry matches when the recorded and replayed state
+//! hashes agree (or both sides rejected the request with the same
+//! message).  On mismatch the request is re-planned on a **fresh**
+//! engine with `trace: true` — a cache hit's trace stops at the lookup,
+//! so attribution needs a full compute — and [`crate::drift`] names the
+//! first divergent span, plan bit, or cost.
+
+use std::fmt;
+
+use hypar_engine::{PlanEngine, PlanRequest, RecordEntry};
+
+use crate::drift::{attribute, DriftReport};
+
+/// The verdict on one replayed log entry.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Verdict {
+    /// Recorded and replayed outcomes agree.
+    Match,
+    /// Outcomes diverged; the report names the first difference.
+    Drift(DriftReport),
+    /// The recorded entry is internally inconsistent (its stored
+    /// `state_hash` does not re-derive from its stored response): the
+    /// log was tampered with or truncated mid-write, so the entry
+    /// cannot arbitrate drift.
+    CorruptEntry(String),
+}
+
+/// One replayed entry: the log position, the workload it described, and
+/// the verdict.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayedEntry {
+    /// 0-based index into the log.
+    pub index: usize,
+    /// Human identification of the workload (network/strategy/levels).
+    pub workload: String,
+    /// The comparison verdict.
+    pub verdict: Verdict,
+}
+
+/// The outcome of replaying a whole log.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct ReplaySummary {
+    /// One row per log entry, in log order.
+    pub entries: Vec<ReplayedEntry>,
+}
+
+impl ReplaySummary {
+    /// Number of entries that matched.
+    #[must_use]
+    pub fn matched(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.verdict == Verdict::Match)
+            .count()
+    }
+
+    /// Whether every entry matched.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.matched() == self.entries.len()
+    }
+}
+
+impl fmt::Display for ReplaySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for entry in &self.entries {
+            match &entry.verdict {
+                Verdict::Match => {}
+                Verdict::Drift(report) => {
+                    writeln!(f, "[{:>4}] {}: {report}", entry.index, entry.workload)?;
+                }
+                Verdict::CorruptEntry(message) => writeln!(
+                    f,
+                    "[{:>4}] {}: corrupt log entry: {message}",
+                    entry.index, entry.workload
+                )?,
+            }
+        }
+        write!(
+            f,
+            "{}/{} entr(ies) replayed bit-identically",
+            self.matched(),
+            self.entries.len()
+        )
+    }
+}
+
+/// Replays `entries` in order against `engine` and returns the verdicts.
+#[must_use]
+pub fn replay(engine: &PlanEngine, entries: &[RecordEntry]) -> ReplaySummary {
+    let replayed = entries
+        .iter()
+        .enumerate()
+        .map(|(index, entry)| {
+            let workload = label(&entry.request);
+            let verdict = replay_one(engine, entry);
+            ReplayedEntry {
+                index,
+                workload,
+                verdict,
+            }
+        })
+        .collect();
+    ReplaySummary { entries: replayed }
+}
+
+fn label(request: &PlanRequest) -> String {
+    let network = match &request.network {
+        hypar_engine::NetworkRef::Zoo(name) => name.clone(),
+        hypar_engine::NetworkRef::Custom(_) => "<custom>".to_owned(),
+        hypar_engine::NetworkRef::Graph(_) => "<graph>".to_owned(),
+    };
+    format!("{network} {} H{}", request.strategy.name(), request.levels)
+}
+
+fn replay_one(engine: &PlanEngine, entry: &RecordEntry) -> Verdict {
+    // Validate the entry before trusting it as the old side of a diff.
+    if let Some(recorded) = &entry.response {
+        let rederived = recorded.compute_state_hash();
+        if rederived != recorded.state_hash {
+            return Verdict::CorruptEntry(format!(
+                "stored state_hash `{}` does not re-derive (`{rederived}`)",
+                recorded.state_hash
+            ));
+        }
+    }
+    let outcome = engine.plan(&entry.request);
+    match (&entry.response, &entry.error, outcome) {
+        (Some(recorded), _, Ok(replayed)) => {
+            if recorded.state_hash == replayed.state_hash {
+                return Verdict::Match;
+            }
+            // Re-plan traced on a fresh engine so the compute subtree is
+            // present, then attribute.
+            let traced = PlanEngine::new().plan(&entry.request.clone().trace(true));
+            let (new_response, new_timing) = match traced {
+                Ok(response) => {
+                    let timing = response.timing.clone();
+                    (response, timing)
+                }
+                Err(_) => (replayed, None),
+            };
+            match attribute(
+                recorded,
+                &new_response,
+                recorded.timing.as_ref(),
+                new_timing.as_ref(),
+            ) {
+                Some(report) => Verdict::Drift(report),
+                // attribute() only returns None when content and hash both
+                // agree; reaching here means the hashes disagreed, so keep
+                // the raw evidence.
+                None => Verdict::Drift(DriftReport {
+                    location: "state_hash".to_owned(),
+                    detail: format!("`{}` -> `{}`", recorded.state_hash, new_response.state_hash),
+                }),
+            }
+        }
+        (None, Some(recorded_err), Err(replayed_err)) => {
+            let replayed_err = replayed_err.to_string();
+            if *recorded_err == replayed_err {
+                Verdict::Match
+            } else {
+                Verdict::Drift(DriftReport {
+                    location: "error".to_owned(),
+                    detail: format!("`{recorded_err}` -> `{replayed_err}`"),
+                })
+            }
+        }
+        (None, Some(recorded_err), Ok(replayed)) => Verdict::Drift(DriftReport {
+            location: "outcome".to_owned(),
+            detail: format!(
+                "error `{recorded_err}` -> plan (state_hash `{}`)",
+                replayed.state_hash
+            ),
+        }),
+        (Some(recorded), _, Err(replayed_err)) => Verdict::Drift(DriftReport {
+            location: "outcome".to_owned(),
+            detail: format!(
+                "plan (state_hash `{}`) -> error `{replayed_err}`",
+                recorded.state_hash
+            ),
+        }),
+        (None, None, outcome) => Verdict::CorruptEntry(format!(
+            "entry records neither response nor error (replay produced {})",
+            match outcome {
+                Ok(_) => "a plan".to_owned(),
+                Err(err) => format!("error `{err}`"),
+            }
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_of(requests: &[PlanRequest]) -> Vec<RecordEntry> {
+        let engine = PlanEngine::new();
+        requests
+            .iter()
+            .map(|request| RecordEntry::from_outcome(request, &engine.plan(request)))
+            .collect()
+    }
+
+    #[test]
+    fn a_clean_log_replays_clean() {
+        let entries = log_of(&[
+            PlanRequest::zoo("lenet_c").levels(2),
+            PlanRequest::zoo("lenet_c").levels(2),
+            PlanRequest::zoo("sfc").levels(3).simulate(true),
+            PlanRequest::zoo("no-such-network"),
+        ]);
+        let summary = replay(&PlanEngine::new(), &entries);
+        assert!(summary.is_clean(), "{summary}");
+        assert_eq!(summary.matched(), 4);
+    }
+
+    #[test]
+    fn a_perturbed_cost_drifts_with_layer_level_attribution() {
+        let mut entries = log_of(&[PlanRequest::zoo("lenet_c").levels(2)]);
+        // Tamper with the recorded plan: flip layer 1's level-0 bit and
+        // re-stamp the hash so the entry stays self-consistent (a build
+        // that really produced this plan would have recorded exactly
+        // this).
+        let response = entries[0].response.as_mut().unwrap();
+        let mut levels = response.plan.levels().to_vec();
+        levels[0][1] = match levels[0][1] {
+            hypar_comm::Parallelism::Data => hypar_comm::Parallelism::Model,
+            hypar_comm::Parallelism::Model => hypar_comm::Parallelism::Data,
+        };
+        response.plan = hypar_core::HierarchicalPlan::from_parts(
+            response.plan.network().to_owned(),
+            response.plan.layer_names().to_vec(),
+            levels,
+            response.plan.total_comm_elems(),
+        );
+        response.state_hash = response.compute_state_hash();
+
+        let summary = replay(&PlanEngine::new(), &entries);
+        assert!(!summary.is_clean());
+        match &summary.entries[0].verdict {
+            Verdict::Drift(report) => {
+                assert!(report.location.contains("plan"), "{report}");
+                assert!(
+                    report.detail.contains("layer 1") && report.detail.contains("level 0"),
+                    "{report}"
+                );
+            }
+            other => panic!("expected drift, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_tampered_hash_is_reported_as_corruption_not_drift() {
+        let mut entries = log_of(&[PlanRequest::zoo("lenet_c").levels(2)]);
+        entries[0].response.as_mut().unwrap().state_hash = "0".repeat(16);
+        let summary = replay(&PlanEngine::new(), &entries);
+        match &summary.entries[0].verdict {
+            Verdict::CorruptEntry(message) => {
+                assert!(message.contains("does not re-derive"), "{message}");
+            }
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+}

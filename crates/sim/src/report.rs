@@ -1,5 +1,6 @@
 //! Simulation results for one training step.
 
+use hypar_telemetry::{StateHash, StateHasher};
 use hypar_tensor::{Bytes, Joules, Seconds};
 use serde::{Deserialize, Serialize};
 
@@ -55,6 +56,41 @@ pub struct StepReport {
     pub trace_summary: SimTraceSummary,
 }
 
+impl StateHash for SimTraceSummary {
+    fn state_hash_into(&self, h: &mut StateHasher) {
+        h.write_str("sim-trace/v1");
+        h.write_u64(self.tasks);
+        h.write_u64(self.resources);
+    }
+}
+
+impl StateHash for StepReport {
+    /// Folds every field of the report **bit-exactly** (times, energies,
+    /// and byte counts via [`f64::to_bits`], the per-level communication
+    /// breakdown length-prefixed in level order), so any float-order or
+    /// scheduling drift in the discrete-event simulation changes the
+    /// digest even when the totals round to the same display value.
+    fn state_hash_into(&self, h: &mut StateHasher) {
+        h.write_str("report/v1");
+        h.write_f64(self.step_time.value());
+        h.write_f64(self.energy.value());
+        h.write_f64(self.compute_energy.value());
+        h.write_f64(self.dram_energy.value());
+        h.write_f64(self.link_energy.value());
+        h.write_f64(self.comm_bytes.value());
+        h.write_u64(self.comm_bytes_per_level.len() as u64);
+        for level in &self.comm_bytes_per_level {
+            h.write_f64(level.value());
+        }
+        h.write_f64(self.dram_bytes.value());
+        h.write_f64(self.compute_busy.value());
+        h.write_f64(self.link_busy.value());
+        h.write_f64(self.dram_footprint_bytes.value());
+        h.write_u64(self.num_accelerators);
+        self.trace_summary.state_hash_into(h);
+    }
+}
+
 impl StepReport {
     /// Speedup of `self` relative to `baseline` (`> 1` means `self` is
     /// faster) — the y-axis of Figures 6, 11, 12 and 13.
@@ -106,6 +142,27 @@ mod tests {
         assert_eq!(fast.performance_gain_over(&slow), 4.0);
         assert_eq!(fast.energy_efficiency_over(&slow), 1.5);
         assert_eq!(slow.performance_gain_over(&fast), 0.25);
+    }
+
+    #[test]
+    fn state_hash_is_sensitive_to_every_levels_worth_of_drift() {
+        let base = report(1.0, 2.0);
+        assert_eq!(base.state_hash(), report(1.0, 2.0).state_hash());
+        // A one-ulp step-time drift changes the digest.
+        let mut drifted = base.clone();
+        drifted.step_time = Seconds(f64::from_bits(1.0f64.to_bits() + 1));
+        assert_ne!(base.state_hash(), drifted.state_hash());
+        // Moving bytes between levels changes the digest even when the
+        // total is unchanged.
+        let mut a = base.clone();
+        a.comm_bytes_per_level = vec![Bytes(4.0), Bytes(2.0)];
+        let mut b = base.clone();
+        b.comm_bytes_per_level = vec![Bytes(2.0), Bytes(4.0)];
+        assert_ne!(a.state_hash(), b.state_hash());
+        // The DES schedule shape is pinned too.
+        let mut tasks = base.clone();
+        tasks.trace_summary.tasks = 7;
+        assert_ne!(base.state_hash(), tasks.state_hash());
     }
 
     #[test]

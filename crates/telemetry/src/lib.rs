@@ -11,6 +11,11 @@
 //!   units of work into a [`Span`] tree (cache lookup, per-segment
 //!   planning, stitch, refine, simulate …) that a traced `PlanResponse`
 //!   carries back to the caller.
+//! * [`statehash`] — canonical state digests: the [`StateHasher`]
+//!   primitive and the [`StateHash`] trait that plan/report-producing
+//!   crates implement so every response carries a bit-exact,
+//!   order-canonical `state_hash` the golden manifests and the
+//!   record/replay harness can pin.
 //!
 //! Everything is `std`-only (atomics, one mutex around registration) so
 //! the instruments are cheap enough to leave on for every request: a
@@ -22,9 +27,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod metrics;
+pub mod statehash;
 pub mod trace;
 
 pub use metrics::{
     percentile, Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot,
 };
+pub use statehash::{hash_hex, StateHash, StateHasher};
 pub use trace::{duration_ns_since, Span, SpanRecorder};

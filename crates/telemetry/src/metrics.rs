@@ -287,12 +287,16 @@ impl Registry {
         get_or_insert(&mut self.lock().histograms, name)
     }
 
-    /// A point-in-time snapshot of every registered instrument, in
-    /// registration order.
+    /// A point-in-time snapshot of every registered instrument, **sorted
+    /// by name** within each section.  Registration order is a runtime
+    /// accident (it can differ between builds as call sites move);
+    /// sorting makes the snapshot — and therefore the `{"stats": true}`
+    /// service reply — canonical, so stats JSON diffs cleanly across
+    /// runs and commits.
     #[must_use]
     pub fn snapshot(&self) -> RegistrySnapshot {
         let inner = self.lock();
-        RegistrySnapshot {
+        let mut snapshot = RegistrySnapshot {
             counters: inner
                 .counters
                 .iter()
@@ -308,7 +312,11 @@ impl Registry {
                 .iter()
                 .map(|(n, h)| (n.clone(), h.snapshot()))
                 .collect(),
-        }
+        };
+        snapshot.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        snapshot.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        snapshot.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        snapshot
     }
 }
 
@@ -318,11 +326,11 @@ impl Registry {
 /// with instrument names as keys.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RegistrySnapshot {
-    /// `(name, value)` for every counter, in registration order.
+    /// `(name, value)` for every counter, sorted by name.
     pub counters: Vec<(String, u64)>,
-    /// `(name, value)` for every gauge.
+    /// `(name, value)` for every gauge, sorted by name.
     pub gauges: Vec<(String, u64)>,
-    /// `(name, summary)` for every histogram.
+    /// `(name, summary)` for every histogram, sorted by name.
     pub histograms: Vec<(String, HistogramSnapshot)>,
 }
 
@@ -499,6 +507,32 @@ mod tests {
         assert_eq!(snap.gauge("inflight"), Some(3));
         assert_eq!(snap.histogram("latency").unwrap().count, 1);
         assert_eq!(snap.counter("nope"), None);
+    }
+
+    #[test]
+    fn snapshots_are_key_sorted_regardless_of_registration_order() {
+        let forward = Registry::new();
+        forward.counter("alpha").add(1);
+        forward.counter("beta").add(2);
+        forward.histogram("h_late").record(9);
+        forward.histogram("h_early").record(9);
+
+        let backward = Registry::new();
+        backward.histogram("h_early").record(9);
+        backward.histogram("h_late").record(9);
+        backward.counter("beta").add(2);
+        backward.counter("alpha").add(1);
+
+        let a = forward.snapshot();
+        let b = backward.snapshot();
+        assert_eq!(a, b, "registration order must not leak into snapshots");
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "serialized stats must be byte-identical across runs"
+        );
+        assert_eq!(a.counters[0].0, "alpha");
+        assert_eq!(a.histograms[0].0, "h_early");
     }
 
     #[test]

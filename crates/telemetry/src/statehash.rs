@@ -1,0 +1,192 @@
+//! Canonical state hashing: the determinism net under the engine.
+//!
+//! A [`StateHasher`] folds primitive fields into a 64-bit FNV-1a digest
+//! with **bit-exact float encoding** (`f64::to_bits`, so `-0.0 != 0.0`
+//! and NaN payloads are distinguished — if two builds disagree in the
+//! last ulp, the hash catches it).  Types that participate in the
+//! engine's canonical state implement [`StateHash`] and fold themselves
+//! field by field; the engine combines the per-crate digests into the
+//! `state_hash` attached to every `PlanResponse`, which the golden
+//! manifests and the record/replay harness pin across runs and commits.
+//!
+//! Hashing is **order-dependent by design** (it is a transcript of the
+//! canonical serialization); order-*independence* for DAG inputs comes
+//! from upstream canonicalization — a `DagNetwork` orders its nodes
+//! topologically and deterministically before anything is hashed, so
+//! node-insertion order never reaches a hasher.
+//!
+//! Every implementation starts with a short domain tag (`"plan/v1"`,
+//! `"report/v1"`, …) so digests of different types never collide by
+//! field coincidence, and strings are length-prefixed so field
+//! boundaries cannot alias (`("ab", "c")` never hashes like
+//! `("a", "bc")`).
+
+/// Incremental 64-bit FNV-1a hasher over primitive fields.
+///
+/// The same construction as the engine's cache fingerprint, exposed as a
+/// public building block so every crate folds state the same way.
+///
+/// # Examples
+///
+/// ```
+/// use hypar_telemetry::statehash::StateHasher;
+///
+/// let mut h = StateHasher::new();
+/// h.write_str("plan/v1");
+/// h.write_u64(4);
+/// h.write_f64(1.5);
+/// let digest = h.finish();
+/// assert_eq!(digest, {
+///     let mut again = StateHasher::new();
+///     again.write_str("plan/v1");
+///     again.write_u64(4);
+///     again.write_f64(1.5);
+///     again.finish()
+/// });
+/// ```
+#[derive(Clone, Debug)]
+pub struct StateHasher(u64);
+
+impl Default for StateHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StateHasher {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        StateHasher(Self::OFFSET)
+    }
+
+    /// Folds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds an unsigned integer (little-endian, fixed width).
+    pub fn write_u64(&mut self, n: u64) {
+        self.write_bytes(&n.to_le_bytes());
+    }
+
+    /// Folds a float **bit-exactly** via [`f64::to_bits`]: distinct bit
+    /// patterns (including `-0.0` vs `0.0` and NaN payloads) hash
+    /// differently, which is the whole point of a drift detector.
+    pub fn write_f64(&mut self, n: f64) {
+        self.write_bytes(&n.to_bits().to_le_bytes());
+    }
+
+    /// Folds a boolean as one byte.
+    pub fn write_bool(&mut self, b: bool) {
+        self.write_bytes(&[u8::from(b)]);
+    }
+
+    /// Folds a length-prefixed string, so adjacent fields cannot alias.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The digest accumulated so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Types with a canonical state digest.
+///
+/// Implementations fold every observable field (bit-exact floats, length
+/// prefixed strings, a leading domain tag) into the hasher; two values
+/// hash equal exactly when a caller could not tell them apart through
+/// the wire surface.  Timing, cache flags, and other per-request
+/// incidentals are deliberately **not** part of any state hash.
+pub trait StateHash {
+    /// Folds `self` into `h`.
+    fn state_hash_into(&self, h: &mut StateHasher);
+
+    /// The standalone digest of `self`.
+    #[must_use]
+    fn state_hash(&self) -> u64 {
+        let mut h = StateHasher::new();
+        self.state_hash_into(&mut h);
+        h.finish()
+    }
+
+    /// The digest rendered the way it ships on the wire: 16 lowercase
+    /// hex digits.
+    #[must_use]
+    fn state_hash_hex(&self) -> String {
+        hash_hex(self.state_hash())
+    }
+}
+
+/// Renders a digest as 16 lowercase hex digits (the wire spelling used
+/// by `PlanResponse::state_hash` and `scenarios/golden.json`).
+#[must_use]
+pub fn hash_hex(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Pair(f64, f64);
+
+    impl StateHash for Pair {
+        fn state_hash_into(&self, h: &mut StateHasher) {
+            h.write_str("pair/v1");
+            h.write_f64(self.0);
+            h.write_f64(self.1);
+        }
+    }
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        assert_eq!(Pair(1.0, 2.0).state_hash(), Pair(1.0, 2.0).state_hash());
+        assert_ne!(Pair(1.0, 2.0).state_hash(), Pair(2.0, 1.0).state_hash());
+    }
+
+    #[test]
+    fn floats_hash_bit_exactly() {
+        let base = Pair(1.0, 2.0).state_hash();
+        let ulp = Pair(1.0, f64::from_bits(2.0f64.to_bits() + 1)).state_hash();
+        assert_ne!(base, ulp, "a one-ulp cost drift must change the hash");
+        assert_ne!(
+            Pair(0.0, 0.0).state_hash(),
+            Pair(-0.0, 0.0).state_hash(),
+            "signed zero is a sign-bit drift"
+        );
+    }
+
+    #[test]
+    fn strings_are_length_prefixed() {
+        let ab_c = {
+            let mut h = StateHasher::new();
+            h.write_str("ab");
+            h.write_str("c");
+            h.finish()
+        };
+        let a_bc = {
+            let mut h = StateHasher::new();
+            h.write_str("a");
+            h.write_str("bc");
+            h.finish()
+        };
+        assert_ne!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn hex_is_16_lowercase_digits() {
+        assert_eq!(hash_hex(0xdead_beef), "00000000deadbeef");
+        assert_eq!(hash_hex(u64::MAX), "ffffffffffffffff");
+    }
+}

@@ -87,6 +87,7 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
     let mut parser = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     parser.skip_whitespace();
     let value = parser.parse_value()?;
@@ -201,9 +202,19 @@ fn write_string(out: &mut String, s: &str) {
 // Parsing
 // ---------------------------------------------------------------------------
 
+/// Maximum container nesting depth the parser accepts.
+///
+/// The parser is recursive, so adversarial input like ten thousand `[`
+/// bytes would otherwise overflow the thread stack (an abort, not a
+/// catchable error) before any shape validation sees it.  128 levels is
+/// far beyond any structure this workspace serializes; deeper input is a
+/// parse error like any other malformed document.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -256,12 +267,25 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::parse(
+                format!("nesting deeper than {MAX_DEPTH} levels"),
+                self.pos,
+            ));
+        }
+        Ok(())
+    }
+
     fn parse_array(&mut self) -> Result<Value, Error> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -272,6 +296,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(Error::parse("expected `,` or `]`", self.pos)),
@@ -281,10 +306,12 @@ impl Parser<'_> {
 
     fn parse_object(&mut self) -> Result<Value, Error> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(fields));
         }
         loop {
@@ -300,6 +327,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(fields));
                 }
                 _ => return Err(Error::parse("expected `,` or `}`", self.pos)),
@@ -362,14 +390,30 @@ impl Parser<'_> {
                         }
                     }
                 }
+                _ if b < 0x80 => out.push(b as char),
                 _ => {
-                    // Re-decode the UTF-8 sequence starting at the byte we
-                    // just consumed.
+                    // Re-decode the multi-byte UTF-8 sequence starting at
+                    // the byte we just consumed.  Validate a window of at
+                    // most 4 bytes (the longest UTF-8 sequence), never the
+                    // whole remaining input — per-character tail scans
+                    // would make string parsing quadratic, a DoS vector
+                    // for megabyte-scale adversarial requests.
                     let start = self.pos - 1;
-                    let rest = &self.bytes[start..];
-                    let text = std::str::from_utf8(rest)
-                        .map_err(|_| Error::parse("invalid utf-8", start))?;
-                    let c = text.chars().next().expect("non-empty");
+                    let end = (start + 4).min(self.bytes.len());
+                    let window = &self.bytes[start..end];
+                    let c = match std::str::from_utf8(window) {
+                        Ok(text) => text.chars().next().expect("non-empty"),
+                        // A valid sequence may sit before an unrelated
+                        // partial one at the window's edge.
+                        Err(err) if err.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..err.valid_up_to()])
+                                .expect("validated prefix")
+                                .chars()
+                                .next()
+                                .expect("non-empty")
+                        }
+                        Err(_) => return Err(Error::parse("invalid utf-8", start)),
+                    };
                     out.push(c);
                     self.pos = start + c.len_utf8();
                 }
@@ -418,7 +462,10 @@ impl Parser<'_> {
         }
         let text =
             std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ascii");
-        if !is_float {
+        // `-0` must stay a float: integers cannot carry the sign bit, and
+        // round-tripping `F64(-0.0)` bit-exactly matters to the engine's
+        // replay logs and state hashes.
+        if !is_float && text != "-0" {
             if let Ok(n) = text.parse::<u64>() {
                 return Ok(Value::U64(n));
             }
@@ -474,5 +521,75 @@ mod tests {
         let n = u64::MAX;
         let text = to_string(&n).unwrap();
         assert_eq!(from_str::<u64>(&text).unwrap(), n);
+    }
+
+    #[test]
+    fn negative_zero_survives_bit_exactly() {
+        let text = to_string(&-0.0f64).unwrap();
+        let back: f64 = from_str(&text).unwrap();
+        assert_eq!(back.to_bits(), (-0.0f64).to_bits(), "{text} -> {back}");
+        // Plain zero still parses as an integer.
+        assert_eq!(from_str::<Value>("0").unwrap(), Value::U64(0));
+    }
+
+    #[test]
+    fn nesting_beyond_max_depth_is_an_error_not_a_stack_overflow() {
+        let deep_ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(from_str::<Value>(&deep_ok).is_ok());
+
+        let too_deep = format!(
+            "{}0{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = from_str::<Value>(&too_deep).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+
+        // The pathological case: tens of thousands of unclosed openers
+        // must error out, not abort the process.
+        let bomb = "[".repeat(100_000);
+        assert!(from_str::<Value>(&bomb).is_err());
+        let obj_bomb = "{\"k\":".repeat(100_000);
+        assert!(from_str::<Value>(&obj_bomb).is_err());
+    }
+
+    #[test]
+    fn long_strings_parse_in_linear_time() {
+        // 4 MB of string (with multi-byte chars mixed in) must parse in
+        // well under a second; the old per-char tail validation was
+        // quadratic and took minutes.
+        let body = "xé☃".repeat(512 << 10);
+        let text = to_string(&body).unwrap();
+        let started = std::time::Instant::now();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, body);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn multibyte_and_escape_decoding_is_exact() {
+        let cases = [
+            ("\"héllo ☃\"", "héllo ☃"),
+            ("\"\\ud83d\\ude00\"", "😀"),
+            ("\"𝄞 clef\"", "𝄞 clef"),
+        ];
+        for (text, expected) in cases {
+            assert_eq!(from_str::<String>(text).unwrap(), expected, "{text}");
+        }
+        // A multi-byte char right at the end of input decodes from a
+        // window clipped by the input boundary.
+        assert_eq!(from_str::<String>("\"é\"").unwrap(), "é");
+    }
+
+    #[test]
+    fn sibling_containers_do_not_accumulate_depth() {
+        // Depth is nesting, not container count: a long flat array of
+        // shallow objects stays parseable.
+        let flat = format!("[{}{{}}]", "{},".repeat(10_000));
+        assert!(from_str::<Value>(&flat).is_ok());
     }
 }
