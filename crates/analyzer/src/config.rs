@@ -1,0 +1,192 @@
+//! Which rules apply where.
+//!
+//! Scopes are path prefixes relative to the workspace root (always
+//! `/`-separated).  The defaults encode this workspace's invariants:
+//! panic-path and poison-safety discipline in every service-reachable
+//! crate, determinism rules in the crates whose outputs feed
+//! fingerprints or `state_hash`es, and a wall-clock carve-out for the
+//! telemetry layer (whose whole job is timing).
+
+/// Crates whose code can be reached from a `PlanRequest`: a panic here
+/// aborts the service instead of degrading to an error JSON.
+pub const SERVICE_CRATES: &[&str] = &[
+    "engine",
+    "graph",
+    "core",
+    "sim",
+    "comm",
+    "replay",
+    "telemetry",
+    // The analyzer holds itself to its own standard.
+    "analyzer",
+];
+
+/// Crates in scope for the determinism rules (`det-float-eq`,
+/// `det-wall-clock`).
+pub const DET_CRATES: &[&str] = &[
+    "engine",
+    "graph",
+    "core",
+    "sim",
+    "comm",
+    "replay",
+    "telemetry",
+];
+
+/// Files/modules whose outputs feed cache fingerprints or the canonical
+/// `state_hash`: an unordered `HashMap`/`HashSet` here is a determinism
+/// hazard even before anyone iterates it.
+pub const HASHED_PATHS: &[&str] = &[
+    "crates/telemetry/src/statehash.rs",
+    "crates/engine/src/fingerprint.rs",
+    "crates/engine/src/engine.rs",
+    "crates/engine/src/record.rs",
+    "crates/graph/src/dag.rs",
+    "crates/graph/src/segments.rs",
+    "crates/replay/src/",
+];
+
+/// Paths where `Instant::now`/`SystemTime` are the point, not a hazard.
+pub const CLOCK_ALLOWED: &[&str] = &["crates/telemetry/src/"];
+
+/// Resolved rule applicability for one file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuleSet {
+    /// `panic-path`: unwrap/expect/panic-family macros forbidden.
+    pub panic_path: bool,
+    /// `lock-poison`: `.lock().unwrap()/.expect()` forbidden.
+    pub lock_poison: bool,
+    /// `det-map-iter`: `HashMap`/`HashSet` forbidden (hashed paths).
+    pub det_map_iter: bool,
+    /// `det-float-eq`: float `==`/`!=` against a float literal.
+    pub det_float_eq: bool,
+    /// `det-wall-clock`: `Instant::now`/`SystemTime` forbidden.
+    pub det_wall_clock: bool,
+}
+
+impl RuleSet {
+    /// Every rule on — what the fixture tests and the fuzzer use.
+    #[must_use]
+    pub fn all() -> Self {
+        RuleSet {
+            panic_path: true,
+            lock_poison: true,
+            det_map_iter: true,
+            det_float_eq: true,
+            det_wall_clock: true,
+        }
+    }
+
+    /// No rule applies: the file is skipped entirely.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == RuleSet::default()
+    }
+}
+
+/// The workspace lint configuration: scan roots plus scope tables.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Crate names (under `crates/`) in panic/poison scope.
+    pub service_crates: Vec<String>,
+    /// Crate names in determinism-rule scope.
+    pub det_crates: Vec<String>,
+    /// Path prefixes in `det-map-iter` scope.
+    pub hashed_paths: Vec<String>,
+    /// Path prefixes exempt from `det-wall-clock`.
+    pub clock_allowed: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let own = |list: &[&str]| list.iter().map(|s| (*s).to_string()).collect();
+        Config {
+            service_crates: own(SERVICE_CRATES),
+            det_crates: own(DET_CRATES),
+            hashed_paths: own(HASHED_PATHS),
+            clock_allowed: own(CLOCK_ALLOWED),
+        }
+    }
+}
+
+impl Config {
+    /// The `crates/<name>/src` directories to walk, in sorted order.
+    #[must_use]
+    pub fn scan_roots(&self) -> Vec<String> {
+        let mut names: Vec<&str> = self
+            .service_crates
+            .iter()
+            .chain(self.det_crates.iter())
+            .map(String::as_str)
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+            .into_iter()
+            .map(|name| format!("crates/{name}/src"))
+            .collect()
+    }
+
+    /// Which rules apply to the file at workspace-relative `path`.
+    #[must_use]
+    pub fn rules_for(&self, path: &str) -> RuleSet {
+        let crate_of = path
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .unwrap_or("");
+        let service = self.service_crates.iter().any(|c| c == crate_of);
+        let det = self.det_crates.iter().any(|c| c == crate_of);
+        let hashed = self
+            .hashed_paths
+            .iter()
+            .any(|p| path.starts_with(p.as_str()));
+        let clock_ok = self
+            .clock_allowed
+            .iter()
+            .any(|p| path.starts_with(p.as_str()));
+        RuleSet {
+            panic_path: service,
+            lock_poison: service,
+            det_map_iter: det && hashed,
+            det_float_eq: det,
+            det_wall_clock: det && !clock_ok,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_resolve_by_crate_and_path() {
+        let cfg = Config::default();
+        let engine = cfg.rules_for("crates/engine/src/service.rs");
+        assert!(engine.panic_path && engine.lock_poison && engine.det_wall_clock);
+        assert!(!engine.det_map_iter, "service.rs is not a hashed path");
+
+        let fp = cfg.rules_for("crates/engine/src/fingerprint.rs");
+        assert!(fp.det_map_iter, "fingerprint.rs feeds the cache key");
+
+        let telemetry = cfg.rules_for("crates/telemetry/src/trace.rs");
+        assert!(telemetry.panic_path);
+        assert!(!telemetry.det_wall_clock, "telemetry owns the clock");
+
+        let replay = cfg.rules_for("crates/replay/src/drift.rs");
+        assert!(replay.det_map_iter, "all of replay is hash-bearing");
+
+        assert!(cfg.rules_for("crates/models/src/zoo.rs").is_empty());
+        assert!(cfg.rules_for("vendor/serde/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn scan_roots_are_sorted_and_deduped() {
+        let roots = Config::default().scan_roots();
+        let mut sorted = roots.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(roots, sorted);
+        assert!(roots.contains(&"crates/engine/src".to_string()));
+        assert!(roots.contains(&"crates/analyzer/src".to_string()));
+    }
+}

@@ -1,0 +1,178 @@
+//! Randomized byte-mutation smoke over the lexer and rules.
+//!
+//! `--self-fuzz N` mutates Rust-ish seed sources with a deterministic
+//! LCG (same `N` + seed → same inputs, so a CI failure reproduces
+//! locally), feeds every mutant through [`lex`] + [`check_file`], and
+//! asserts three invariants:
+//!
+//! 1. **no panic** — a panicking lexer would turn a hostile source file
+//!    into a CI-infrastructure outage;
+//! 2. **bounded output** — every token consumes at least one character,
+//!    so `tokens ≤ chars + 1`; more means the cursor failed to advance;
+//! 3. **bounded runtime** — a generous per-mutant wall budget catches
+//!    accidental quadratic scanning (the same class of bug PR 7 found
+//!    in the vendored serde_json string parser).
+//!
+//! This is the seed of the ROADMAP's coverage-guided fuzzing item: no
+//! coverage feedback yet, but the corpus/mutation/invariant skeleton is
+//! the part a coverage loop would wrap.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use crate::config::RuleSet;
+use crate::lexer::lex;
+use crate::rules::check_file;
+
+/// Seed sources chosen to sit near every lexer edge: fences, nesting,
+/// ticks, escapes, pragmas.
+const CORPUS: &[&str] = &[
+    "fn f(x: Option<u8>) -> u8 { x.unwrap() } // hypar-allow: panic-path — seed\n",
+    "let s = r##\"raw \"# fence\"## ; let q = '\"'; let t = '\\'';\n",
+    "/* outer /* inner */ still */ let m: HashMap<u8, u8> = HashMap::new();\n",
+    "fn g<'a>(v: &'a [f64]) -> bool { v[0] == 0.0 || v[0] != 1e-3 }\n",
+    "#[cfg(test)]\nmod tests { fn t() { m.lock().unwrap(); panic!(\"x\") } }\n",
+    "let b = b\"bytes\\\"\"; let c = b'\\n'; let t = Instant::now();\n",
+];
+
+/// Deterministic 64-bit LCG (Knuth's MMIX multiplier).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 16
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next() % n as u64) as usize
+        }
+    }
+}
+
+/// Bytes likely to flip a lexer mode when inserted.
+const INTERESTING: &[u8] = &[
+    b'"', b'\'', b'\\', b'/', b'*', b'#', b'r', b'b', b'c', b'\n', b'!', b'=', b'.', b'{', b'}',
+    0x00, 0xFF, 0xC3, 0xE2,
+];
+
+fn mutate(rng: &mut Rng, bytes: &mut Vec<u8>) {
+    match rng.below(4) {
+        0 if !bytes.is_empty() => {
+            // Flip a byte.
+            let at = rng.below(bytes.len());
+            bytes[at] = INTERESTING[rng.below(INTERESTING.len())];
+        }
+        1 => {
+            // Insert an interesting byte.
+            let at = rng.below(bytes.len() + 1);
+            bytes.insert(at, INTERESTING[rng.below(INTERESTING.len())]);
+        }
+        2 if bytes.len() > 2 => {
+            // Delete a range.
+            let start = rng.below(bytes.len());
+            let end = (start + 1 + rng.below(16)).min(bytes.len());
+            bytes.drain(start..end);
+        }
+        _ if !bytes.is_empty() => {
+            // Duplicate a chunk (tests quadratic scanning).
+            let start = rng.below(bytes.len());
+            let end = (start + 1 + rng.below(32)).min(bytes.len());
+            let chunk: Vec<u8> = bytes[start..end].to_vec();
+            let at = rng.below(bytes.len() + 1);
+            bytes.splice(at..at, chunk);
+        }
+        _ => {}
+    }
+}
+
+/// Outcome of a fuzz run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FuzzSummary {
+    /// Mutants executed.
+    pub iterations: u64,
+    /// Total tokens produced across all mutants.
+    pub tokens: u64,
+    /// Total findings reported across all mutants.
+    pub findings: u64,
+    /// Slowest single mutant, in microseconds.
+    pub worst_us: u128,
+}
+
+/// Per-mutant wall budget; generous so CI never flakes, tight enough
+/// that accidental quadratic behavior on a few-KB input still trips it.
+const PER_MUTANT_BUDGET: Duration = Duration::from_millis(2000);
+
+/// Runs `iterations` mutants from `seed`.  `Err` carries a reproducible
+/// description of the first invariant violation.
+pub fn run(iterations: u64, seed: u64) -> Result<FuzzSummary, String> {
+    let mut rng = Rng(seed | 1);
+    let mut summary = FuzzSummary::default();
+    // Worker panics are converted to Err; silence the default hook so a
+    // caught panic does not spray a backtrace into CI output.
+    let hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let result = (0..iterations).try_for_each(|i| {
+        let mut bytes = CORPUS[rng.below(CORPUS.len())].as_bytes().to_vec();
+        for _ in 0..=rng.below(8) {
+            mutate(&mut rng, &mut bytes);
+        }
+        let source = String::from_utf8_lossy(&bytes).into_owned();
+        let chars = source.chars().count() as u64;
+        let started = Instant::now();
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            let lexed = lex(&source);
+            let findings = check_file("fuzz.rs", &lexed, RuleSet::all());
+            (lexed.tokens.len() as u64, findings.len() as u64)
+        }));
+        let elapsed = started.elapsed();
+        let (tokens, findings) = outcome.map_err(|_| {
+            format!("iteration {i} (seed {seed}): lexer/rules panicked on a {chars}-char mutant")
+        })?;
+        if tokens > chars + 1 {
+            return Err(format!(
+                "iteration {i} (seed {seed}): {tokens} tokens from {chars} chars — cursor failed to advance"
+            ));
+        }
+        if elapsed > PER_MUTANT_BUDGET {
+            return Err(format!(
+                "iteration {i} (seed {seed}): {chars}-char mutant took {elapsed:?} (budget {PER_MUTANT_BUDGET:?})"
+            ));
+        }
+        summary.iterations += 1;
+        summary.tokens += tokens;
+        summary.findings += findings;
+        summary.worst_us = summary.worst_us.max(elapsed.as_micros());
+        Ok(())
+    });
+    panic::set_hook(hook);
+    result.map(|()| summary)
+}
+
+/// The seed `--self-fuzz` uses when none is given (and the one CI runs).
+pub const DEFAULT_SEED: u64 = 0x4879_5061_7200_0001; // "HyPar"
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_run_holds_all_invariants() {
+        let summary = run(500, DEFAULT_SEED).expect("fuzz invariants");
+        assert_eq!(summary.iterations, 500);
+        assert!(summary.tokens > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run(200, 7).expect("run a");
+        let b = run(200, 7).expect("run b");
+        assert_eq!((a.tokens, a.findings), (b.tokens, b.findings));
+    }
+}

@@ -1,0 +1,205 @@
+//! `hypar-analyzer`: workspace-native static analysis with a ratcheted
+//! CI gate.
+//!
+//! Three PRs in a row spent effort *reactively* un-panicking
+//! service-reachable code, and the determinism net (bit-exact
+//! `state_hash`, golden replay) was guarded only by tests.  This crate
+//! makes both classes of invariant a build-time property:
+//!
+//! * **panic-path discipline** (`panic-path`, `lock-poison`) — the
+//!   service must degrade to an error JSON, never abort;
+//! * **determinism hazards** (`det-map-iter`, `det-float-eq`,
+//!   `det-wall-clock`) — nothing nondeterministic may feed
+//!   fingerprints or `state_hash`es;
+//! * **waiver hygiene** (`bad-pragma`) — every `hypar-allow` escape
+//!   hatch must name a real rule and carry a justification.
+//!
+//! The scanner is a hand-rolled lexer (comments, nested block comments,
+//! raw strings, char-vs-lifetime ticks all handled — **not** regex over
+//! source) feeding token-stream rules; existing debt is tolerated via
+//! the ratcheted [`ratchet`] baseline, which only ever tightens.
+
+pub mod config;
+pub mod fuzz;
+pub mod lexer;
+pub mod ratchet;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use config::Config;
+use ratchet::{Baseline, Counts, BASELINE_VERSION};
+use report::Finding;
+
+/// Default baseline filename at the workspace root.
+pub const BASELINE_FILE: &str = "analyzer-baseline.json";
+
+/// Directory names never descended into while scanning.
+const SKIP_DIRS: &[&str] = &["tests", "fixtures", "target"];
+
+/// Scans the workspace rooted at `root` and returns sorted findings.
+///
+/// Walks every configured `crates/<name>/src` directory; integration
+/// `tests/` directories are skipped here and `#[cfg(test)]` items are
+/// masked by the rules.
+pub fn scan_workspace(root: &Path, config: &Config) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    for rel_root in config.scan_roots() {
+        let dir = root.join(&rel_root);
+        if !dir.is_dir() {
+            continue;
+        }
+        for rel_path in rs_files(&dir, &rel_root)? {
+            let rules = config.rules_for(&rel_path);
+            let source = fs::read_to_string(root.join(&rel_path))
+                .map_err(|e| format!("reading {rel_path}: {e}"))?;
+            let lexed = lexer::lex(&source);
+            findings.extend(rules::check_file(&rel_path, &lexed, rules));
+        }
+    }
+    report::sort(&mut findings);
+    Ok(findings)
+}
+
+/// Every `.rs` file under `dir` (sorted, workspace-relative paths,
+/// `/`-separated), skipping [`SKIP_DIRS`].
+fn rs_files(dir: &Path, rel: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| format!("reading {rel}: {e}"))?;
+    let mut names: Vec<(String, PathBuf, bool)> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {rel}: {e}"))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let is_dir = entry.path().is_dir();
+        names.push((name, entry.path(), is_dir));
+    }
+    names.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, path, is_dir) in names {
+        let rel_child = format!("{rel}/{name}");
+        if is_dir {
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            out.extend(rs_files(&path, &rel_child)?);
+        } else if name.ends_with(".rs") {
+            out.push(rel_child);
+        }
+    }
+    Ok(out)
+}
+
+/// The result of a `--check` run.
+#[derive(Clone, Debug)]
+pub struct CheckOutcome {
+    /// Per-cell regressions (fail) with their concrete findings.
+    pub regressions: Vec<(ratchet::Delta, Vec<Finding>)>,
+    /// Per-cell improvements (pass; `--bless` tightens).
+    pub improvements: Vec<ratchet::Delta>,
+    /// `bad-pragma` findings always fail, baseline or not: the escape
+    /// hatch must never rust open.
+    pub bad_pragmas: Vec<Finding>,
+    /// Total current findings.
+    pub total: u64,
+}
+
+impl CheckOutcome {
+    /// Whether the gate passes.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.bad_pragmas.is_empty()
+    }
+}
+
+/// Compares the current tree against the baseline at `baseline_path`.
+pub fn run_check(
+    root: &Path,
+    config: &Config,
+    baseline_path: &Path,
+) -> Result<CheckOutcome, String> {
+    let text = fs::read_to_string(baseline_path).map_err(|e| {
+        format!(
+            "reading baseline {}: {e}\nrun `hypar-analyzer --bless` to create it",
+            baseline_path.display()
+        )
+    })?;
+    let baseline = ratchet::parse(&text)?;
+    let findings = scan_workspace(root, config)?;
+    let current = ratchet::counts_of(&findings);
+    let comparison = ratchet::compare(&current, &baseline.counts);
+    let regressions = comparison
+        .regressions
+        .into_iter()
+        .map(|delta| {
+            let concrete: Vec<Finding> = findings
+                .iter()
+                .filter(|f| f.file == delta.file && f.rule == delta.rule)
+                .cloned()
+                .collect();
+            (delta, concrete)
+        })
+        .collect();
+    let bad_pragmas = findings
+        .iter()
+        .filter(|f| f.rule == "bad-pragma")
+        .cloned()
+        .collect();
+    Ok(CheckOutcome {
+        regressions,
+        improvements: comparison.improvements,
+        bad_pragmas,
+        total: ratchet::total(&current),
+    })
+}
+
+/// Rewrites the baseline to the current tree's counts.
+///
+/// Refuses while `bad-pragma` findings exist — a broken waiver must be
+/// fixed, never recorded as tolerated debt.  Returns the new counts.
+pub fn run_bless(root: &Path, config: &Config, baseline_path: &Path) -> Result<Counts, String> {
+    let findings = scan_workspace(root, config)?;
+    let bad: Vec<&Finding> = findings.iter().filter(|f| f.rule == "bad-pragma").collect();
+    if !bad.is_empty() {
+        let mut msg = String::from("refusing to bless: fix these pragmas first\n");
+        for finding in bad {
+            msg.push_str(&format!("  {finding}\n"));
+        }
+        return Err(msg);
+    }
+    let counts = ratchet::counts_of(&findings);
+    let baseline = Baseline {
+        version: BASELINE_VERSION,
+        counts: counts.clone(),
+    };
+    let mut file = fs::File::create(baseline_path)
+        .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+    file.write_all(ratchet::to_json(&baseline).as_bytes())
+        .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+    Ok(counts)
+}
+
+/// Checks that `root` looks like this workspace (catches running the
+/// binary from a subdirectory, where every scan root would silently be
+/// missing and the tree would look spotless).
+pub fn validate_root(root: &Path) -> Result<(), String> {
+    if root.join("Cargo.toml").is_file() && root.join("crates").is_dir() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} is not the workspace root (no Cargo.toml + crates/); run from the repository root or pass --root",
+            root.display()
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_root_rejects_non_workspace_dirs() {
+        assert!(validate_root(Path::new("/definitely/not/here")).is_err());
+    }
+}

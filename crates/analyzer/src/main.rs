@@ -1,0 +1,206 @@
+//! The `hypar-analyzer` command-line front-end.
+//!
+//! ```text
+//! hypar-analyzer                # report every current finding
+//! hypar-analyzer --check       # gate: fail if any count exceeds the baseline
+//! hypar-analyzer --bless       # rewrite the baseline to current counts
+//! hypar-analyzer --rules       # the rule reference table
+//! hypar-analyzer --self-fuzz N # randomized lexer smoke (deterministic)
+//! ```
+//!
+//! Exit codes: 0 clean/pass, 1 findings/regressions, 2 usage or I/O
+//! error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hypar_analyzer::config::Config;
+use hypar_analyzer::BASELINE_FILE;
+use hypar_analyzer::{fuzz, ratchet, report, run_bless, run_check, scan_workspace, validate_root};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Report,
+    Check,
+    Bless,
+    Rules,
+    SelfFuzz { iterations: u64, seed: u64 },
+}
+
+struct Options {
+    mode: Mode,
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: hypar-analyzer [--check | --bless | --rules | --self-fuzz N] \
+                     [--root DIR] [--baseline FILE] [--seed N]";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut mode = Mode::Report;
+    let mut root = PathBuf::from(".");
+    let mut baseline = None;
+    let mut seed = fuzz::DEFAULT_SEED;
+    let mut fuzz_iterations: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => mode = Mode::Check,
+            "--bless" => mode = Mode::Bless,
+            "--rules" => mode = Mode::Rules,
+            "--self-fuzz" => {
+                let n = it
+                    .next()
+                    .ok_or(format!("--self-fuzz needs a count\n{USAGE}"))?;
+                fuzz_iterations =
+                    Some(n.parse().map_err(|_| {
+                        format!("--self-fuzz count `{n}` is not a number\n{USAGE}")
+                    })?);
+            }
+            "--seed" => {
+                let n = it.next().ok_or(format!("--seed needs a value\n{USAGE}"))?;
+                seed = n
+                    .parse()
+                    .map_err(|_| format!("--seed `{n}` is not a number\n{USAGE}"))?;
+            }
+            "--root" => {
+                let dir = it
+                    .next()
+                    .ok_or(format!("--root needs a directory\n{USAGE}"))?;
+                root = PathBuf::from(dir);
+            }
+            "--baseline" => {
+                let file = it
+                    .next()
+                    .ok_or(format!("--baseline needs a file\n{USAGE}"))?;
+                baseline = Some(PathBuf::from(file));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if let Some(iterations) = fuzz_iterations {
+        mode = Mode::SelfFuzz { iterations, seed };
+    }
+    Ok(Options {
+        mode,
+        root,
+        baseline,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&options) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("hypar-analyzer: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(options: &Options) -> Result<ExitCode, String> {
+    let config = Config::default();
+    match options.mode {
+        Mode::Rules => {
+            println!("{}", report::rules_table());
+            Ok(ExitCode::SUCCESS)
+        }
+        Mode::SelfFuzz { iterations, seed } => {
+            let summary = fuzz::run(iterations, seed)?;
+            println!(
+                "self-fuzz ok: {} mutants, {} tokens, {} findings, worst mutant {}us (seed {seed})",
+                summary.iterations, summary.tokens, summary.findings, summary.worst_us
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Mode::Report => {
+            validate_root(&options.root)?;
+            let findings = scan_workspace(&options.root, &config)?;
+            for finding in &findings {
+                println!("{finding}");
+            }
+            let totals = report::totals(&findings);
+            if findings.is_empty() {
+                println!("no findings");
+                return Ok(ExitCode::SUCCESS);
+            }
+            let summary: Vec<String> = totals
+                .iter()
+                .map(|(rule, count)| format!("{rule}: {count}"))
+                .collect();
+            println!("\n{} findings ({})", findings.len(), summary.join(", "));
+            Ok(ExitCode::FAILURE)
+        }
+        Mode::Check => {
+            validate_root(&options.root)?;
+            let baseline_path = options
+                .baseline
+                .clone()
+                .unwrap_or_else(|| options.root.join(BASELINE_FILE));
+            let outcome = run_check(&options.root, &config, &baseline_path)?;
+            for finding in &outcome.bad_pragmas {
+                println!("{finding}");
+            }
+            for (delta, findings) in &outcome.regressions {
+                println!(
+                    "ratchet regression: {} `{}` went {} -> {} (baseline only ever tightens)",
+                    delta.file, delta.rule, delta.baseline, delta.current
+                );
+                for finding in findings {
+                    println!("  {finding}");
+                }
+            }
+            if !outcome.improvements.is_empty() {
+                let burned: u64 = outcome
+                    .improvements
+                    .iter()
+                    .map(|d| d.baseline - d.current)
+                    .sum();
+                println!(
+                    "note: {} finding(s) burned down across {} cell(s) — run `hypar-analyzer --bless` to tighten the baseline",
+                    burned,
+                    outcome.improvements.len()
+                );
+            }
+            if outcome.passed() {
+                println!(
+                    "check passed: {} finding(s) within the ratcheted baseline",
+                    outcome.total
+                );
+                Ok(ExitCode::SUCCESS)
+            } else {
+                println!(
+                    "check FAILED: {} regression cell(s), {} bad pragma(s)",
+                    outcome.regressions.len(),
+                    outcome.bad_pragmas.len()
+                );
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        Mode::Bless => {
+            validate_root(&options.root)?;
+            let baseline_path = options
+                .baseline
+                .clone()
+                .unwrap_or_else(|| options.root.join(BASELINE_FILE));
+            let counts = run_bless(&options.root, &config, &baseline_path)?;
+            let total = ratchet::total(&counts);
+            println!(
+                "blessed {} finding(s) across {} file(s) into {}",
+                total,
+                counts.values().filter(|rules| !rules.is_empty()).count(),
+                baseline_path.display()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}

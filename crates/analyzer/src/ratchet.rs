@@ -1,0 +1,445 @@
+//! The ratcheted baseline: existing debt is tolerated, new debt fails.
+//!
+//! `analyzer-baseline.json` records per-file-per-rule finding counts.
+//! `--check` fails only when a `(file, rule)` count *increases* over the
+//! baseline, so the gate lands without a 374-site cleanup PR while
+//! guaranteeing the debt curve is monotonically non-increasing;
+//! `--bless` rewrites the baseline to current counts (tightening it when
+//! debt was burned down) and is idempotent by construction — canonical
+//! key order, fixed formatting, trailing newline.
+//!
+//! The JSON reader/writer is specialized to this one schema (string
+//! keys, two levels of objects, unsigned counts) so the analyzer stays
+//! dependency-free.
+
+use std::collections::BTreeMap;
+
+use crate::report::Finding;
+
+/// `file → rule → count`, canonically ordered.
+pub type Counts = BTreeMap<String, BTreeMap<String, u64>>;
+
+/// Schema version written to the baseline file.
+pub const BASELINE_VERSION: u64 = 1;
+
+/// A parsed baseline file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Schema version (currently always [`BASELINE_VERSION`]).
+    pub version: u64,
+    /// Recorded per-file-per-rule counts.
+    pub counts: Counts,
+}
+
+/// Aggregates findings into per-file-per-rule counts.
+#[must_use]
+pub fn counts_of(findings: &[Finding]) -> Counts {
+    let mut counts = Counts::new();
+    for finding in findings {
+        *counts
+            .entry(finding.file.clone())
+            .or_default()
+            .entry(finding.rule.to_string())
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Sum of every count.
+#[must_use]
+pub fn total(counts: &Counts) -> u64 {
+    counts.values().flat_map(BTreeMap::values).sum()
+}
+
+/// One `(file, rule)` cell that moved relative to the baseline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delta {
+    /// Workspace-relative path.
+    pub file: String,
+    /// Rule id.
+    pub rule: String,
+    /// Count recorded in the baseline (0 when absent).
+    pub baseline: u64,
+    /// Count in the current tree.
+    pub current: u64,
+}
+
+/// Comparison of current counts against the baseline.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Comparison {
+    /// Cells where the current tree has *more* findings — these fail
+    /// the gate.
+    pub regressions: Vec<Delta>,
+    /// Cells where debt was burned down — `--bless` tightens these.
+    pub improvements: Vec<Delta>,
+}
+
+/// Diffs `current` against `baseline`, both directions.
+#[must_use]
+pub fn compare(current: &Counts, baseline: &Counts) -> Comparison {
+    let mut cells: BTreeMap<(&str, &str), (u64, u64)> = BTreeMap::new();
+    for (file, rules) in baseline {
+        for (rule, &count) in rules {
+            cells.entry((file, rule)).or_insert((0, 0)).0 = count;
+        }
+    }
+    for (file, rules) in current {
+        for (rule, &count) in rules {
+            cells.entry((file, rule)).or_insert((0, 0)).1 = count;
+        }
+    }
+    let mut comparison = Comparison::default();
+    for ((file, rule), (base, cur)) in cells {
+        let delta = Delta {
+            file: file.to_string(),
+            rule: rule.to_string(),
+            baseline: base,
+            current: cur,
+        };
+        match cur.cmp(&base) {
+            std::cmp::Ordering::Greater => comparison.regressions.push(delta),
+            std::cmp::Ordering::Less => comparison.improvements.push(delta),
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    comparison
+}
+
+// ---------------------------------------------------------------------
+// Canonical writer
+// ---------------------------------------------------------------------
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serializes a baseline canonically: sorted keys (`BTreeMap` order),
+/// two-space indent, trailing newline.  Blessing twice can never
+/// produce two different bytes.
+#[must_use]
+pub fn to_json(baseline: &Baseline) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"version\": {},\n", baseline.version));
+    out.push_str("  \"counts\": {");
+    let mut first_file = true;
+    for (file, rules) in &baseline.counts {
+        if rules.is_empty() {
+            continue;
+        }
+        if !first_file {
+            out.push(',');
+        }
+        first_file = false;
+        out.push_str(&format!("\n    {}: {{", escape(file)));
+        let mut first_rule = true;
+        for (rule, count) in rules {
+            if !first_rule {
+                out.push(',');
+            }
+            first_rule = false;
+            out.push_str(&format!("\n      {}: {}", escape(rule), count));
+        }
+        out.push_str("\n    }");
+    }
+    if !first_file {
+        out.push_str("\n  ");
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Minimal reader (exactly the schema the writer produces)
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    text: &'a str,
+}
+
+impl Reader<'_> {
+    fn err(&self, what: &str) -> String {
+        format!(
+            "baseline parse error at offset {}: {} (file: {} bytes)",
+            self.pos,
+            what,
+            self.text.len()
+        )
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .chars
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.chars.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{c}`")))
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.get(self.pos).copied() {
+                None => return Err(self.err("unterminated string")),
+                Some('"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    match self.chars.get(self.pos).copied() {
+                        Some('n') => out.push('\n'),
+                        Some('t') => out.push('\t'),
+                        Some(c @ ('"' | '\\' | '/')) => out.push(c),
+                        Some('u') => {
+                            let hex: String =
+                                self.chars.iter().skip(self.pos + 1).take(4).collect();
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.chars.get(self.pos).is_some_and(char::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected a count"));
+        }
+        let digits: String = self.chars[start..self.pos].iter().collect();
+        digits.parse().map_err(|_| self.err("count out of range"))
+    }
+
+    fn rule_counts(&mut self) -> Result<BTreeMap<String, u64>, String> {
+        self.eat('{')?;
+        let mut rules = BTreeMap::new();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(rules);
+        }
+        loop {
+            let rule = self.string()?;
+            self.eat(':')?;
+            rules.insert(rule, self.number()?);
+            match self.peek() {
+                Some(',') => self.pos += 1,
+                Some('}') => {
+                    self.pos += 1;
+                    return Ok(rules);
+                }
+                _ => return Err(self.err("expected `,` or `}` in rule counts")),
+            }
+        }
+    }
+}
+
+/// Parses a baseline file.  Accepts exactly the schema [`to_json`]
+/// writes (key order is not significant on read).
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut r = Reader {
+        chars: text.chars().collect(),
+        pos: 0,
+        text,
+    };
+    r.eat('{')?;
+    let mut baseline = Baseline {
+        version: 0,
+        counts: Counts::new(),
+    };
+    if r.peek() == Some('}') {
+        return Err(r.err("baseline must carry `version` and `counts`"));
+    }
+    loop {
+        let key = r.string()?;
+        r.eat(':')?;
+        match key.as_str() {
+            "version" => baseline.version = r.number()?,
+            "counts" => {
+                r.eat('{')?;
+                if r.peek() == Some('}') {
+                    r.pos += 1;
+                } else {
+                    loop {
+                        let file = r.string()?;
+                        r.eat(':')?;
+                        let rules = r.rule_counts()?;
+                        baseline.counts.insert(file, rules);
+                        match r.peek() {
+                            Some(',') => r.pos += 1,
+                            Some('}') => {
+                                r.pos += 1;
+                                break;
+                            }
+                            _ => return Err(r.err("expected `,` or `}` in counts")),
+                        }
+                    }
+                }
+            }
+            other => return Err(r.err(&format!("unknown baseline key `{other}`"))),
+        }
+        match r.peek() {
+            Some(',') => r.pos += 1,
+            Some('}') => {
+                r.pos += 1;
+                break;
+            }
+            _ => return Err(r.err("expected `,` or `}` at top level")),
+        }
+    }
+    if baseline.version != BASELINE_VERSION {
+        return Err(format!(
+            "baseline version {} is not the supported {} — regenerate with --bless",
+            baseline.version, BASELINE_VERSION
+        ));
+    }
+    Ok(baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(cells: &[(&str, &str, u64)]) -> Counts {
+        let mut counts = Counts::new();
+        for (file, rule, n) in cells {
+            counts
+                .entry((*file).to_string())
+                .or_default()
+                .insert((*rule).to_string(), *n);
+        }
+        counts
+    }
+
+    #[test]
+    fn round_trips_canonically() {
+        let baseline = Baseline {
+            version: BASELINE_VERSION,
+            counts: counts(&[
+                ("crates/engine/src/service.rs", "panic-path", 3),
+                ("crates/engine/src/service.rs", "lock-poison", 1),
+                ("crates/sim/src/training.rs", "panic-path", 12),
+            ]),
+        };
+        let text = to_json(&baseline);
+        let back = parse(&text).expect("round trip");
+        assert_eq!(back, baseline);
+        // Idempotent: serializing the parse is byte-identical.
+        assert_eq!(to_json(&back), text);
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_counts_round_trip() {
+        let baseline = Baseline {
+            version: BASELINE_VERSION,
+            counts: Counts::new(),
+        };
+        let text = to_json(&baseline);
+        assert_eq!(parse(&text).expect("empty"), baseline);
+    }
+
+    #[test]
+    fn version_mismatch_is_an_error() {
+        let text = "{\n  \"version\": 99,\n  \"counts\": {}\n}\n";
+        assert!(parse(text).expect_err("version").contains("version 99"));
+    }
+
+    #[test]
+    fn garbage_is_a_parse_error_not_a_panic() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            "[1,2]",
+            "{\"version\": \"x\"}",
+            "{\"counts\": 3}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn compare_finds_regressions_and_improvements() {
+        let baseline = counts(&[("a.rs", "panic-path", 2), ("b.rs", "panic-path", 1)]);
+        let current = counts(&[("a.rs", "panic-path", 3), ("c.rs", "det-float-eq", 1)]);
+        let cmp = compare(&current, &baseline);
+        assert_eq!(
+            cmp.regressions,
+            vec![
+                Delta {
+                    file: "a.rs".into(),
+                    rule: "panic-path".into(),
+                    baseline: 2,
+                    current: 3
+                },
+                Delta {
+                    file: "c.rs".into(),
+                    rule: "det-float-eq".into(),
+                    baseline: 0,
+                    current: 1
+                },
+            ]
+        );
+        assert_eq!(
+            cmp.improvements,
+            vec![Delta {
+                file: "b.rs".into(),
+                rule: "panic-path".into(),
+                baseline: 1,
+                current: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn equal_counts_are_clean() {
+        let same = counts(&[("a.rs", "panic-path", 2)]);
+        let cmp = compare(&same, &same.clone());
+        assert!(cmp.regressions.is_empty() && cmp.improvements.is_empty());
+    }
+}

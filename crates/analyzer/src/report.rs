@@ -1,0 +1,152 @@
+//! Findings and their `file:line: rule: message` presentation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The rule reference: `(id, what it catches, how to satisfy it)`.
+///
+/// Kept as data so `--rules`, the README table, and pragma validation
+/// all read from one place.
+pub const RULES: &[(&str, &str, &str)] = &[
+    (
+        "panic-path",
+        "`.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` in service-reachable code",
+        "return a typed error; the service must degrade to an error JSON, never abort",
+    ),
+    (
+        "lock-poison",
+        "`.lock().unwrap()` / `.lock().expect(` — propagates mutex poison, turning one panicked thread into an outage",
+        "recover with `unwrap_or_else(PoisonError::into_inner)` (the `PlanCache` pattern) or surface a typed error",
+    ),
+    (
+        "det-map-iter",
+        "`HashMap`/`HashSet` in a module that feeds fingerprints or `state_hash`es",
+        "use a `BTreeMap`, a sorted `Vec`, or the IR's canonical ordering",
+    ),
+    (
+        "det-float-eq",
+        "float `==`/`!=` comparison against a float literal",
+        "compare `to_bits()`, use an epsilon, or waive an exact-zero sentinel with a pragma",
+    ),
+    (
+        "det-wall-clock",
+        "`Instant::now`/`SystemTime` outside the telemetry/timing layer",
+        "thread time through telemetry, or waive a metrics-only site with a pragma",
+    ),
+    (
+        "bad-pragma",
+        "a `hypar-allow` pragma naming an unknown rule or carrying no justification",
+        "write `// hypar-allow: <rule> — <why this site is safe>`",
+    ),
+];
+
+/// True if `rule` is one of [`RULES`].
+#[must_use]
+pub fn known_rule(rule: &str) -> bool {
+    RULES.iter().any(|(id, _, _)| *id == rule)
+}
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative `/`-separated path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (one of [`RULES`]).
+    pub rule: &'static str,
+    /// What was found and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Sorts findings for stable output: by file, then line, then rule.
+pub fn sort(findings: &mut [Finding]) {
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+}
+
+/// Per-rule totals, sorted by rule id.
+#[must_use]
+pub fn totals(findings: &[Finding]) -> BTreeMap<&'static str, u64> {
+    let mut totals = BTreeMap::new();
+    for finding in findings {
+        *totals.entry(finding.rule).or_insert(0) += 1;
+    }
+    totals
+}
+
+/// The `--rules` reference table.
+#[must_use]
+pub fn rules_table() -> String {
+    let mut out = String::from("rules enforced by hypar-analyzer:\n");
+    for (id, what, fix) in RULES {
+        out.push_str(&format!(
+            "\n  {id}\n    catches: {what}\n    fix:     {fix}\n"
+        ));
+    }
+    out.push_str(
+        "\nwaivers: `// hypar-allow: <rule> — <justification>` on the offending \
+         line or the line above; unjustified pragmas are `bad-pragma` findings.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_clickable() {
+        let f = Finding {
+            file: "crates/engine/src/service.rs".into(),
+            line: 42,
+            rule: "panic-path",
+            message: "`.unwrap()` can abort the service".into(),
+        };
+        assert_eq!(
+            f.to_string(),
+            "crates/engine/src/service.rs:42: panic-path: `.unwrap()` can abort the service"
+        );
+    }
+
+    #[test]
+    fn every_rule_id_is_known() {
+        for (id, _, _) in RULES {
+            assert!(known_rule(id));
+        }
+        assert!(!known_rule("no-such-rule"));
+    }
+
+    #[test]
+    fn sort_orders_by_file_line_rule() {
+        let mk = |file: &str, line: u32, rule: &'static str| Finding {
+            file: file.into(),
+            line,
+            rule,
+            message: String::new(),
+        };
+        let mut findings = vec![
+            mk("b.rs", 1, "panic-path"),
+            mk("a.rs", 9, "panic-path"),
+            mk("a.rs", 2, "lock-poison"),
+        ];
+        sort(&mut findings);
+        assert_eq!(
+            findings
+                .iter()
+                .map(|f| (f.file.as_str(), f.line))
+                .collect::<Vec<_>>(),
+            vec![("a.rs", 2), ("a.rs", 9), ("b.rs", 1)]
+        );
+    }
+}

@@ -1,0 +1,505 @@
+//! Token-stream rules over a lexed file.
+//!
+//! Rules run on the comment- and literal-free token stream from
+//! [`crate::lexer`], with two layers of masking applied first:
+//!
+//! * **Test code is exempt** — any item under a `#[cfg(test)]` /
+//!   `#[test]` attribute (the attribute, plus the following braced block
+//!   or `;`-terminated item) is skipped.  Integration `tests/`
+//!   directories never reach the scanner at all.
+//! * **Waivers** — a justified `// hypar-allow: <rule> — <why>` pragma
+//!   on the finding's line or the line above suppresses it; pragmas
+//!   with an unknown rule or no justification become `bad-pragma`
+//!   findings instead of waiving anything.
+
+use crate::config::RuleSet;
+use crate::lexer::{Lexed, Pragma, Token, TokenKind};
+use crate::report::{known_rule, Finding};
+
+/// Runs every applicable rule over one lexed file.
+#[must_use]
+pub fn check_file(path: &str, lexed: &Lexed, rules: RuleSet) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    check_pragmas(path, &lexed.pragmas, &mut findings);
+    if rules.is_empty() {
+        return findings;
+    }
+    let tokens = &lexed.tokens;
+    let masked = test_mask(tokens);
+    let finding = |line: u32, rule: &'static str, message: String| Finding {
+        file: path.to_string(),
+        line,
+        rule,
+        message,
+    };
+
+    // `.lock().unwrap()` sites matched by lock-poison are excluded from
+    // panic-path so one defect is one finding.
+    let mut consumed = vec![false; tokens.len()];
+
+    for (i, &is_masked) in masked.iter().enumerate() {
+        if is_masked {
+            continue;
+        }
+        if rules.lock_poison {
+            if let Some((line, via)) = match_lock_poison(tokens, i) {
+                for slot in consumed.iter_mut().skip(i).take(6) {
+                    *slot = true;
+                }
+                findings.push(finding(
+                    line,
+                    "lock-poison",
+                    format!(
+                        "`.lock().{via}` propagates mutex poison; recover with \
+                         `unwrap_or_else(PoisonError::into_inner)` (the PlanCache \
+                         pattern) or return a typed error"
+                    ),
+                ));
+            }
+        }
+    }
+
+    for i in 0..tokens.len() {
+        if masked[i] || consumed[i] {
+            continue;
+        }
+        let tok = &tokens[i];
+        if rules.panic_path {
+            if let Some(msg) = match_panic_path(tokens, i) {
+                findings.push(finding(tok.line, "panic-path", msg));
+            }
+        }
+        if rules.det_map_iter && is_word(tok) && (tok.text == "HashMap" || tok.text == "HashSet") {
+            findings.push(finding(
+                tok.line,
+                "det-map-iter",
+                format!(
+                    "`{}` in a module that feeds fingerprints or state hashes; \
+                     iteration order is nondeterministic — use a BTreeMap, a \
+                     sorted Vec, or the IR's canonical ordering",
+                    tok.text
+                ),
+            ));
+        }
+        if rules.det_float_eq {
+            if let Some((line, op)) = match_float_eq(tokens, i) {
+                findings.push(finding(
+                    line,
+                    "det-float-eq",
+                    format!(
+                        "float `{op}` comparison; exact float equality drifts \
+                         under reordering — compare `to_bits()` or use an epsilon"
+                    ),
+                ));
+            }
+        }
+        if rules.det_wall_clock {
+            if let Some((line, what)) = match_wall_clock(tokens, i) {
+                findings.push(finding(
+                    line,
+                    "det-wall-clock",
+                    format!(
+                        "`{what}` outside the telemetry/timing layer; wall-clock \
+                         reads in planning paths break replayability"
+                    ),
+                ));
+            }
+        }
+    }
+
+    apply_pragmas(&lexed.pragmas, findings)
+}
+
+/// Ident or raw ident (`r#unwrap` behaves like `unwrap`).
+fn is_word(tok: &Token) -> bool {
+    matches!(tok.kind, TokenKind::Ident | TokenKind::RawIdent)
+}
+
+fn is_punct(tok: &Token, c: char) -> bool {
+    tok.kind == TokenKind::Punct && tok.text.len() == 1 && tok.text.starts_with(c)
+}
+
+/// `.unwrap()` / `.expect(` / panic-family macro at `i`.
+fn match_panic_path(tokens: &[Token], i: usize) -> Option<String> {
+    let tok = &tokens[i];
+    if !is_word(tok) {
+        return None;
+    }
+    match tok.text.as_str() {
+        "panic" | "unreachable" | "todo" | "unimplemented" => {
+            if tokens.get(i + 1).is_some_and(|t| is_punct(t, '!')) {
+                return Some(format!(
+                    "`{}!` aborts the service; degrade to a typed error instead",
+                    tok.text
+                ));
+            }
+            None
+        }
+        "unwrap" => {
+            let dotted = i > 0 && is_punct(&tokens[i - 1], '.');
+            let called = tokens.get(i + 1).is_some_and(|t| is_punct(t, '('))
+                && tokens.get(i + 2).is_some_and(|t| is_punct(t, ')'));
+            if dotted && called {
+                return Some("`.unwrap()` can abort the service; handle the None/Err arm".into());
+            }
+            None
+        }
+        "expect" => {
+            let dotted = i > 0 && is_punct(&tokens[i - 1], '.');
+            let called = tokens.get(i + 1).is_some_and(|t| is_punct(t, '('));
+            if dotted && called {
+                return Some("`.expect(..)` can abort the service; handle the None/Err arm".into());
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// `.lock().unwrap()` / `.lock().expect(` starting at `i` (the first
+/// `.`).  Returns the line of the unwrap/expect and its name.
+fn match_lock_poison(tokens: &[Token], i: usize) -> Option<(u32, &'static str)> {
+    if !is_punct(tokens.get(i)?, '.') {
+        return None;
+    }
+    let lock = tokens.get(i + 1)?;
+    if !(is_word(lock) && lock.text == "lock") {
+        return None;
+    }
+    if !(is_punct(tokens.get(i + 2)?, '(') && is_punct(tokens.get(i + 3)?, ')')) {
+        return None;
+    }
+    if !is_punct(tokens.get(i + 4)?, '.') {
+        return None;
+    }
+    let sink = tokens.get(i + 5)?;
+    if !is_word(sink) {
+        return None;
+    }
+    match sink.text.as_str() {
+        "unwrap" => Some((sink.line, "unwrap()")),
+        "expect" => Some((sink.line, "expect(..)")),
+        _ => None,
+    }
+}
+
+/// `==` / `!=` at `i` with a float literal on either side.
+fn match_float_eq(tokens: &[Token], i: usize) -> Option<(u32, &'static str)> {
+    let first = tokens.get(i)?;
+    let second = tokens.get(i + 1)?;
+    let op = if is_punct(first, '=') && is_punct(second, '=') {
+        "=="
+    } else if is_punct(first, '!') && is_punct(second, '=') {
+        "!="
+    } else {
+        return None;
+    };
+    // `a <= b` / `a >= b` lex as `<`,`=` / `>`,`=`: the pair above never
+    // matches them.  Guard the left side so `a = =` junk is not matched.
+    let lhs_float = i > 0 && tokens[i - 1].kind == TokenKind::Float;
+    let rhs_float = tokens
+        .get(i + 2)
+        .is_some_and(|t| t.kind == TokenKind::Float);
+    if lhs_float || rhs_float {
+        Some((first.line, op))
+    } else {
+        None
+    }
+}
+
+/// `Instant::now` or any `SystemTime` mention at `i`.
+fn match_wall_clock(tokens: &[Token], i: usize) -> Option<(u32, &'static str)> {
+    let tok = tokens.get(i)?;
+    if !is_word(tok) {
+        return None;
+    }
+    if tok.text == "SystemTime" {
+        return Some((tok.line, "SystemTime"));
+    }
+    if tok.text == "Instant"
+        && is_punct(tokens.get(i + 1)?, ':')
+        && is_punct(tokens.get(i + 2)?, ':')
+        && tokens
+            .get(i + 3)
+            .is_some_and(|t| is_word(t) && t.text == "now")
+    {
+        return Some((tok.line, "Instant::now"));
+    }
+    None
+}
+
+/// Marks every token belonging to a test-gated item: a `#[...]`
+/// attribute whose tokens include the ident `test` (covers `#[test]`,
+/// `#[cfg(test)]`, `#[cfg(any(test, ..))]`), plus any stacked
+/// attributes after it, plus the following item through its balanced
+/// `{...}` block or terminating `;`.
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut masked = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        let Some(attr_end) = attribute_at(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        let is_test = tokens[i..=attr_end]
+            .iter()
+            .any(|t| is_word(t) && t.text == "test");
+        if !is_test {
+            i = attr_end + 1;
+            continue;
+        }
+        // Stacked attributes: `#[cfg(test)] #[derive(..)] mod t { .. }`.
+        let mut j = attr_end + 1;
+        while let Some(end) = attribute_at(tokens, j) {
+            j = end + 1;
+        }
+        let item_end = item_end(tokens, j);
+        for slot in masked.iter_mut().take(item_end + 1).skip(i) {
+            *slot = true;
+        }
+        i = item_end + 1;
+    }
+    masked
+}
+
+/// If `#` `[` starts at `i`, the index of the matching `]`.
+fn attribute_at(tokens: &[Token], i: usize) -> Option<usize> {
+    if !(is_punct(tokens.get(i)?, '#') && is_punct(tokens.get(i + 1)?, '[')) {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (j, tok) in tokens.iter().enumerate().skip(i + 1) {
+        if is_punct(tok, '[') {
+            depth += 1;
+        } else if is_punct(tok, ']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    Some(tokens.len().saturating_sub(1))
+}
+
+/// The index closing the item starting at `from`: the `}` matching its
+/// first opening brace, or the first top-level `;` — whichever the item
+/// ends with.  Falls back to the last token on malformed input.
+fn item_end(tokens: &[Token], from: usize) -> usize {
+    let mut depth = 0usize;
+    for (j, tok) in tokens.iter().enumerate().skip(from) {
+        if is_punct(tok, '{') || is_punct(tok, '(') || is_punct(tok, '[') {
+            depth += 1;
+        } else if is_punct(tok, '}') || is_punct(tok, ')') || is_punct(tok, ']') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 && is_punct(tok, '}') {
+                return j;
+            }
+        } else if is_punct(tok, ';') && depth == 0 {
+            return j;
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Validates every pragma (unknown rule / missing justification →
+/// `bad-pragma`).
+fn check_pragmas(path: &str, pragmas: &[Pragma], findings: &mut Vec<Finding>) {
+    for pragma in pragmas {
+        let problem = if !known_rule(&pragma.rule) {
+            Some(format!(
+                "hypar-allow names unknown rule `{}` (see --rules)",
+                pragma.rule
+            ))
+        } else if pragma.justification.is_empty() {
+            Some(format!(
+                "hypar-allow for `{}` carries no justification; write \
+                 `hypar-allow: {} — <why this site is safe>`",
+                pragma.rule, pragma.rule
+            ))
+        } else {
+            None
+        };
+        if let Some(message) = problem {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: pragma.line,
+                rule: "bad-pragma",
+                message,
+            });
+        }
+    }
+}
+
+/// Drops findings waived by a *valid* pragma on the same line or the
+/// line above.  `bad-pragma` findings are never waivable.
+fn apply_pragmas(pragmas: &[Pragma], findings: Vec<Finding>) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .filter(|finding| {
+            if finding.rule == "bad-pragma" {
+                return true;
+            }
+            !pragmas.iter().any(|pragma| {
+                pragma.rule == finding.rule
+                    && !pragma.justification.is_empty()
+                    && known_rule(&pragma.rule)
+                    && (pragma.line == finding.line || pragma.line + 1 == finding.line)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(source: &str) -> Vec<Finding> {
+        check_file("test.rs", &lex(source), RuleSet::all())
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn flags_the_panic_family() {
+        let findings = run("fn f(x: Option<u8>) -> u8 {\n    \
+             if x.is_none() { panic!(\"no\") }\n    \
+             x.unwrap()\n}\n\
+             fn g() { unreachable!() }\n\
+             fn h(r: Result<u8, u8>) -> u8 { r.expect(\"msg\") }\n");
+        assert_eq!(
+            rules_of(&findings),
+            vec!["panic-path", "panic-path", "panic-path", "panic-path"]
+        );
+        assert_eq!(findings[0].line, 2);
+        assert_eq!(findings[1].line, 3);
+    }
+
+    #[test]
+    fn unwrap_without_receiver_dot_is_not_flagged() {
+        assert!(run("fn unwrap() {} fn caller() { unwrap(); }").is_empty());
+        assert!(run("let x = y.unwrap_or_else(f);").is_empty());
+        assert!(run("let x = y.unwrap_or(0);").is_empty());
+    }
+
+    #[test]
+    fn lock_poison_subsumes_the_unwrap() {
+        let findings = run("fn f(m: &Mutex<u8>) -> u8 { *m.lock().unwrap() }");
+        assert_eq!(rules_of(&findings), vec!["lock-poison"]);
+        let findings = run("fn f(m: &Mutex<u8>) -> u8 { *m.lock().expect(\"poisoned\") }");
+        assert_eq!(rules_of(&findings), vec!["lock-poison"]);
+        // The recovering idiom passes both rules.
+        assert!(run(
+            "fn f(m: &Mutex<u8>) -> u8 { *m.lock().unwrap_or_else(PoisonError::into_inner) }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn map_iter_flags_unordered_containers() {
+        let findings = run("use std::collections::HashMap;\nstruct S { m: HashSet<u8> }");
+        assert_eq!(rules_of(&findings), vec!["det-map-iter", "det-map-iter"]);
+        assert!(run("use std::collections::BTreeMap;").is_empty());
+    }
+
+    #[test]
+    fn float_eq_needs_a_float_literal_neighbor() {
+        assert_eq!(rules_of(&run("if x == 0.0 { }")), vec!["det-float-eq"]);
+        assert_eq!(rules_of(&run("if 1.5 != y { }")), vec!["det-float-eq"]);
+        assert!(run("if x <= 0.0 { }").is_empty(), "<= is ordering, not eq");
+        assert!(run("if x >= 1.5 { }").is_empty());
+        assert!(run("if a.to_bits() == b.to_bits() { }").is_empty());
+        assert!(run("if n == 0 { }").is_empty(), "integer equality is fine");
+    }
+
+    #[test]
+    fn wall_clock_patterns() {
+        assert_eq!(
+            rules_of(&run("let t = Instant::now();")),
+            vec!["det-wall-clock"]
+        );
+        assert_eq!(
+            rules_of(&run("let t = std::time::SystemTime::now();")),
+            vec!["det-wall-clock"]
+        );
+        assert!(run("let d = started.elapsed();").is_empty());
+        assert!(
+            run("struct S { started: Instant }").is_empty(),
+            "type mentions alone are not reads"
+        );
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt() {
+        let findings = run("fn live() { x.unwrap(); }\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); panic!(); }\n}\n\
+             #[test]\nfn one_test() { z.unwrap(); }\n\
+             fn live_too() { w.unwrap(); }\n");
+        assert_eq!(rules_of(&findings), vec!["panic-path", "panic-path"]);
+        assert_eq!(findings[0].line, 1);
+        assert_eq!(findings[1].line, 8);
+    }
+
+    #[test]
+    fn stacked_attributes_stay_exempt() {
+        let findings = run(
+            "#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn t() { x.unwrap(); } }\n\
+             fn live() { y.unwrap(); }\n",
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 4);
+    }
+
+    #[test]
+    fn justified_pragma_waives_same_line_and_next_line() {
+        assert!(run("// hypar-allow: det-wall-clock — latency metric only\n\
+             let t = Instant::now();\n")
+        .is_empty());
+        assert!(
+            run("let t = Instant::now(); // hypar-allow: det-wall-clock — metric\n").is_empty()
+        );
+        // The waiver is rule-specific.
+        let findings = run("// hypar-allow: det-wall-clock — metric\n\
+             let t = x.unwrap();\n");
+        assert_eq!(rules_of(&findings), vec!["panic-path"]);
+        // And line-specific: two lines below is out of range.
+        let findings = run("// hypar-allow: det-wall-clock — metric\n\
+             let a = 1;\n\
+             let t = Instant::now();\n");
+        assert_eq!(rules_of(&findings), vec!["det-wall-clock"]);
+    }
+
+    #[test]
+    fn unjustified_or_unknown_pragmas_are_findings_and_do_not_waive() {
+        let findings = run("// hypar-allow: det-wall-clock\n\
+             let t = Instant::now();\n");
+        assert_eq!(rules_of(&findings), vec!["bad-pragma", "det-wall-clock"]);
+
+        let findings = run("// hypar-allow: no-such-rule — reasons\n\
+             let t = Instant::now();\n");
+        assert_eq!(rules_of(&findings), vec!["bad-pragma", "det-wall-clock"]);
+    }
+
+    #[test]
+    fn comments_strings_and_chars_never_trip_rules() {
+        assert!(run("// x.unwrap() panic!()\n\
+             /* .lock().unwrap() /* nested */ */\n\
+             let s = \"x.unwrap()\";\n\
+             let r = r#\"panic!(\"inside\")\"#;\n\
+             let q = '\"';\n")
+        .is_empty());
+    }
+
+    #[test]
+    fn scoped_rulesets_only_fire_their_rules() {
+        let src = "let m = HashMap::new(); let t = Instant::now(); x.unwrap();";
+        let only_panic = RuleSet {
+            panic_path: true,
+            ..RuleSet::default()
+        };
+        let findings = check_file("f.rs", &lex(src), only_panic);
+        assert_eq!(rules_of(&findings), vec!["panic-path"]);
+    }
+}

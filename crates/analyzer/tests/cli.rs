@@ -1,0 +1,112 @@
+//! The `hypar-analyzer` binary itself: exit codes, `--rules`, the
+//! check against the committed baseline, `--bless` idempotency via the
+//! CLI, and the deterministic `--self-fuzz` smoke.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hypar-analyzer"))
+        .args(args)
+        .output()
+        .expect("spawn hypar-analyzer")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+#[test]
+fn rules_table_lists_every_rule() {
+    let output = run(&["--rules"]);
+    assert!(output.status.success());
+    let table = stdout(&output);
+    for rule in [
+        "panic-path",
+        "lock-poison",
+        "det-map-iter",
+        "det-float-eq",
+        "det-wall-clock",
+        "bad-pragma",
+    ] {
+        assert!(table.contains(rule), "--rules missing {rule}:\n{table}");
+    }
+}
+
+#[test]
+fn check_passes_against_the_committed_baseline() {
+    let root = repo_root();
+    let output = run(&["--check", "--root", root.to_str().expect("utf-8 root")]);
+    assert!(
+        output.status.success(),
+        "stdout:\n{}\nstderr:\n{}",
+        stdout(&output),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(stdout(&output).contains("check passed"));
+}
+
+#[test]
+fn unknown_flags_and_bad_roots_exit_2() {
+    let output = run(&["--no-such-flag"]);
+    assert_eq!(output.status.code(), Some(2));
+    let output = run(&["--check", "--root", "/definitely/not/a/workspace"]);
+    assert_eq!(output.status.code(), Some(2));
+    let output = run(&["--self-fuzz", "not-a-number"]);
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
+fn cli_bless_is_idempotent() {
+    let root = repo_root();
+    let scratch = root.join("target/analyzer-gate/cli-bless.json");
+    fs::create_dir_all(scratch.parent().expect("parent")).expect("mkdir scratch");
+    let scratch_str = scratch.to_str().expect("utf-8 scratch");
+    let root_str = root.to_str().expect("utf-8 root");
+
+    let output = run(&["--bless", "--root", root_str, "--baseline", scratch_str]);
+    assert!(output.status.success(), "{}", stdout(&output));
+    let first = fs::read_to_string(&scratch).expect("read blessed baseline");
+
+    let output = run(&["--bless", "--root", root_str, "--baseline", scratch_str]);
+    assert!(output.status.success());
+    let second = fs::read_to_string(&scratch).expect("re-read blessed baseline");
+    assert_eq!(first, second, "CLI bless must be byte-idempotent");
+
+    // And the freshly blessed file round-trips through --check.
+    let output = run(&["--check", "--root", root_str, "--baseline", scratch_str]);
+    assert!(output.status.success());
+    let _ = fs::remove_file(&scratch);
+}
+
+#[test]
+fn self_fuzz_is_deterministic_and_reports_its_seed() {
+    // Everything before the worst-mutant wall time is deterministic:
+    // mutant count, token total, finding total.
+    fn deterministic_prefix(output: &Output) -> String {
+        let text = stdout(output);
+        text.split("worst mutant")
+            .next()
+            .expect("summary")
+            .to_owned()
+    }
+    let first = run(&["--self-fuzz", "300", "--seed", "7"]);
+    assert!(first.status.success());
+    let second = run(&["--self-fuzz", "300", "--seed", "7"]);
+    assert_eq!(
+        deterministic_prefix(&first),
+        deterministic_prefix(&second),
+        "same seed, same mutants/tokens/findings"
+    );
+    assert!(stdout(&first).contains("self-fuzz ok"));
+    assert!(stdout(&first).contains("(seed 7)"));
+
+    let other = run(&["--self-fuzz", "300", "--seed", "8"]);
+    assert!(other.status.success());
+    assert!(stdout(&other).contains("(seed 8)"));
+}

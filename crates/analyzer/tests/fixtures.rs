@@ -1,0 +1,153 @@
+//! Fixture-driven checks: the lexer and rules run over the `.rs` files
+//! in `tests/fixtures/`, asserting findings by marker comments so the
+//! expectations survive fixture edits.
+
+use std::fs;
+use std::path::PathBuf;
+
+use hypar_analyzer::config::RuleSet;
+use hypar_analyzer::lexer::{self, TokenKind};
+use hypar_analyzer::report::Finding;
+use hypar_analyzer::rules;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// 1-based line of the first line containing `needle`.
+fn line_of(source: &str, needle: &str) -> u32 {
+    source
+        .lines()
+        .position(|l| l.contains(needle))
+        .map(|i| u32::try_from(i).unwrap() + 1)
+        .unwrap_or_else(|| panic!("marker `{needle}` not in fixture"))
+}
+
+fn check_all(source: &str) -> Vec<Finding> {
+    rules::check_file("fixture.rs", &lexer::lex(source), RuleSet::all())
+}
+
+#[test]
+fn lexer_edges_only_live_sites_are_found() {
+    let source = fixture("lexer_edges.rs");
+    let findings = check_all(&source);
+    let got: Vec<(&str, u32)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("lock-poison", line_of(&source, "MARK:live-lock")),
+            ("panic-path", line_of(&source, "MARK:live-unwrap")),
+        ],
+        "all findings: {findings:?}"
+    );
+}
+
+#[test]
+fn lexer_edges_token_shapes() {
+    let source = fixture("lexer_edges.rs");
+    let lexed = lexer::lex(&source);
+
+    // The nested block comment contributes no tokens at all: nothing on
+    // its line.
+    let comment_line = line_of(&source, "nested .unwrap()");
+    assert!(
+        lexed.tokens.iter().all(|t| t.line != comment_line),
+        "nested block comment leaked tokens"
+    );
+
+    // Raw strings of every fence width are single opaque tokens.
+    let raws: Vec<&str> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::RawStr)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(raws.len(), 4, "{raws:?}");
+    assert!(raws.iter().any(|t| t.contains("an inner raw")));
+    assert!(raws.iter().any(|t| t.contains("unreachable")));
+
+    // The `'"'` char literal is a Char token, not a string opener.
+    assert!(lexed
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokenKind::Char && t.text == "'\"'"));
+    // `'\''` and `'\n'` survive as chars too.
+    assert_eq!(
+        lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count(),
+        3
+    );
+    // `'a` ticks are lifetimes, never chars.
+    assert!(lexed
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+    assert!(lexed
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokenKind::Lifetime && t.text == "'static"));
+}
+
+#[test]
+fn pragma_fixture_waives_exactly_the_justified_adjacent_rule() {
+    let source = fixture("pragmas.rs");
+    let findings = check_all(&source);
+    let survivors: Vec<(&str, u32)> = findings
+        .iter()
+        .filter(|f| f.rule == "det-wall-clock")
+        .map(|f| (f.rule, f.line))
+        .collect();
+    assert_eq!(
+        survivors,
+        vec![
+            ("det-wall-clock", line_of(&source, "MARK:bare-survives")),
+            ("det-wall-clock", line_of(&source, "MARK:unknown-survives")),
+            ("det-wall-clock", line_of(&source, "MARK:doc-survives")),
+            (
+                "det-wall-clock",
+                line_of(&source, "MARK:wrong-rule-survives")
+            ),
+        ],
+        "all findings: {findings:?}"
+    );
+
+    // The bare and unknown-rule pragmas are findings themselves; the
+    // doc comment and the valid (if mistargeted) det-float-eq waiver
+    // are not.
+    let bare_line = source
+        .lines()
+        .position(|l| l.trim_end().ends_with("hypar-allow: det-wall-clock"))
+        .map(|i| u32::try_from(i).unwrap() + 1)
+        .expect("bare pragma line");
+    let bad: Vec<u32> = findings
+        .iter()
+        .filter(|f| f.rule == "bad-pragma")
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(
+        bad,
+        vec![bare_line, line_of(&source, "not-a-rule")],
+        "all findings: {findings:?}"
+    );
+}
+
+#[test]
+fn fixtures_lex_without_panicking_under_truncation() {
+    // Truncating a fixture at every char boundary exercises the
+    // unterminated-literal and half-token paths deterministically.
+    for name in ["lexer_edges.rs", "pragmas.rs"] {
+        let source = fixture(name);
+        let chars: Vec<char> = source.chars().collect();
+        for cut in 0..=chars.len() {
+            let prefix: String = chars[..cut].iter().collect();
+            let lexed = lexer::lex(&prefix);
+            assert!(lexed.tokens.len() <= cut + 1, "{name} cut at {cut}");
+        }
+    }
+}

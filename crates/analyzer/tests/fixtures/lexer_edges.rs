@@ -1,0 +1,32 @@
+// Lexer edge cases the rules must see through: everything inside
+// comments, raw strings, and char literals is dead text, while the two
+// live sites at the bottom must still be found.  This file is a test
+// fixture — it is never compiled and never scanned by the workspace
+// walk (`tests/` and `fixtures/` are skip-dirs).
+
+/* outer /* nested .unwrap() */ still a comment panic!("no") */
+
+fn raw_fences() -> &'static str {
+    let plain = r"plain raw .unwrap()";
+    let one = r#"one fence panic!("x") and a "quoted" stretch"#;
+    let two = r##"two fences holding r#"an inner raw"# and .lock().unwrap()"##;
+    let byte = br#"byte raw unreachable!()"#;
+    let _ = (plain, two, byte);
+    one
+}
+
+fn chars_and_lifetimes<'a>(x: &'a str) -> char {
+    let quote = '"';
+    let tick = '\'';
+    let newline = '\n';
+    let _: &'a str = x;
+    quote.max(tick).max(newline)
+}
+
+fn live_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap() // MARK:live-unwrap
+}
+
+fn live_lock(m: &std::sync::Mutex<u8>) -> u8 {
+    *m.lock().unwrap() // MARK:live-lock
+}

@@ -1,0 +1,33 @@
+// Pragma semantics: a justified `hypar-allow` waives its rule on the
+// same line or the line below; a bare or unknown-rule pragma waives
+// nothing and is itself a `bad-pragma` finding; doc comments are
+// documentation, never waivers.
+
+fn waived_above() {
+    // hypar-allow: det-wall-clock — fixture: justified waiver on the line above
+    let _t = Instant::now();
+}
+
+fn waived_same_line() {
+    let _t = Instant::now(); // hypar-allow: det-wall-clock — fixture: same-line waiver
+}
+
+fn bare_pragma() {
+    // hypar-allow: det-wall-clock
+    let _t = Instant::now(); // MARK:bare-survives
+}
+
+fn unknown_rule() {
+    // hypar-allow: not-a-rule — the justification is present but the rule is unknown
+    let _t = Instant::now(); // MARK:unknown-survives
+}
+
+/// hypar-allow: det-wall-clock — doc comments can quote the syntax freely
+fn doc_comment_is_not_a_pragma() {
+    let _t = Instant::now(); // MARK:doc-survives
+}
+
+fn wrong_rule_does_not_waive() {
+    // hypar-allow: det-float-eq — fixture: waiver names a different rule
+    let _t = Instant::now(); // MARK:wrong-rule-survives
+}

@@ -1,0 +1,150 @@
+//! The ratchet gate end to end, against a synthetic mini-workspace: a
+//! blessed tree passes, injecting a fresh `.unwrap()` into
+//! `crates/engine/src/service.rs` fails the check naming that exact
+//! cell, burning a finding down passes and reports the improvement, and
+//! `--bless` is idempotent.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use hypar_analyzer::config::Config;
+use hypar_analyzer::{run_bless, run_check, scan_workspace, validate_root};
+
+const CLEAN_SERVICE: &str = "\
+pub fn serve(x: Option<u8>) -> Result<u8, String> {
+    x.ok_or_else(|| \"empty\".to_string())
+}
+";
+
+const DIRTY_SERVICE: &str = "\
+pub fn serve(x: Option<u8>) -> Result<u8, String> {
+    Ok(x.unwrap())
+}
+";
+
+/// A scratch workspace under the target dir (always writable, cleaned
+/// up by `cargo clean`), unique per test so they can run in parallel.
+struct MiniWorkspace {
+    root: PathBuf,
+}
+
+impl MiniWorkspace {
+    fn new(test: &str, service_source: &str) -> Self {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/analyzer-gate")
+            .join(test);
+        let _ = fs::remove_dir_all(&root);
+        let src = root.join("crates/engine/src");
+        fs::create_dir_all(&src).expect("mkdir mini-workspace");
+        fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write Cargo.toml");
+        fs::write(src.join("service.rs"), service_source).expect("write service.rs");
+        MiniWorkspace { root }
+    }
+
+    fn baseline(&self) -> PathBuf {
+        self.root.join("analyzer-baseline.json")
+    }
+
+    fn write_service(&self, source: &str) {
+        fs::write(self.root.join("crates/engine/src/service.rs"), source)
+            .expect("rewrite service.rs");
+    }
+}
+
+impl Drop for MiniWorkspace {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn injected_unwrap_in_service_rs_fails_the_check() {
+    let ws = MiniWorkspace::new("inject", CLEAN_SERVICE);
+    let config = Config::default();
+    validate_root(&ws.root).expect("mini-workspace looks like a root");
+
+    let counts = run_bless(&ws.root, &config, &ws.baseline()).expect("bless clean tree");
+    assert!(counts.is_empty(), "clean tree blesses to zero: {counts:?}");
+    let outcome = run_check(&ws.root, &config, &ws.baseline()).expect("check clean tree");
+    assert!(outcome.passed());
+    assert_eq!(outcome.total, 0);
+
+    // The acceptance scenario: a fresh `.unwrap()` lands in the service.
+    ws.write_service(DIRTY_SERVICE);
+    let outcome = run_check(&ws.root, &config, &ws.baseline()).expect("check dirty tree");
+    assert!(!outcome.passed(), "new unwrap must fail the ratchet");
+    assert_eq!(outcome.regressions.len(), 1);
+    let (delta, findings) = &outcome.regressions[0];
+    assert_eq!(delta.file, "crates/engine/src/service.rs");
+    assert_eq!(delta.rule, "panic-path");
+    assert_eq!((delta.baseline, delta.current), (0, 1));
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].line, 2);
+}
+
+#[test]
+fn burn_down_passes_and_reports_the_improvement() {
+    let ws = MiniWorkspace::new("burndown", DIRTY_SERVICE);
+    let config = Config::default();
+    run_bless(&ws.root, &config, &ws.baseline()).expect("bless dirty tree");
+
+    // Fixing the unwrap is always allowed and surfaces as an
+    // improvement the caller can bless away.
+    ws.write_service(CLEAN_SERVICE);
+    let outcome = run_check(&ws.root, &config, &ws.baseline()).expect("check fixed tree");
+    assert!(outcome.passed(), "burning down debt never fails the gate");
+    assert_eq!(outcome.improvements.len(), 1);
+    assert_eq!(outcome.improvements[0].file, "crates/engine/src/service.rs");
+    assert_eq!(
+        (
+            outcome.improvements[0].baseline,
+            outcome.improvements[0].current
+        ),
+        (1, 0)
+    );
+}
+
+#[test]
+fn bless_is_idempotent_and_canonical() {
+    let ws = MiniWorkspace::new("idempotent", DIRTY_SERVICE);
+    let config = Config::default();
+    run_bless(&ws.root, &config, &ws.baseline()).expect("first bless");
+    let first = fs::read_to_string(ws.baseline()).expect("read baseline");
+    run_bless(&ws.root, &config, &ws.baseline()).expect("second bless");
+    let second = fs::read_to_string(ws.baseline()).expect("re-read baseline");
+    assert_eq!(first, second, "bless must be byte-idempotent");
+    assert!(first.ends_with('\n'), "canonical form ends with newline");
+}
+
+#[test]
+fn bad_pragma_fails_check_and_blocks_bless() {
+    let ws = MiniWorkspace::new(
+        "badpragma",
+        "\
+pub fn serve() {
+    // hypar-allow: panic-path
+    let _ = ();
+}
+",
+    );
+    let config = Config::default();
+    let err = run_bless(&ws.root, &config, &ws.baseline()).expect_err("bless must refuse");
+    assert!(err.contains("refusing to bless"), "{err}");
+
+    // Even a baseline that tolerated it cannot make check pass.
+    fs::write(ws.baseline(), "{\n  \"version\": 1,\n  \"counts\": {}\n}\n")
+        .expect("write empty baseline");
+    let outcome = run_check(&ws.root, &config, &ws.baseline()).expect("check runs");
+    assert!(!outcome.passed(), "bad pragmas always fail the gate");
+    assert_eq!(outcome.bad_pragmas.len(), 1);
+}
+
+#[test]
+fn missing_scan_roots_are_skipped_not_errors() {
+    // The mini-workspace has only crates/engine; every other configured
+    // root must be silently absent.
+    let ws = MiniWorkspace::new("sparse", CLEAN_SERVICE);
+    let findings = scan_workspace(&ws.root, &Config::default()).expect("scan sparse tree");
+    assert!(findings.is_empty(), "{findings:?}");
+    assert!(validate_root(Path::new("/")).is_err());
+}

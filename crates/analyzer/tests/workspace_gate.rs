@@ -1,0 +1,62 @@
+//! The analyzer against the real tree: the committed baseline must
+//! pass, and the invariants this PR established must hold — the engine
+//! crate carries zero panic-path debt, and every determinism rule is
+//! clean workspace-wide (waived sites carry justified pragmas).
+
+use std::path::PathBuf;
+
+use hypar_analyzer::config::Config;
+use hypar_analyzer::{run_check, scan_workspace, validate_root, BASELINE_FILE};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn committed_baseline_gates_the_real_tree() {
+    let root = repo_root();
+    validate_root(&root).expect("repo root");
+    let outcome = run_check(&root, &Config::default(), &root.join(BASELINE_FILE))
+        .expect("check against committed baseline");
+    assert!(
+        outcome.passed(),
+        "the committed analyzer-baseline.json must gate the tree: \
+         {} regression cell(s), {} bad pragma(s)",
+        outcome.regressions.len(),
+        outcome.bad_pragmas.len()
+    );
+}
+
+#[test]
+fn engine_crate_has_no_panic_path_debt() {
+    // PR invariant: the service-facing crate was burned down to zero;
+    // the ratchet keeps it there, this test documents it.
+    let findings = scan_workspace(&repo_root(), &Config::default()).expect("scan");
+    let engine: Vec<String> = findings
+        .iter()
+        .filter(|f| f.file.starts_with("crates/engine/"))
+        .map(ToString::to_string)
+        .collect();
+    assert!(engine.is_empty(), "engine findings: {engine:#?}");
+}
+
+#[test]
+fn determinism_rules_are_clean_workspace_wide() {
+    // Satellite triage outcome, pinned: no unordered containers in
+    // hashed paths (det-map-iter == 0), and every float-eq /
+    // wall-clock site either uses to_bits/elapsed idioms or carries a
+    // justified pragma.
+    let findings = scan_workspace(&repo_root(), &Config::default()).expect("scan");
+    let det: Vec<String> = findings
+        .iter()
+        .filter(|f| f.rule.starts_with("det-"))
+        .map(ToString::to_string)
+        .collect();
+    assert!(det.is_empty(), "determinism findings: {det:#?}");
+    let poison: Vec<String> = findings
+        .iter()
+        .filter(|f| f.rule == "lock-poison" || f.rule == "bad-pragma")
+        .map(ToString::to_string)
+        .collect();
+    assert!(poison.is_empty(), "poison/pragma findings: {poison:#?}");
+}

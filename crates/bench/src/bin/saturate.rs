@@ -131,6 +131,7 @@ fn run_batch(engine: &PlanEngine, requests: &[PlanRequest], mode: &str) -> RunRe
         (t.elapsed().as_secs_f64() * 1e3, response.state_hash)
     });
     let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    let timed = timed.expect("no benchmark worker panicked");
     let (samples, hashes) = timed.into_iter().unzip();
     record(
         mode,

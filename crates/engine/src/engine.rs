@@ -45,6 +45,9 @@ pub enum EngineError {
     /// The request combined options inconsistently (e.g. `explicit`
     /// without assignments, or an oversized exhaustive search).
     InvalidRequest(String),
+    /// A planner worker thread panicked; the batch degraded to
+    /// per-request errors instead of aborting the service.
+    WorkerPanicked,
 }
 
 impl fmt::Display for EngineError {
@@ -58,6 +61,10 @@ impl fmt::Display for EngineError {
             ),
             EngineError::InvalidNetwork(msg) => write!(f, "invalid network: {msg}"),
             EngineError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            EngineError::WorkerPanicked => write!(
+                f,
+                "internal: a planner worker thread panicked; the request was abandoned"
+            ),
         }
     }
 }
@@ -153,6 +160,7 @@ impl PlanEngine {
             response.cache_hit = true;
             return Ok(response);
         }
+        // hypar-allow: det-wall-clock — compute-latency metric; recorded to telemetry, never folded into fingerprints or state hashes
         let compute_started = std::time::Instant::now();
         let response =
             root.time_in("compute", |span| resolved.compute(key, span, &self.metrics))?;
@@ -170,7 +178,14 @@ impl PlanEngine {
     /// serially, except for the `cache_hit` flag on *duplicate* requests
     /// within one batch (which depends on scheduling).
     pub fn plan_many(&self, requests: &[PlanRequest]) -> Vec<Result<PlanResponse, EngineError>> {
-        parallel::map(requests, |request| self.plan(request))
+        parallel::map(requests, |request| self.plan(request)).unwrap_or_else(|_| {
+            // A panicked worker costs the batch typed errors, not the
+            // process: the service keeps answering.
+            requests
+                .iter()
+                .map(|_| Err(EngineError::WorkerPanicked))
+                .collect()
+        })
     }
 
     /// Cache hit/miss counters and occupancy.
@@ -420,12 +435,13 @@ impl Resolved {
         // concurrently, so per-segment child spans would overlap).
         let plan_segments = |span: &mut SpanRecorder,
                              plan_one: fn(&NetworkCommTensors, usize) -> HierarchicalPlan|
-         -> Vec<HierarchicalPlan> {
+         -> Result<Vec<HierarchicalPlan>, EngineError> {
             let segments = graph.segments();
             metrics.segments_planned.add(segments.len() as u64);
             span.time_in("plan_segments", |s| {
                 s.counter("segments", segments.len() as u64);
                 parallel::map(segments, |segment| plan_one(segment, self.levels))
+                    .map_err(|_| EngineError::WorkerPanicked)
             })
         };
         let plan_one: fn(&NetworkCommTensors, usize) -> HierarchicalPlan = match self.strategy {
@@ -437,7 +453,7 @@ impl Resolved {
                 // The junction-aware pass: stitched seed, then
                 // whole-graph coordinate descent.  Segments still fan out
                 // across the pool for the seed.
-                let plans = plan_segments(span, hierarchical::partition);
+                let plans = plan_segments(span, hierarchical::partition)?;
                 let stitched = span
                     .time("stitch", || hypar_graph::stitch(graph, &plans))
                     .map_err(graph_failed)?;
@@ -488,7 +504,7 @@ impl Resolved {
                 ));
             }
         };
-        let plans = plan_segments(span, plan_one);
+        let plans = plan_segments(span, plan_one)?;
         span.time("stitch", || hypar_graph::stitch(graph, &plans))
             .map_err(graph_failed)
     }

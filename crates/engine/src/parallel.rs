@@ -5,22 +5,44 @@
 //! contiguous chunk per available core and results are reassembled in
 //! input order, which keeps [`crate::PlanEngine::plan_many`]
 //! deterministic.
+//!
+//! A panicking worker **degrades to a typed [`WorkerPanic`] error**
+//! instead of re-panicking in the caller: one buggy planner input must
+//! cost its batch an error reply, never the service process.
 
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
 use std::thread;
+
+/// A worker thread (or the serial fallback closure) panicked; the whole
+/// map is abandoned and the caller decides how to degrade.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerPanic;
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a parallel map worker panicked")
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
 
 /// Applies `f` to every item, in parallel, preserving input order.
 ///
 /// Falls back to a serial loop for small inputs or single-core hosts.
-///
-/// # Panics
-///
-/// Propagates a panic from any worker thread.
-pub fn map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+/// A panic in `f` — on any thread, serial path included — is captured
+/// and surfaced as `Err(WorkerPanic)`; every worker is still joined, so
+/// no thread outlives the call.
+pub fn map<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Result<Vec<R>, WorkerPanic> {
     let workers = thread::available_parallelism()
         .map_or(1, usize::from)
         .min(items.len());
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        return panic::catch_unwind(AssertUnwindSafe(|| items.iter().map(&f).collect()))
+            .map_err(|_| WorkerPanic);
     }
     let chunk_len = items.len().div_ceil(workers);
     let f = &f;
@@ -29,10 +51,21 @@ pub fn map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> 
             .chunks(chunk_len)
             .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|handle| handle.join().expect("parallel map worker panicked"))
-            .collect()
+        // Join every handle before returning: an early return would let
+        // `scope` auto-join a panicked straggler and re-raise its panic.
+        let mut out = Vec::with_capacity(items.len());
+        let mut panicked = false;
+        for handle in handles {
+            match handle.join() {
+                Ok(chunk) => out.extend(chunk),
+                Err(_) => panicked = true,
+            }
+        }
+        if panicked {
+            Err(WorkerPanic)
+        } else {
+            Ok(out)
+        }
     })
 }
 
@@ -43,28 +76,61 @@ mod tests {
     #[test]
     fn preserves_order() {
         let items: Vec<u64> = (0..1000).collect();
-        let doubled = map(&items, |n| n * 2);
+        let doubled = map(&items, |n| n * 2).expect("no worker panics");
         assert_eq!(doubled, (0..1000).map(|n| n * 2).collect::<Vec<_>>());
     }
 
     #[test]
     fn handles_empty_and_single() {
-        assert_eq!(map(&[] as &[u64], |n| *n), Vec::<u64>::new());
-        assert_eq!(map(&[7u64], |n| n + 1), vec![8]);
+        assert_eq!(map(&[] as &[u64], |n| *n), Ok(Vec::<u64>::new()));
+        assert_eq!(map(&[7u64], |n| n + 1), Ok(vec![8]));
     }
 
     #[test]
     fn actually_runs_on_multiple_threads_when_available() {
-        use std::collections::HashSet;
-        use std::sync::Mutex;
-        let seen = Mutex::new(HashSet::new());
+        use std::collections::BTreeSet;
+        use std::sync::{Mutex, PoisonError};
+        let seen = Mutex::new(BTreeSet::new());
         let items: Vec<u64> = (0..256).collect();
         let _ = map(&items, |_| {
-            seen.lock().unwrap().insert(thread::current().id());
+            seen.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(format!("{:?}", thread::current().id()));
         });
-        let threads = seen.lock().unwrap().len();
+        let threads = seen.lock().unwrap_or_else(PoisonError::into_inner).len();
         if thread::available_parallelism().map_or(1, usize::from) > 1 {
             assert!(threads > 1, "expected fan-out, saw {threads} thread(s)");
         }
+    }
+
+    #[test]
+    fn worker_panic_degrades_to_a_typed_error() {
+        // Silence the default hook: the panics below are deliberate.
+        let hook = panic::take_hook();
+        panic::set_hook(Box::new(|_| {}));
+        let items: Vec<u64> = (0..64).collect();
+        let result = map(&items, |n| {
+            assert!(*n != 13, "boom");
+            *n
+        });
+        // Several chunks may panic (13 plus nothing else): every worker
+        // is joined and the call still returns the typed error.
+        let multi = map(&items, |n| {
+            assert!(n % 7 != 0, "boom everywhere");
+            *n
+        });
+        panic::set_hook(hook);
+        assert_eq!(result, Err(WorkerPanic));
+        assert_eq!(multi, Err(WorkerPanic));
+        assert_eq!(WorkerPanic.to_string(), "a parallel map worker panicked");
+    }
+
+    #[test]
+    fn serial_path_panic_is_also_typed() {
+        let hook = panic::take_hook();
+        panic::set_hook(Box::new(|_| {}));
+        let result = map(&[1u64], |_| -> u64 { panic!("serial boom") });
+        panic::set_hook(hook);
+        assert_eq!(result, Err(WorkerPanic));
     }
 }

@@ -226,6 +226,7 @@ impl fmt::Display for ScenarioReport {
                         r.batch,
                         // An H0 plan reports an exact zero that may carry a
                         // negative sign; normalize it for display.
+                        // hypar-allow: det-float-eq — exact-zero sentinel for display normalization; -0.0 compares equal on purpose
                         if r.total_comm_elems == 0.0 {
                             0.0
                         } else {
@@ -320,9 +321,19 @@ pub fn record_report(
 pub fn run(engine: &PlanEngine, scenario: &Scenario) -> ScenarioReport {
     let before = engine.cache_stats();
     let results = parallel::map(&scenario.requests, |request| {
+        // hypar-allow: det-wall-clock — per-request latency metric; feeds the report's percentiles, never a fingerprint or state hash
         let started = Instant::now();
         let result = engine.plan(request);
         (result, started.elapsed().as_secs_f64() * 1e3)
+    })
+    .unwrap_or_else(|_| {
+        // A panicked worker degrades the whole run to per-request
+        // errors; the scenario report still renders.
+        scenario
+            .requests
+            .iter()
+            .map(|_| (Err(crate::EngineError::WorkerPanicked), 0.0))
+            .collect()
     });
     let entries: Vec<ScenarioEntry> = results
         .into_iter()

@@ -538,6 +538,7 @@ impl<'a> Builder<'a> {
             deps
         };
         let join_elems: f64 = incoming.iter().map(|e| e.join_elems).sum();
+        // hypar-allow: det-float-eq — exact-zero skip: a join stage is only scheduled when traffic exists, and absent traffic is an exact 0.0 sum
         if !self.cfg.join_compute || join_elems == 0.0 {
             return entry;
         }
