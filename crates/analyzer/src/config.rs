@@ -4,8 +4,11 @@
 //! `/`-separated).  The defaults encode this workspace's invariants:
 //! panic-path and poison-safety discipline in every service-reachable
 //! crate, determinism rules in the crates whose outputs feed
-//! fingerprints or `state_hash`es, and a wall-clock carve-out for the
-//! telemetry layer (whose whole job is timing).
+//! fingerprints or `state_hash`es, a wall-clock carve-out for the
+//! telemetry layer (whose whole job is timing), truncation-cast scope
+//! over comm byte math and the cost/fingerprint paths, and a relaxed
+//! profile for `examples/` (panics are fine in a demo; silently
+//! swallowed `Result`s are not — examples are documentation).
 
 /// Crates whose code can be reached from a `PlanRequest`: a panic here
 /// aborts the service instead of degrading to an error JSON.
@@ -49,6 +52,19 @@ pub const HASHED_PATHS: &[&str] = &[
 /// Paths where `Instant::now`/`SystemTime` are the point, not a hazard.
 pub const CLOCK_ALLOWED: &[&str] = &["crates/telemetry/src/"];
 
+/// Paths in `cast-truncate` scope: comm byte math plus the cost and
+/// fingerprint paths of `graph`/`core`, where a truncated count
+/// silently corrupts plan costs or state hashes.
+pub const CAST_PATHS: &[&str] = &[
+    "crates/comm/src/",
+    "crates/core/src/",
+    "crates/graph/src/dag.rs",
+    "crates/graph/src/exhaustive.rs",
+    "crates/graph/src/plan.rs",
+    "crates/graph/src/refine.rs",
+    "crates/graph/src/segments.rs",
+];
+
 /// Resolved rule applicability for one file.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RuleSet {
@@ -62,6 +78,12 @@ pub struct RuleSet {
     pub det_float_eq: bool,
     /// `det-wall-clock`: `Instant::now`/`SystemTime` forbidden.
     pub det_wall_clock: bool,
+    /// `err-swallow`: discarded `Result` values forbidden.
+    pub err_swallow: bool,
+    /// `cast-truncate`: narrowing `as` casts forbidden (cast paths).
+    pub cast_truncate: bool,
+    /// `lock-scope`: lock guards held across planning calls forbidden.
+    pub lock_scope: bool,
 }
 
 impl RuleSet {
@@ -74,6 +96,9 @@ impl RuleSet {
             det_map_iter: true,
             det_float_eq: true,
             det_wall_clock: true,
+            err_swallow: true,
+            cast_truncate: true,
+            lock_scope: true,
         }
     }
 
@@ -95,6 +120,8 @@ pub struct Config {
     pub hashed_paths: Vec<String>,
     /// Path prefixes exempt from `det-wall-clock`.
     pub clock_allowed: Vec<String>,
+    /// Path prefixes in `cast-truncate` scope.
+    pub cast_paths: Vec<String>,
 }
 
 impl Default for Config {
@@ -105,12 +132,15 @@ impl Default for Config {
             det_crates: own(DET_CRATES),
             hashed_paths: own(HASHED_PATHS),
             clock_allowed: own(CLOCK_ALLOWED),
+            cast_paths: own(CAST_PATHS),
         }
     }
 }
 
 impl Config {
-    /// The `crates/<name>/src` directories to walk, in sorted order.
+    /// The directories to walk, in sorted order: every configured
+    /// `crates/<name>/src`, plus the root facade `src/` and
+    /// `examples/`.
     #[must_use]
     pub fn scan_roots(&self) -> Vec<String> {
         let mut names: Vec<&str> = self
@@ -121,21 +151,35 @@ impl Config {
             .collect();
         names.sort_unstable();
         names.dedup();
-        names
+        let mut roots: Vec<String> = names
             .into_iter()
             .map(|name| format!("crates/{name}/src"))
-            .collect()
+            .collect();
+        roots.push("examples".to_string());
+        roots.push("src".to_string());
+        roots.sort();
+        roots
     }
 
     /// Which rules apply to the file at workspace-relative `path`.
     #[must_use]
     pub fn rules_for(&self, path: &str) -> RuleSet {
+        // The root facade re-exports the service crates: full service +
+        // determinism profile.  Examples are documentation: panicking
+        // on bad demo input is fine, silently dropping a Result is not.
+        if path.starts_with("examples/") {
+            return RuleSet {
+                err_swallow: true,
+                ..RuleSet::default()
+            };
+        }
+        let facade = path.starts_with("src/");
         let crate_of = path
             .strip_prefix("crates/")
             .and_then(|rest| rest.split('/').next())
             .unwrap_or("");
-        let service = self.service_crates.iter().any(|c| c == crate_of);
-        let det = self.det_crates.iter().any(|c| c == crate_of);
+        let service = facade || self.service_crates.iter().any(|c| c == crate_of);
+        let det = facade || self.det_crates.iter().any(|c| c == crate_of);
         let hashed = self
             .hashed_paths
             .iter()
@@ -144,12 +188,16 @@ impl Config {
             .clock_allowed
             .iter()
             .any(|p| path.starts_with(p.as_str()));
+        let casts = self.cast_paths.iter().any(|p| path.starts_with(p.as_str()));
         RuleSet {
             panic_path: service,
             lock_poison: service,
             det_map_iter: det && hashed,
             det_float_eq: det,
             det_wall_clock: det && !clock_ok,
+            err_swallow: service,
+            cast_truncate: casts,
+            lock_scope: service,
         }
     }
 }
@@ -163,7 +211,9 @@ mod tests {
         let cfg = Config::default();
         let engine = cfg.rules_for("crates/engine/src/service.rs");
         assert!(engine.panic_path && engine.lock_poison && engine.det_wall_clock);
+        assert!(engine.err_swallow && engine.lock_scope);
         assert!(!engine.det_map_iter, "service.rs is not a hashed path");
+        assert!(!engine.cast_truncate, "engine is not in cast scope");
 
         let fp = cfg.rules_for("crates/engine/src/fingerprint.rs");
         assert!(fp.det_map_iter, "fingerprint.rs feeds the cache key");
@@ -180,7 +230,37 @@ mod tests {
     }
 
     #[test]
-    fn scan_roots_are_sorted_and_deduped() {
+    fn cast_scope_covers_comm_core_and_graph_cost_paths() {
+        let cfg = Config::default();
+        assert!(cfg.rules_for("crates/comm/src/model.rs").cast_truncate);
+        assert!(cfg.rules_for("crates/core/src/sweep.rs").cast_truncate);
+        assert!(cfg.rules_for("crates/graph/src/dag.rs").cast_truncate);
+        assert!(cfg.rules_for("crates/graph/src/segments.rs").cast_truncate);
+        assert!(
+            !cfg.rules_for("crates/graph/src/zoo.rs").cast_truncate,
+            "the model zoo is not a cost path"
+        );
+        assert!(!cfg.rules_for("crates/engine/src/service.rs").cast_truncate);
+    }
+
+    #[test]
+    fn facade_and_examples_have_their_own_profiles() {
+        let cfg = Config::default();
+        let facade = cfg.rules_for("src/lib.rs");
+        assert!(facade.panic_path && facade.err_swallow && facade.det_float_eq);
+        assert!(!facade.cast_truncate);
+
+        let example = cfg.rules_for("examples/plan_resnet.rs");
+        assert!(example.err_swallow, "examples must not swallow Results");
+        assert!(
+            !example.panic_path,
+            "examples may expect() on bad demo input"
+        );
+        assert!(!example.lock_scope && !example.det_float_eq);
+    }
+
+    #[test]
+    fn scan_roots_are_sorted_and_include_facade_and_examples() {
         let roots = Config::default().scan_roots();
         let mut sorted = roots.clone();
         sorted.sort();
@@ -188,5 +268,7 @@ mod tests {
         assert_eq!(roots, sorted);
         assert!(roots.contains(&"crates/engine/src".to_string()));
         assert!(roots.contains(&"crates/analyzer/src".to_string()));
+        assert!(roots.contains(&"src".to_string()));
+        assert!(roots.contains(&"examples".to_string()));
     }
 }

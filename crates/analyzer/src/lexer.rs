@@ -42,7 +42,7 @@ pub enum TokenKind {
     Float,
 }
 
-/// One lexed token with its 1-based source line.
+/// One lexed token with its 1-based source line and byte span.
 #[derive(Clone, Debug)]
 pub struct Token {
     /// Classification the rules dispatch on.
@@ -51,6 +51,10 @@ pub struct Token {
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
+    /// Byte offset of the token's first byte in the source.
+    pub start: u32,
+    /// Byte offset one past the token's last byte.
+    pub end: u32,
 }
 
 /// A `// hypar-allow: <rule> — <justification>` waiver comment.
@@ -88,6 +92,10 @@ struct Cursor {
     chars: Vec<char>,
     pos: usize,
     line: u32,
+    /// Byte offset of `pos` in the original source.
+    byte: u32,
+    /// Byte offset where the token currently being lexed started.
+    token_start: u32,
     out: Lexed,
 }
 
@@ -105,6 +113,8 @@ impl Cursor {
             chars: source.chars().collect(),
             pos: 0,
             line: 1,
+            byte: 0,
+            token_start: 0,
             out: Lexed::default(),
         }
     }
@@ -116,6 +126,7 @@ impl Cursor {
     fn bump(&mut self) -> Option<char> {
         let c = self.peek(0)?;
         self.pos += 1;
+        self.byte += c.len_utf8() as u32;
         if c == '\n' {
             self.line += 1;
         }
@@ -123,11 +134,18 @@ impl Cursor {
     }
 
     fn push(&mut self, kind: TokenKind, text: String, line: u32) {
-        self.out.tokens.push(Token { kind, text, line });
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            start: self.token_start,
+            end: self.byte,
+        });
     }
 
     fn run(mut self) -> Lexed {
         while let Some(c) = self.peek(0) {
+            self.token_start = self.byte;
             if c.is_whitespace() {
                 self.bump();
             } else if c == '/' && self.peek(1) == Some('/') {
@@ -524,6 +542,22 @@ let x = 1; // hypar-allow: det-float-eq\n";
             .map(|t| t.line)
             .unwrap_or(0);
         assert_eq!(b, 4);
+    }
+
+    #[test]
+    fn byte_spans_slice_back_to_the_source() {
+        let src = "let αβ = x.unwrap();";
+        for t in lex(src).tokens {
+            let slice = &src[t.start as usize..t.end as usize];
+            assert!(!slice.is_empty(), "empty span for {t:?}");
+        }
+        let toks = lex("ab cd").tokens;
+        assert_eq!((toks[0].start, toks[0].end), (0, 2));
+        assert_eq!((toks[1].start, toks[1].end), (3, 5));
+        // Prefixed literals span from their prefix byte.
+        let toks = lex("r#\"x\"#").tokens;
+        assert_eq!(toks[0].start, 0);
+        assert_eq!(toks[0].end, 6);
     }
 
     #[test]

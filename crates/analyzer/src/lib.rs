@@ -11,17 +11,25 @@
 //! * **determinism hazards** (`det-map-iter`, `det-float-eq`,
 //!   `det-wall-clock`) — nothing nondeterministic may feed
 //!   fingerprints or `state_hash`es;
+//! * **structural hazards** (`err-swallow`, `cast-truncate`,
+//!   `lock-scope`) — silently dropped `Result`s, narrowing casts in
+//!   byte/cost math, and lock guards held across planning calls;
 //! * **waiver hygiene** (`bad-pragma`) — every `hypar-allow` escape
 //!   hatch must name a real rule and carry a justification.
 //!
 //! The scanner is a hand-rolled lexer (comments, nested block comments,
 //! raw strings, char-vs-lifetime ticks all handled — **not** regex over
-//! source) feeding token-stream rules; existing debt is tolerated via
-//! the ratcheted [`ratchet`] baseline, which only ever tightens.
+//! source) feeding a never-panicking brace/paren-matched [`parse`]
+//! layer; token-window rules and structural rules share one masking
+//! pass.  Existing debt is tolerated via the ratcheted [`ratchet`]
+//! baseline, which only ever tightens — and which reached **zero
+//! recorded debt** in PR 9.
 
 pub mod config;
 pub mod fuzz;
+pub mod json;
 pub mod lexer;
+pub mod parse;
 pub mod ratchet;
 pub mod report;
 pub mod rules;
@@ -31,8 +39,9 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use config::Config;
-use ratchet::{Baseline, Counts, BASELINE_VERSION};
+use ratchet::{Baseline, Counts};
 use report::Finding;
+use rules::FnIndex;
 
 /// Default baseline filename at the workspace root.
 pub const BASELINE_FILE: &str = "analyzer-baseline.json";
@@ -40,25 +49,38 @@ pub const BASELINE_FILE: &str = "analyzer-baseline.json";
 /// Directory names never descended into while scanning.
 const SKIP_DIRS: &[&str] = &["tests", "fixtures", "target"];
 
-/// Scans the workspace rooted at `root` and returns sorted findings.
+/// Scans the workspace rooted at `root` and returns sorted findings
+/// (waived ones included, marked).
 ///
-/// Walks every configured `crates/<name>/src` directory; integration
-/// `tests/` directories are skipped here and `#[cfg(test)]` items are
-/// masked by the rules.
+/// Two passes: first every file is lexed and parsed and its `fn`
+/// signatures feed the workspace-wide [`FnIndex`] (so `err-swallow`
+/// knows Result-returning callees across crate boundaries), then the
+/// rules run per file against that index.  Walks every configured scan
+/// root; integration `tests/` directories are skipped here and
+/// `#[cfg(test)]` items are masked by the rules.
 pub fn scan_workspace(root: &Path, config: &Config) -> Result<Vec<Finding>, String> {
-    let mut findings = Vec::new();
+    let mut files = Vec::new();
+    let mut index = FnIndex::default();
     for rel_root in config.scan_roots() {
         let dir = root.join(&rel_root);
         if !dir.is_dir() {
             continue;
         }
         for rel_path in rs_files(&dir, &rel_root)? {
-            let rules = config.rules_for(&rel_path);
             let source = fs::read_to_string(root.join(&rel_path))
                 .map_err(|e| format!("reading {rel_path}: {e}"))?;
             let lexed = lexer::lex(&source);
-            findings.extend(rules::check_file(&rel_path, &lexed, rules));
+            let parsed = parse::parse(&lexed.tokens);
+            index.add(&parsed);
+            files.push((rel_path, source, lexed, parsed));
         }
+    }
+    let mut findings = Vec::new();
+    for (rel_path, source, lexed, parsed) in &files {
+        let rules = config.rules_for(rel_path);
+        findings.extend(rules::check_file(
+            rel_path, source, lexed, parsed, rules, &index,
+        ));
     }
     report::sort(&mut findings);
     Ok(findings)
@@ -135,7 +157,7 @@ pub fn run_check(
         .map(|delta| {
             let concrete: Vec<Finding> = findings
                 .iter()
-                .filter(|f| f.file == delta.file && f.rule == delta.rule)
+                .filter(|f| !f.waived && f.file == delta.file && f.rule == delta.rule)
                 .cloned()
                 .collect();
             (delta, concrete)
@@ -169,10 +191,7 @@ pub fn run_bless(root: &Path, config: &Config, baseline_path: &Path) -> Result<C
         return Err(msg);
     }
     let counts = ratchet::counts_of(&findings);
-    let baseline = Baseline {
-        version: BASELINE_VERSION,
-        counts: counts.clone(),
-    };
+    let baseline = Baseline::current(counts.clone());
     let mut file = fs::File::create(baseline_path)
         .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
     file.write_all(ratchet::to_json(&baseline).as_bytes())

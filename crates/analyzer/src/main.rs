@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! hypar-analyzer                # report every current finding
+//! hypar-analyzer --format json  # same, as a hypar-analyzer-findings/v1 document
 //! hypar-analyzer --check       # gate: fail if any count exceeds the baseline
 //! hypar-analyzer --bless       # rewrite the baseline to current counts
 //! hypar-analyzer --rules       # the rule reference table
-//! hypar-analyzer --self-fuzz N # randomized lexer smoke (deterministic)
+//! hypar-analyzer --self-fuzz N # coverage-guided lexer+parser fuzz (deterministic)
 //! ```
 //!
 //! Exit codes: 0 clean/pass, 1 findings/regressions, 2 usage or I/O
@@ -27,17 +28,25 @@ enum Mode {
     SelfFuzz { iterations: u64, seed: u64 },
 }
 
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
 struct Options {
     mode: Mode,
+    format: Format,
     root: PathBuf,
     baseline: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage: hypar-analyzer [--check | --bless | --rules | --self-fuzz N] \
-                     [--root DIR] [--baseline FILE] [--seed N]";
+                     [--format text|json] [--root DIR] [--baseline FILE] [--seed N]";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut mode = Mode::Report;
+    let mut format = Format::Text;
     let mut root = PathBuf::from(".");
     let mut baseline = None;
     let mut seed = fuzz::DEFAULT_SEED;
@@ -48,6 +57,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--check" => mode = Mode::Check,
             "--bless" => mode = Mode::Bless,
             "--rules" => mode = Mode::Rules,
+            "--format" => {
+                let which = it
+                    .next()
+                    .ok_or(format!("--format needs a value\n{USAGE}"))?;
+                format = match which.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => {
+                        return Err(format!("unknown format `{other}` (text or json)\n{USAGE}"))
+                    }
+                };
+            }
             "--self-fuzz" => {
                 let n = it
                     .next()
@@ -82,8 +103,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if let Some(iterations) = fuzz_iterations {
         mode = Mode::SelfFuzz { iterations, seed };
     }
+    if format == Format::Json && mode != Mode::Report {
+        return Err(format!(
+            "--format json only applies to report mode\n{USAGE}"
+        ));
+    }
     Ok(Options {
         mode,
+        format,
         root,
         baseline,
     })
@@ -117,19 +144,33 @@ fn run(options: &Options) -> Result<ExitCode, String> {
         Mode::SelfFuzz { iterations, seed } => {
             let summary = fuzz::run(iterations, seed)?;
             println!(
-                "self-fuzz ok: {} mutants, {} tokens, {} findings, worst mutant {}us (seed {seed})",
-                summary.iterations, summary.tokens, summary.findings, summary.worst_us
+                "self-fuzz ok: {} mutants, {} tokens, {} findings, {} kind-pairs covered, {} corpus seeds retained, worst mutant {}us (seed {seed})",
+                summary.iterations,
+                summary.tokens,
+                summary.findings,
+                summary.pairs_covered,
+                summary.corpus_retained,
+                summary.worst_us
             );
             Ok(ExitCode::SUCCESS)
         }
         Mode::Report => {
             validate_root(&options.root)?;
             let findings = scan_workspace(&options.root, &config)?;
-            for finding in &findings {
+            let live = report::live(&findings);
+            if options.format == Format::Json {
+                print!("{}", report::findings_json(&findings));
+                return Ok(if live.is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                });
+            }
+            for finding in &live {
                 println!("{finding}");
             }
             let totals = report::totals(&findings);
-            if findings.is_empty() {
+            if live.is_empty() {
                 println!("no findings");
                 return Ok(ExitCode::SUCCESS);
             }
@@ -137,7 +178,7 @@ fn run(options: &Options) -> Result<ExitCode, String> {
                 .iter()
                 .map(|(rule, count)| format!("{rule}: {count}"))
                 .collect();
-            println!("\n{} findings ({})", findings.len(), summary.join(", "));
+            println!("\n{} findings ({})", live.len(), summary.join(", "));
             Ok(ExitCode::FAILURE)
         }
         Mode::Check => {

@@ -19,23 +19,49 @@ use crate::report::Finding;
 /// `file → rule → count`, canonically ordered.
 pub type Counts = BTreeMap<String, BTreeMap<String, u64>>;
 
-/// Schema version written to the baseline file.
-pub const BASELINE_VERSION: u64 = 1;
+/// Schema version written to the baseline file.  Version 2 added the
+/// `rules` array (the rule set active when the baseline was blessed);
+/// version 1 files are still read and auto-migrate on the next
+/// `--bless`.
+pub const BASELINE_VERSION: u64 = 2;
+
+/// The oldest baseline version `parse` still accepts.
+pub const OLDEST_READABLE_VERSION: u64 = 1;
 
 /// A parsed baseline file.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Baseline {
-    /// Schema version (currently always [`BASELINE_VERSION`]).
+    /// Schema version (what the file carried; [`to_json`] always writes
+    /// [`BASELINE_VERSION`]).
     pub version: u64,
+    /// Rule ids active at bless time (empty for v1 files).
+    pub rules: Vec<String>,
     /// Recorded per-file-per-rule counts.
     pub counts: Counts,
 }
 
-/// Aggregates findings into per-file-per-rule counts.
+impl Baseline {
+    /// A current-version baseline over `counts` with the full rule set.
+    #[must_use]
+    pub fn current(counts: Counts) -> Self {
+        let mut rules: Vec<String> = crate::report::RULES
+            .iter()
+            .map(|(id, _, _)| (*id).to_string())
+            .collect();
+        rules.sort_unstable();
+        Baseline {
+            version: BASELINE_VERSION,
+            rules,
+            counts,
+        }
+    }
+}
+
+/// Aggregates live (non-waived) findings into per-file-per-rule counts.
 #[must_use]
 pub fn counts_of(findings: &[Finding]) -> Counts {
     let mut counts = Counts::new();
-    for finding in findings {
+    for finding in findings.iter().filter(|f| !f.waived) {
         *counts
             .entry(finding.file.clone())
             .or_default()
@@ -109,30 +135,22 @@ pub fn compare(current: &Counts, baseline: &Counts) -> Comparison {
 // Canonical writer
 // ---------------------------------------------------------------------
 
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
+use crate::json::escape;
 
 /// Serializes a baseline canonically: sorted keys (`BTreeMap` order),
 /// two-space indent, trailing newline.  Blessing twice can never
-/// produce two different bytes.
+/// produce two different bytes.  Always writes [`BASELINE_VERSION`],
+/// so blessing a v1 file *is* the migration.
 #[must_use]
 pub fn to_json(baseline: &Baseline) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str(&format!("  \"version\": {},\n", baseline.version));
+    out.push_str(&format!("  \"version\": {BASELINE_VERSION},\n"));
+    let mut rules: Vec<&str> = baseline.rules.iter().map(String::as_str).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    let listed: Vec<String> = rules.iter().map(|r| escape(r)).collect();
+    out.push_str(&format!("  \"rules\": [{}],\n", listed.join(", ")));
     out.push_str("  \"counts\": {");
     let mut first_file = true;
     for (file, rules) in &baseline.counts {
@@ -255,6 +273,27 @@ impl Reader<'_> {
         digits.parse().map_err(|_| self.err("count out of range"))
     }
 
+    fn string_array(&mut self) -> Result<Vec<String>, String> {
+        self.eat('[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.string()?);
+            match self.peek() {
+                Some(',') => self.pos += 1,
+                Some(']') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(self.err("expected `,` or `]` in rules")),
+            }
+        }
+    }
+
     fn rule_counts(&mut self) -> Result<BTreeMap<String, u64>, String> {
         self.eat('{')?;
         let mut rules = BTreeMap::new();
@@ -278,8 +317,9 @@ impl Reader<'_> {
     }
 }
 
-/// Parses a baseline file.  Accepts exactly the schema [`to_json`]
-/// writes (key order is not significant on read).
+/// Parses a baseline file.  Accepts the schema [`to_json`] writes plus
+/// the v1 predecessor (no `rules` key); key order is not significant on
+/// read.
 pub fn parse(text: &str) -> Result<Baseline, String> {
     let mut r = Reader {
         chars: text.chars().collect(),
@@ -289,6 +329,7 @@ pub fn parse(text: &str) -> Result<Baseline, String> {
     r.eat('{')?;
     let mut baseline = Baseline {
         version: 0,
+        rules: Vec::new(),
         counts: Counts::new(),
     };
     if r.peek() == Some('}') {
@@ -299,6 +340,7 @@ pub fn parse(text: &str) -> Result<Baseline, String> {
         r.eat(':')?;
         match key.as_str() {
             "version" => baseline.version = r.number()?,
+            "rules" => baseline.rules = r.string_array()?,
             "counts" => {
                 r.eat('{')?;
                 if r.peek() == Some('}') {
@@ -331,10 +373,10 @@ pub fn parse(text: &str) -> Result<Baseline, String> {
             _ => return Err(r.err("expected `,` or `}` at top level")),
         }
     }
-    if baseline.version != BASELINE_VERSION {
+    if !(OLDEST_READABLE_VERSION..=BASELINE_VERSION).contains(&baseline.version) {
         return Err(format!(
-            "baseline version {} is not the supported {} — regenerate with --bless",
-            baseline.version, BASELINE_VERSION
+            "baseline version {} is outside the supported {}..={} range — regenerate with --bless",
+            baseline.version, OLDEST_READABLE_VERSION, BASELINE_VERSION
         ));
     }
     Ok(baseline)
@@ -357,36 +399,57 @@ mod tests {
 
     #[test]
     fn round_trips_canonically() {
-        let baseline = Baseline {
-            version: BASELINE_VERSION,
-            counts: counts(&[
-                ("crates/engine/src/service.rs", "panic-path", 3),
-                ("crates/engine/src/service.rs", "lock-poison", 1),
-                ("crates/sim/src/training.rs", "panic-path", 12),
-            ]),
-        };
+        let baseline = Baseline::current(counts(&[
+            ("crates/engine/src/service.rs", "panic-path", 3),
+            ("crates/engine/src/service.rs", "lock-poison", 1),
+            ("crates/sim/src/training.rs", "panic-path", 12),
+        ]));
         let text = to_json(&baseline);
         let back = parse(&text).expect("round trip");
         assert_eq!(back, baseline);
         // Idempotent: serializing the parse is byte-identical.
         assert_eq!(to_json(&back), text);
         assert!(text.ends_with("}\n"));
+        assert!(text.contains("\"rules\": [\"bad-pragma\""));
     }
 
     #[test]
     fn empty_counts_round_trip() {
-        let baseline = Baseline {
-            version: BASELINE_VERSION,
-            counts: Counts::new(),
-        };
+        let baseline = Baseline::current(Counts::new());
         let text = to_json(&baseline);
+        assert!(text.contains("\"counts\": {}"));
         assert_eq!(parse(&text).expect("empty"), baseline);
+    }
+
+    #[test]
+    fn v1_baselines_parse_and_migrate_on_serialize() {
+        // The exact shape PR 8's writer produced: no `rules` key.
+        let v1 = "{\n  \"version\": 1,\n  \"counts\": {\n    \"a.rs\": {\n      \"panic-path\": 2\n    }\n  }\n}\n";
+        let parsed = parse(v1).expect("v1 accepted");
+        assert_eq!(parsed.version, 1);
+        assert!(parsed.rules.is_empty());
+        assert_eq!(parsed.counts["a.rs"]["panic-path"], 2);
+        // Re-serializing writes the current version: bless = migrate.
+        let migrated = to_json(&Baseline::current(parsed.counts));
+        assert!(migrated.contains("\"version\": 2"));
+        assert!(migrated.contains("\"rules\": ["));
     }
 
     #[test]
     fn version_mismatch_is_an_error() {
         let text = "{\n  \"version\": 99,\n  \"counts\": {}\n}\n";
         assert!(parse(text).expect_err("version").contains("version 99"));
+        let zero = "{\n  \"version\": 0,\n  \"counts\": {}\n}\n";
+        assert!(parse(zero).is_err());
+    }
+
+    #[test]
+    fn counts_of_skips_waived_findings() {
+        let mut waived = Finding::bare("a.rs", 1, "panic-path", String::new());
+        waived.waived = true;
+        let live = Finding::bare("a.rs", 2, "panic-path", String::new());
+        let counts = counts_of(&[waived, live]);
+        assert_eq!(counts["a.rs"]["panic-path"], 1);
     }
 
     #[test]

@@ -1,7 +1,10 @@
-//! Findings and their `file:line: rule: message` presentation.
+//! Findings, their `file:line: rule: message` presentation, and the
+//! machine-readable `--format json` document.
 
 use std::collections::BTreeMap;
 use std::fmt;
+
+use crate::json::escape;
 
 /// The rule reference: `(id, what it catches, how to satisfy it)`.
 ///
@@ -34,6 +37,21 @@ pub const RULES: &[(&str, &str, &str)] = &[
         "thread time through telemetry, or waive a metrics-only site with a pragma",
     ),
     (
+        "err-swallow",
+        "a `Result`-returning call discarded — bare statement, `let _ =`, or `.ok()` dropped on the floor",
+        "propagate with `?`, handle the `Err` arm, or log it via the recorder's degraded path",
+    ),
+    (
+        "cast-truncate",
+        "a narrowing `as` cast (`usize as u32`, `u64 as usize`, float→int) in comm byte math or cost/fingerprint paths",
+        "use `try_from` with a typed error, or widen the destination type",
+    ),
+    (
+        "lock-scope",
+        "a `.lock()` guard held across a call into `plan`/`refine`/`simulate`/`stitch`",
+        "copy what you need out of the guard and `drop(guard)` before planning (the PlanCache pattern)",
+    ),
+    (
         "bad-pragma",
         "a `hypar-allow` pragma naming an unknown rule or carrying no justification",
         "write `// hypar-allow: <rule> — <why this site is safe>`",
@@ -57,6 +75,31 @@ pub struct Finding {
     pub rule: &'static str,
     /// What was found and what to do instead.
     pub message: String,
+    /// Byte offsets `[start, end)` of the offending tokens in the file.
+    pub span: (u32, u32),
+    /// The trimmed source line the finding sits on.
+    pub snippet: String,
+    /// Whether a justified `hypar-allow` pragma waives this finding.
+    /// Waived findings are excluded from counts and text output but kept
+    /// in the JSON document so tooling sees the full picture.
+    pub waived: bool,
+}
+
+impl Finding {
+    /// A finding with no span/snippet context (pragma diagnostics and
+    /// tests).
+    #[must_use]
+    pub fn bare(file: &str, line: u32, rule: &'static str, message: String) -> Self {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message,
+            span: (0, 0),
+            snippet: String::new(),
+            waived: false,
+        }
+    }
 }
 
 impl fmt::Display for Finding {
@@ -75,11 +118,18 @@ pub fn sort(findings: &mut [Finding]) {
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
 }
 
-/// Per-rule totals, sorted by rule id.
+/// Drops waived findings — the live set that counts against the gate.
+#[must_use]
+pub fn live(findings: &[Finding]) -> Vec<Finding> {
+    findings.iter().filter(|f| !f.waived).cloned().collect()
+}
+
+/// Per-rule totals over the live (non-waived) findings, sorted by rule
+/// id.
 #[must_use]
 pub fn totals(findings: &[Finding]) -> BTreeMap<&'static str, u64> {
     let mut totals = BTreeMap::new();
-    for finding in findings {
+    for finding in findings.iter().filter(|f| !f.waived) {
         *totals.entry(finding.rule).or_insert(0) += 1;
     }
     totals
@@ -101,18 +151,92 @@ pub fn rules_table() -> String {
     out
 }
 
+/// Schema identifier stamped into every `--format json` document.
+///
+/// The schema is append-only: consumers must tolerate unknown keys, and
+/// any breaking change bumps the `/v1` suffix.
+pub const FINDINGS_SCHEMA: &str = "hypar-analyzer-findings/v1";
+
+/// Serializes findings as the stable machine-readable document:
+///
+/// ```json
+/// {
+///   "schema": "hypar-analyzer-findings/v1",
+///   "total": 2,          // live (non-waived) findings
+///   "waived": 1,         // findings suppressed by a justified pragma
+///   "totals": {"panic-path": 2},
+///   "findings": [
+///     {"rule": "...", "file": "...", "line": 7,
+///      "span": {"start": 120, "end": 131},
+///      "snippet": "x.unwrap()", "message": "...", "waived": false}
+///   ]
+/// }
+/// ```
+///
+/// Findings appear in [`sort`] order, waived ones included.
+#[must_use]
+pub fn findings_json(findings: &[Finding]) -> String {
+    let live_count = findings.iter().filter(|f| !f.waived).count();
+    let waived_count = findings.len() - live_count;
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": {},\n", escape(FINDINGS_SCHEMA)));
+    out.push_str(&format!("  \"total\": {live_count},\n"));
+    out.push_str(&format!("  \"waived\": {waived_count},\n"));
+    out.push_str("  \"totals\": {");
+    let totals = totals(findings);
+    let mut first = true;
+    for (rule, count) in &totals {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    {}: {count}", escape(rule)));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n");
+    out.push_str("  \"findings\": [");
+    let mut first = true;
+    for f in findings {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \
+             \"span\": {{\"start\": {}, \"end\": {}}}, \"snippet\": {}, \
+             \"message\": {}, \"waived\": {}}}",
+            escape(f.rule),
+            escape(&f.file),
+            f.line,
+            f.span.0,
+            f.span.1,
+            escape(&f.snippet),
+            escape(&f.message),
+            f.waived
+        ));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json;
 
     #[test]
     fn display_is_clickable() {
-        let f = Finding {
-            file: "crates/engine/src/service.rs".into(),
-            line: 42,
-            rule: "panic-path",
-            message: "`.unwrap()` can abort the service".into(),
-        };
+        let f = Finding::bare(
+            "crates/engine/src/service.rs",
+            42,
+            "panic-path",
+            "`.unwrap()` can abort the service".into(),
+        );
         assert_eq!(
             f.to_string(),
             "crates/engine/src/service.rs:42: panic-path: `.unwrap()` can abort the service"
@@ -129,11 +253,8 @@ mod tests {
 
     #[test]
     fn sort_orders_by_file_line_rule() {
-        let mk = |file: &str, line: u32, rule: &'static str| Finding {
-            file: file.into(),
-            line,
-            rule,
-            message: String::new(),
+        let mk = |file: &str, line: u32, rule: &'static str| {
+            Finding::bare(file, line, rule, String::new())
         };
         let mut findings = vec![
             mk("b.rs", 1, "panic-path"),
@@ -147,6 +268,67 @@ mod tests {
                 .map(|f| (f.file.as_str(), f.line))
                 .collect::<Vec<_>>(),
             vec![("a.rs", 2), ("a.rs", 9), ("b.rs", 1)]
+        );
+    }
+
+    #[test]
+    fn waived_findings_leave_totals_but_not_the_document() {
+        let mut waived = Finding::bare("a.rs", 1, "panic-path", "m".into());
+        waived.waived = true;
+        let findings = vec![waived, Finding::bare("a.rs", 2, "panic-path", "m".into())];
+        assert_eq!(totals(&findings).get("panic-path"), Some(&1));
+        assert_eq!(live(&findings).len(), 1);
+
+        let doc = json::parse(&findings_json(&findings)).expect("valid json");
+        assert_eq!(
+            doc.get("schema").and_then(json::Value::as_str),
+            Some(FINDINGS_SCHEMA)
+        );
+        assert_eq!(doc.get("total").and_then(json::Value::as_u64), Some(1));
+        assert_eq!(doc.get("waived").and_then(json::Value::as_u64), Some(1));
+        let listed = doc
+            .get("findings")
+            .and_then(json::Value::as_array)
+            .expect("findings array");
+        assert_eq!(listed.len(), 2, "waived findings stay in the document");
+        assert_eq!(
+            listed[0].get("waived").and_then(json::Value::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn findings_json_escapes_and_carries_spans() {
+        let finding = Finding {
+            file: "a.rs".into(),
+            line: 3,
+            rule: "err-swallow",
+            message: "discarded \"Result\"".into(),
+            span: (10, 25),
+            snippet: "do_io();".into(),
+            waived: false,
+        };
+        let doc = json::parse(&findings_json(&[finding])).expect("valid json");
+        let f = &doc
+            .get("findings")
+            .and_then(json::Value::as_array)
+            .expect("arr")[0];
+        assert_eq!(
+            f.get("message").and_then(json::Value::as_str),
+            Some("discarded \"Result\"")
+        );
+        let span = f.get("span").expect("span");
+        assert_eq!(span.get("start").and_then(json::Value::as_u64), Some(10));
+        assert_eq!(span.get("end").and_then(json::Value::as_u64), Some(25));
+    }
+
+    #[test]
+    fn empty_findings_still_produce_a_valid_document() {
+        let doc = json::parse(&findings_json(&[])).expect("valid json");
+        assert_eq!(doc.get("total").and_then(json::Value::as_u64), Some(0));
+        assert_eq!(
+            doc.get("findings").and_then(json::Value::as_array),
+            Some(&[][..])
         );
     }
 }

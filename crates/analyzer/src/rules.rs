@@ -1,231 +1,129 @@
-//! Token-stream rules over a lexed file.
+//! Rule orchestration over a lexed + parsed file.
 //!
-//! Rules run on the comment- and literal-free token stream from
-//! [`crate::lexer`], with two layers of masking applied first:
+//! Rules come in two passes sharing one masking layer:
+//!
+//! * [`lexical`] — token-window rules (panic-path, lock-poison,
+//!   det-map-iter, det-float-eq, det-wall-clock) that only ever look a
+//!   few tokens ahead;
+//! * [`structural`] — rules that need statement and scope shape from
+//!   [`crate::parse`] (err-swallow, cast-truncate, lock-scope).
+//!
+//! Masking applied before either pass:
 //!
 //! * **Test code is exempt** — any item under a `#[cfg(test)]` /
 //!   `#[test]` attribute (the attribute, plus the following braced block
 //!   or `;`-terminated item) is skipped.  Integration `tests/`
 //!   directories never reach the scanner at all.
 //! * **Waivers** — a justified `// hypar-allow: <rule> — <why>` pragma
-//!   on the finding's line or the line above suppresses it; pragmas
-//!   with an unknown rule or no justification become `bad-pragma`
-//!   findings instead of waiving anything.
+//!   on the finding's line or the line above marks it waived; waived
+//!   findings stay out of counts and text output but remain visible to
+//!   `--format json`.  Pragmas with an unknown rule or no justification
+//!   become `bad-pragma` findings instead of waiving anything.
+
+pub mod lexical;
+pub mod structural;
 
 use crate::config::RuleSet;
 use crate::lexer::{Lexed, Pragma, Token, TokenKind};
+use crate::parse::Parsed;
 use crate::report::{known_rule, Finding};
 
-/// Runs every applicable rule over one lexed file.
+pub use structural::FnIndex;
+
+/// Shared per-file context for finding construction.
+pub(crate) struct Ctx<'a> {
+    pub path: &'a str,
+    pub source: &'a str,
+    pub tokens: &'a [Token],
+}
+
+impl Ctx<'_> {
+    /// Builds a finding whose line comes from the token at `line_at`
+    /// and whose span covers tokens `first..=last`.
+    pub(crate) fn finding(
+        &self,
+        line_at: usize,
+        first: usize,
+        last: usize,
+        rule: &'static str,
+        message: String,
+    ) -> Finding {
+        let Some(line_tok) = self.tokens.get(line_at) else {
+            return Finding::bare(self.path, 0, rule, message);
+        };
+        let start = self.tokens.get(first).map_or(line_tok.start, |t| t.start);
+        let end = self
+            .tokens
+            .get(last)
+            .map_or(line_tok.end, |t| t.end)
+            .max(start);
+        Finding {
+            file: self.path.to_string(),
+            line: line_tok.line,
+            rule,
+            message,
+            span: (start, end),
+            snippet: snippet_of(self.source, line_tok.line),
+            waived: false,
+        }
+    }
+}
+
+/// The trimmed source text of 1-based `line`.
+fn snippet_of(source: &str, line: u32) -> String {
+    source
+        .lines()
+        .nth(line.saturating_sub(1) as usize)
+        .map(|l| l.trim().to_string())
+        .unwrap_or_default()
+}
+
+/// Runs every applicable rule over one file.  Waived findings are
+/// returned with `waived == true`; callers filter with
+/// [`crate::report::live`] where only the gate-relevant set matters.
 #[must_use]
-pub fn check_file(path: &str, lexed: &Lexed, rules: RuleSet) -> Vec<Finding> {
+pub fn check_file(
+    path: &str,
+    source: &str,
+    lexed: &Lexed,
+    parsed: &Parsed,
+    rules: RuleSet,
+    index: &FnIndex,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
     check_pragmas(path, &lexed.pragmas, &mut findings);
     if rules.is_empty() {
-        return findings;
+        return apply_pragmas(&lexed.pragmas, findings);
     }
-    let tokens = &lexed.tokens;
-    let masked = test_mask(tokens);
-    let finding = |line: u32, rule: &'static str, message: String| Finding {
-        file: path.to_string(),
-        line,
-        rule,
-        message,
+    let masked = test_mask(&lexed.tokens);
+    let ctx = Ctx {
+        path,
+        source,
+        tokens: &lexed.tokens,
     };
-
-    // `.lock().unwrap()` sites matched by lock-poison are excluded from
-    // panic-path so one defect is one finding.
-    let mut consumed = vec![false; tokens.len()];
-
-    for (i, &is_masked) in masked.iter().enumerate() {
-        if is_masked {
-            continue;
-        }
-        if rules.lock_poison {
-            if let Some((line, via)) = match_lock_poison(tokens, i) {
-                for slot in consumed.iter_mut().skip(i).take(6) {
-                    *slot = true;
-                }
-                findings.push(finding(
-                    line,
-                    "lock-poison",
-                    format!(
-                        "`.lock().{via}` propagates mutex poison; recover with \
-                         `unwrap_or_else(PoisonError::into_inner)` (the PlanCache \
-                         pattern) or return a typed error"
-                    ),
-                ));
-            }
-        }
-    }
-
-    for i in 0..tokens.len() {
-        if masked[i] || consumed[i] {
-            continue;
-        }
-        let tok = &tokens[i];
-        if rules.panic_path {
-            if let Some(msg) = match_panic_path(tokens, i) {
-                findings.push(finding(tok.line, "panic-path", msg));
-            }
-        }
-        if rules.det_map_iter && is_word(tok) && (tok.text == "HashMap" || tok.text == "HashSet") {
-            findings.push(finding(
-                tok.line,
-                "det-map-iter",
-                format!(
-                    "`{}` in a module that feeds fingerprints or state hashes; \
-                     iteration order is nondeterministic — use a BTreeMap, a \
-                     sorted Vec, or the IR's canonical ordering",
-                    tok.text
-                ),
-            ));
-        }
-        if rules.det_float_eq {
-            if let Some((line, op)) = match_float_eq(tokens, i) {
-                findings.push(finding(
-                    line,
-                    "det-float-eq",
-                    format!(
-                        "float `{op}` comparison; exact float equality drifts \
-                         under reordering — compare `to_bits()` or use an epsilon"
-                    ),
-                ));
-            }
-        }
-        if rules.det_wall_clock {
-            if let Some((line, what)) = match_wall_clock(tokens, i) {
-                findings.push(finding(
-                    line,
-                    "det-wall-clock",
-                    format!(
-                        "`{what}` outside the telemetry/timing layer; wall-clock \
-                         reads in planning paths break replayability"
-                    ),
-                ));
-            }
-        }
-    }
-
+    lexical::check(&ctx, &masked, rules, &mut findings);
+    structural::check(&ctx, parsed, &masked, rules, index, &mut findings);
     apply_pragmas(&lexed.pragmas, findings)
 }
 
+/// Convenience for tests and the fuzzer: lexes, parses, builds a
+/// same-file [`FnIndex`], and runs [`check_file`].
+#[must_use]
+pub fn check_source(path: &str, source: &str, rules: RuleSet) -> Vec<Finding> {
+    let lexed = crate::lexer::lex(source);
+    let parsed = crate::parse::parse(&lexed.tokens);
+    let mut index = FnIndex::default();
+    index.add(&parsed);
+    check_file(path, source, &lexed, &parsed, rules, &index)
+}
+
 /// Ident or raw ident (`r#unwrap` behaves like `unwrap`).
-fn is_word(tok: &Token) -> bool {
+pub(crate) fn is_word(tok: &Token) -> bool {
     matches!(tok.kind, TokenKind::Ident | TokenKind::RawIdent)
 }
 
-fn is_punct(tok: &Token, c: char) -> bool {
+pub(crate) fn is_punct(tok: &Token, c: char) -> bool {
     tok.kind == TokenKind::Punct && tok.text.len() == 1 && tok.text.starts_with(c)
-}
-
-/// `.unwrap()` / `.expect(` / panic-family macro at `i`.
-fn match_panic_path(tokens: &[Token], i: usize) -> Option<String> {
-    let tok = &tokens[i];
-    if !is_word(tok) {
-        return None;
-    }
-    match tok.text.as_str() {
-        "panic" | "unreachable" | "todo" | "unimplemented" => {
-            if tokens.get(i + 1).is_some_and(|t| is_punct(t, '!')) {
-                return Some(format!(
-                    "`{}!` aborts the service; degrade to a typed error instead",
-                    tok.text
-                ));
-            }
-            None
-        }
-        "unwrap" => {
-            let dotted = i > 0 && is_punct(&tokens[i - 1], '.');
-            let called = tokens.get(i + 1).is_some_and(|t| is_punct(t, '('))
-                && tokens.get(i + 2).is_some_and(|t| is_punct(t, ')'));
-            if dotted && called {
-                return Some("`.unwrap()` can abort the service; handle the None/Err arm".into());
-            }
-            None
-        }
-        "expect" => {
-            let dotted = i > 0 && is_punct(&tokens[i - 1], '.');
-            let called = tokens.get(i + 1).is_some_and(|t| is_punct(t, '('));
-            if dotted && called {
-                return Some("`.expect(..)` can abort the service; handle the None/Err arm".into());
-            }
-            None
-        }
-        _ => None,
-    }
-}
-
-/// `.lock().unwrap()` / `.lock().expect(` starting at `i` (the first
-/// `.`).  Returns the line of the unwrap/expect and its name.
-fn match_lock_poison(tokens: &[Token], i: usize) -> Option<(u32, &'static str)> {
-    if !is_punct(tokens.get(i)?, '.') {
-        return None;
-    }
-    let lock = tokens.get(i + 1)?;
-    if !(is_word(lock) && lock.text == "lock") {
-        return None;
-    }
-    if !(is_punct(tokens.get(i + 2)?, '(') && is_punct(tokens.get(i + 3)?, ')')) {
-        return None;
-    }
-    if !is_punct(tokens.get(i + 4)?, '.') {
-        return None;
-    }
-    let sink = tokens.get(i + 5)?;
-    if !is_word(sink) {
-        return None;
-    }
-    match sink.text.as_str() {
-        "unwrap" => Some((sink.line, "unwrap()")),
-        "expect" => Some((sink.line, "expect(..)")),
-        _ => None,
-    }
-}
-
-/// `==` / `!=` at `i` with a float literal on either side.
-fn match_float_eq(tokens: &[Token], i: usize) -> Option<(u32, &'static str)> {
-    let first = tokens.get(i)?;
-    let second = tokens.get(i + 1)?;
-    let op = if is_punct(first, '=') && is_punct(second, '=') {
-        "=="
-    } else if is_punct(first, '!') && is_punct(second, '=') {
-        "!="
-    } else {
-        return None;
-    };
-    // `a <= b` / `a >= b` lex as `<`,`=` / `>`,`=`: the pair above never
-    // matches them.  Guard the left side so `a = =` junk is not matched.
-    let lhs_float = i > 0 && tokens[i - 1].kind == TokenKind::Float;
-    let rhs_float = tokens
-        .get(i + 2)
-        .is_some_and(|t| t.kind == TokenKind::Float);
-    if lhs_float || rhs_float {
-        Some((first.line, op))
-    } else {
-        None
-    }
-}
-
-/// `Instant::now` or any `SystemTime` mention at `i`.
-fn match_wall_clock(tokens: &[Token], i: usize) -> Option<(u32, &'static str)> {
-    let tok = tokens.get(i)?;
-    if !is_word(tok) {
-        return None;
-    }
-    if tok.text == "SystemTime" {
-        return Some((tok.line, "SystemTime"));
-    }
-    if tok.text == "Instant"
-        && is_punct(tokens.get(i + 1)?, ':')
-        && is_punct(tokens.get(i + 2)?, ':')
-        && tokens
-            .get(i + 3)
-            .is_some_and(|t| is_word(t) && t.text == "now")
-    {
-        return Some((tok.line, "Instant::now"));
-    }
-    None
 }
 
 /// Marks every token belonging to a test-gated item: a `#[...]`
@@ -233,7 +131,7 @@ fn match_wall_clock(tokens: &[Token], i: usize) -> Option<(u32, &'static str)> {
 /// `#[cfg(test)]`, `#[cfg(any(test, ..))]`), plus any stacked
 /// attributes after it, plus the following item through its balanced
 /// `{...}` block or terminating `;`.
-fn test_mask(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn test_mask(tokens: &[Token]) -> Vec<bool> {
     let mut masked = vec![false; tokens.len()];
     let mut i = 0;
     while i < tokens.len() {
@@ -320,42 +218,36 @@ fn check_pragmas(path: &str, pragmas: &[Pragma], findings: &mut Vec<Finding>) {
             None
         };
         if let Some(message) = problem {
-            findings.push(Finding {
-                file: path.to_string(),
-                line: pragma.line,
-                rule: "bad-pragma",
-                message,
-            });
+            findings.push(Finding::bare(path, pragma.line, "bad-pragma", message));
         }
     }
 }
 
-/// Drops findings waived by a *valid* pragma on the same line or the
+/// Marks findings waived by a *valid* pragma on the same line or the
 /// line above.  `bad-pragma` findings are never waivable.
-fn apply_pragmas(pragmas: &[Pragma], findings: Vec<Finding>) -> Vec<Finding> {
+fn apply_pragmas(pragmas: &[Pragma], mut findings: Vec<Finding>) -> Vec<Finding> {
+    for finding in &mut findings {
+        if finding.rule == "bad-pragma" {
+            continue;
+        }
+        finding.waived = pragmas.iter().any(|pragma| {
+            pragma.rule == finding.rule
+                && !pragma.justification.is_empty()
+                && known_rule(&pragma.rule)
+                && (pragma.line == finding.line || pragma.line + 1 == finding.line)
+        });
+    }
     findings
-        .into_iter()
-        .filter(|finding| {
-            if finding.rule == "bad-pragma" {
-                return true;
-            }
-            !pragmas.iter().any(|pragma| {
-                pragma.rule == finding.rule
-                    && !pragma.justification.is_empty()
-                    && known_rule(&pragma.rule)
-                    && (pragma.line == finding.line || pragma.line + 1 == finding.line)
-            })
-        })
-        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lexer::lex;
+    use crate::report::live;
 
+    /// Live (non-waived) findings with every rule on.
     fn run(source: &str) -> Vec<Finding> {
-        check_file("test.rs", &lex(source), RuleSet::all())
+        live(&check_source("test.rs", source, RuleSet::all()))
     }
 
     fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
@@ -472,6 +364,19 @@ mod tests {
     }
 
     #[test]
+    fn waived_findings_are_marked_not_dropped() {
+        let all = check_source(
+            "test.rs",
+            "// hypar-allow: det-wall-clock — latency metric only\n\
+             let t = Instant::now();\n",
+            RuleSet::all(),
+        );
+        assert_eq!(all.len(), 1);
+        assert!(all[0].waived);
+        assert!(live(&all).is_empty());
+    }
+
+    #[test]
     fn unjustified_or_unknown_pragmas_are_findings_and_do_not_waive() {
         let findings = run("// hypar-allow: det-wall-clock\n\
              let t = Instant::now();\n");
@@ -499,7 +404,18 @@ mod tests {
             panic_path: true,
             ..RuleSet::default()
         };
-        let findings = check_file("f.rs", &lex(src), only_panic);
+        let findings = live(&check_source("f.rs", src, only_panic));
         assert_eq!(rules_of(&findings), vec!["panic-path"]);
+    }
+
+    #[test]
+    fn findings_carry_spans_and_snippets() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+        let findings = run(src);
+        assert_eq!(findings.len(), 1);
+        let (start, end) = findings[0].span;
+        let text = &src[start as usize..end as usize];
+        assert!(text.contains("unwrap"), "span {start}..{end} -> {text:?}");
+        assert_eq!(findings[0].snippet, "x.unwrap()");
     }
 }

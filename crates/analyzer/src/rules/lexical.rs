@@ -1,0 +1,218 @@
+//! Token-window rules: each matcher looks at a token and a few
+//! neighbors, never at statement or scope structure.
+
+use crate::config::RuleSet;
+use crate::lexer::{Token, TokenKind};
+use crate::report::Finding;
+
+use super::{is_punct, is_word, Ctx};
+
+/// Runs the lexical pass, appending findings.
+pub(crate) fn check(ctx: &Ctx<'_>, masked: &[bool], rules: RuleSet, findings: &mut Vec<Finding>) {
+    let tokens = ctx.tokens;
+
+    // `.lock().unwrap()` sites matched by lock-poison are excluded from
+    // panic-path so one defect is one finding.
+    let mut consumed = vec![false; tokens.len()];
+
+    for (i, &is_masked) in masked.iter().enumerate() {
+        if is_masked {
+            continue;
+        }
+        if rules.lock_poison {
+            if let Some((sink, via)) = match_lock_poison(tokens, i) {
+                for slot in consumed.iter_mut().skip(i).take(6) {
+                    *slot = true;
+                }
+                findings.push(ctx.finding(
+                    sink,
+                    i,
+                    sink + 1,
+                    "lock-poison",
+                    format!(
+                        "`.lock().{via}` propagates mutex poison; recover with \
+                         `unwrap_or_else(PoisonError::into_inner)` (the PlanCache \
+                         pattern) or return a typed error"
+                    ),
+                ));
+            }
+        }
+    }
+
+    for i in 0..tokens.len() {
+        if masked[i] || consumed[i] {
+            continue;
+        }
+        let tok = &tokens[i];
+        if rules.panic_path {
+            if let Some((first, last, msg)) = match_panic_path(tokens, i) {
+                findings.push(ctx.finding(i, first, last, "panic-path", msg));
+            }
+        }
+        if rules.det_map_iter && is_word(tok) && (tok.text == "HashMap" || tok.text == "HashSet") {
+            findings.push(ctx.finding(
+                i,
+                i,
+                i,
+                "det-map-iter",
+                format!(
+                    "`{}` in a module that feeds fingerprints or state hashes; \
+                     iteration order is nondeterministic — use a BTreeMap, a \
+                     sorted Vec, or the IR's canonical ordering",
+                    tok.text
+                ),
+            ));
+        }
+        if rules.det_float_eq {
+            if let Some(op) = match_float_eq(tokens, i) {
+                findings.push(ctx.finding(
+                    i,
+                    i.saturating_sub(1),
+                    i + 2,
+                    "det-float-eq",
+                    format!(
+                        "float `{op}` comparison; exact float equality drifts \
+                         under reordering — compare `to_bits()` or use an epsilon"
+                    ),
+                ));
+            }
+        }
+        if rules.det_wall_clock {
+            if let Some((last, what)) = match_wall_clock(tokens, i) {
+                findings.push(ctx.finding(
+                    i,
+                    i,
+                    last,
+                    "det-wall-clock",
+                    format!(
+                        "`{what}` outside the telemetry/timing layer; wall-clock \
+                         reads in planning paths break replayability"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `.unwrap()` / `.expect(` / panic-family macro at `i`.  Returns the
+/// span token indices and the message.
+fn match_panic_path(tokens: &[Token], i: usize) -> Option<(usize, usize, String)> {
+    let tok = &tokens[i];
+    if !is_word(tok) {
+        return None;
+    }
+    match tok.text.as_str() {
+        "panic" | "unreachable" | "todo" | "unimplemented" => {
+            if tokens.get(i + 1).is_some_and(|t| is_punct(t, '!')) {
+                return Some((
+                    i,
+                    i + 1,
+                    format!(
+                        "`{}!` aborts the service; degrade to a typed error instead",
+                        tok.text
+                    ),
+                ));
+            }
+            None
+        }
+        "unwrap" => {
+            let dotted = i > 0 && is_punct(&tokens[i - 1], '.');
+            let called = tokens.get(i + 1).is_some_and(|t| is_punct(t, '('))
+                && tokens.get(i + 2).is_some_and(|t| is_punct(t, ')'));
+            if dotted && called {
+                return Some((
+                    i - 1,
+                    i + 2,
+                    "`.unwrap()` can abort the service; handle the None/Err arm".into(),
+                ));
+            }
+            None
+        }
+        "expect" => {
+            let dotted = i > 0 && is_punct(&tokens[i - 1], '.');
+            let called = tokens.get(i + 1).is_some_and(|t| is_punct(t, '('));
+            if dotted && called {
+                return Some((
+                    i - 1,
+                    i + 1,
+                    "`.expect(..)` can abort the service; handle the None/Err arm".into(),
+                ));
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// `.lock().unwrap()` / `.lock().expect(` starting at `i` (the first
+/// `.`).  Returns the index of the unwrap/expect and its name.
+fn match_lock_poison(tokens: &[Token], i: usize) -> Option<(usize, &'static str)> {
+    if !is_punct(tokens.get(i)?, '.') {
+        return None;
+    }
+    let lock = tokens.get(i + 1)?;
+    if !(is_word(lock) && lock.text == "lock") {
+        return None;
+    }
+    if !(is_punct(tokens.get(i + 2)?, '(') && is_punct(tokens.get(i + 3)?, ')')) {
+        return None;
+    }
+    if !is_punct(tokens.get(i + 4)?, '.') {
+        return None;
+    }
+    let sink = tokens.get(i + 5)?;
+    if !is_word(sink) {
+        return None;
+    }
+    match sink.text.as_str() {
+        "unwrap" => Some((i + 5, "unwrap()")),
+        "expect" => Some((i + 5, "expect(..)")),
+        _ => None,
+    }
+}
+
+/// `==` / `!=` at `i` with a float literal on either side.
+fn match_float_eq(tokens: &[Token], i: usize) -> Option<&'static str> {
+    let first = tokens.get(i)?;
+    let second = tokens.get(i + 1)?;
+    let op = if is_punct(first, '=') && is_punct(second, '=') {
+        "=="
+    } else if is_punct(first, '!') && is_punct(second, '=') {
+        "!="
+    } else {
+        return None;
+    };
+    // `a <= b` / `a >= b` lex as `<`,`=` / `>`,`=`: the pair above never
+    // matches them.  Guard the left side so `a = =` junk is not matched.
+    let lhs_float = i > 0 && tokens[i - 1].kind == TokenKind::Float;
+    let rhs_float = tokens
+        .get(i + 2)
+        .is_some_and(|t| t.kind == TokenKind::Float);
+    if lhs_float || rhs_float {
+        Some(op)
+    } else {
+        None
+    }
+}
+
+/// `Instant::now` or any `SystemTime` mention at `i`.  Returns the last
+/// token of the match and its name.
+fn match_wall_clock(tokens: &[Token], i: usize) -> Option<(usize, &'static str)> {
+    let tok = tokens.get(i)?;
+    if !is_word(tok) {
+        return None;
+    }
+    if tok.text == "SystemTime" {
+        return Some((i, "SystemTime"));
+    }
+    if tok.text == "Instant"
+        && is_punct(tokens.get(i + 1)?, ':')
+        && is_punct(tokens.get(i + 2)?, ':')
+        && tokens
+            .get(i + 3)
+            .is_some_and(|t| is_word(t) && t.text == "now")
+    {
+        return Some((i + 3, "Instant::now"));
+    }
+    None
+}

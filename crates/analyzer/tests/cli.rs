@@ -1,10 +1,14 @@
 //! The `hypar-analyzer` binary itself: exit codes, `--rules`, the
 //! check against the committed baseline, `--bless` idempotency via the
-//! CLI, and the deterministic `--self-fuzz` smoke.
+//! CLI, the `--format json` findings document, and the deterministic
+//! `--self-fuzz` smoke.
 
 use std::fs;
 use std::path::PathBuf;
 use std::process::{Command, Output};
+
+use hypar_analyzer::json;
+use hypar_analyzer::report::FINDINGS_SCHEMA;
 
 fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
@@ -33,6 +37,9 @@ fn rules_table_lists_every_rule() {
         "det-float-eq",
         "det-wall-clock",
         "bad-pragma",
+        "err-swallow",
+        "cast-truncate",
+        "lock-scope",
     ] {
         assert!(table.contains(rule), "--rules missing {rule}:\n{table}");
     }
@@ -82,6 +89,79 @@ fn cli_bless_is_idempotent() {
     let output = run(&["--check", "--root", root_str, "--baseline", scratch_str]);
     assert!(output.status.success());
     let _ = fs::remove_file(&scratch);
+}
+
+#[test]
+fn format_json_emits_the_documented_schema_and_agrees_with_text() {
+    let root = repo_root();
+    let root_str = root.to_str().expect("utf-8 root");
+
+    let json_run = run(&["--format", "json", "--root", root_str]);
+    let doc = json::parse(&stdout(&json_run)).expect("findings document is valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(json::Value::as_str),
+        Some(FINDINGS_SCHEMA)
+    );
+    let total = doc
+        .get("total")
+        .and_then(json::Value::as_u64)
+        .expect("total");
+    let waived = doc
+        .get("waived")
+        .and_then(json::Value::as_u64)
+        .expect("waived");
+    let findings = doc
+        .get("findings")
+        .and_then(json::Value::as_array)
+        .expect("findings array");
+    assert_eq!(
+        findings.len() as u64,
+        total + waived,
+        "findings carries live AND waived entries"
+    );
+    for finding in findings {
+        assert!(finding.get("rule").and_then(json::Value::as_str).is_some());
+        assert!(finding.get("file").and_then(json::Value::as_str).is_some());
+        assert!(finding.get("line").and_then(json::Value::as_u64).is_some());
+        assert!(finding
+            .get("message")
+            .and_then(json::Value::as_str)
+            .is_some());
+        assert!(finding
+            .get("snippet")
+            .and_then(json::Value::as_str)
+            .is_some());
+        assert!(finding
+            .get("waived")
+            .and_then(json::Value::as_bool)
+            .is_some());
+        let span = finding.get("span").expect("span object");
+        let start = span
+            .get("start")
+            .and_then(json::Value::as_u64)
+            .expect("start");
+        let end = span.get("end").and_then(json::Value::as_u64).expect("end");
+        assert!(end >= start, "span runs forward");
+    }
+
+    // Text and JSON report modes agree on the live-finding count and
+    // exit code.
+    let text_run = run(&["--root", root_str]);
+    assert_eq!(json_run.status.code(), text_run.status.code());
+    let text = stdout(&text_run);
+    let text_total: u64 = if text.contains("no findings") {
+        0
+    } else {
+        text.lines()
+            .rev()
+            .find_map(|l| l.split(" findings").next()?.trim().parse().ok())
+            .expect("text summary count")
+    };
+    assert_eq!(total, text_total, "text:\n{text}");
+
+    // `--format json` outside report mode is a usage error.
+    let bad = run(&["--check", "--format", "json", "--root", root_str]);
+    assert_eq!(bad.status.code(), Some(2));
 }
 
 #[test]

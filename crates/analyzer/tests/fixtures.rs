@@ -7,7 +7,8 @@ use std::path::PathBuf;
 
 use hypar_analyzer::config::RuleSet;
 use hypar_analyzer::lexer::{self, TokenKind};
-use hypar_analyzer::report::Finding;
+use hypar_analyzer::parse;
+use hypar_analyzer::report::{live, Finding};
 use hypar_analyzer::rules;
 
 fn fixture(name: &str) -> String {
@@ -26,8 +27,9 @@ fn line_of(source: &str, needle: &str) -> u32 {
         .unwrap_or_else(|| panic!("marker `{needle}` not in fixture"))
 }
 
+/// Live (non-waived) findings with every rule enabled.
 fn check_all(source: &str) -> Vec<Finding> {
-    rules::check_file("fixture.rs", &lexer::lex(source), RuleSet::all())
+    live(&rules::check_source("fixture.rs", source, RuleSet::all()))
 }
 
 #[test]
@@ -138,16 +140,71 @@ fn pragma_fixture_waives_exactly_the_justified_adjacent_rule() {
 }
 
 #[test]
-fn fixtures_lex_without_panicking_under_truncation() {
+fn structural_fixture_live_findings_match_markers() {
+    let source = fixture("structural.rs");
+    let findings = check_all(&source);
+    let got: Vec<(&str, u32)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("err-swallow", line_of(&source, "MARK:swallow-bare")),
+            ("err-swallow", line_of(&source, "MARK:swallow-let")),
+            ("err-swallow", line_of(&source, "MARK:swallow-ok")),
+            ("err-swallow", line_of(&source, "MARK:swallow-builtin")),
+            ("err-swallow", line_of(&source, "MARK:swallow-macro")),
+            ("cast-truncate", line_of(&source, "MARK:cast-param")),
+            ("cast-truncate", line_of(&source, "MARK:cast-len")),
+            ("cast-truncate", line_of(&source, "MARK:cast-float")),
+            ("cast-truncate", line_of(&source, "MARK:cast-u64-usize")),
+            ("cast-truncate", line_of(&source, "MARK:cast-chained")),
+            ("lock-scope", line_of(&source, "MARK:lock-held")),
+        ],
+        "all findings: {findings:?}"
+    );
+}
+
+#[test]
+fn structural_fixture_waivers_are_marked_not_dropped() {
+    let source = fixture("structural.rs");
+    let all = rules::check_source("fixture.rs", &source, RuleSet::all());
+    let waived: Vec<(&str, u32)> = all
+        .iter()
+        .filter(|f| f.waived)
+        .map(|f| (f.rule, f.line))
+        .collect();
+    assert_eq!(
+        waived,
+        vec![
+            ("err-swallow", line_of(&source, "MARK:swallow-waived")),
+            ("cast-truncate", line_of(&source, "MARK:cast-waived")),
+            ("lock-scope", line_of(&source, "MARK:lock-waived")),
+        ],
+        "all findings: {all:?}"
+    );
+    // Waived findings still carry spans and snippets for the JSON feed.
+    for f in all.iter().filter(|f| f.waived) {
+        assert!(f.span.1 > f.span.0, "{f:?}");
+        assert!(!f.snippet.is_empty(), "{f:?}");
+    }
+}
+
+#[test]
+fn fixtures_survive_truncation_without_panicking() {
     // Truncating a fixture at every char boundary exercises the
-    // unterminated-literal and half-token paths deterministically.
-    for name in ["lexer_edges.rs", "pragmas.rs"] {
+    // unterminated-literal, half-token, and dangling-brace paths
+    // deterministically — for the lexer AND the parser.
+    for name in ["lexer_edges.rs", "pragmas.rs", "structural.rs"] {
         let source = fixture(name);
         let chars: Vec<char> = source.chars().collect();
         for cut in 0..=chars.len() {
             let prefix: String = chars[..cut].iter().collect();
             let lexed = lexer::lex(&prefix);
             assert!(lexed.tokens.len() <= cut + 1, "{name} cut at {cut}");
+            let parsed = parse::parse(&lexed.tokens);
+            assert!(
+                parsed.stmt_count() <= lexed.tokens.len() + 1,
+                "{name} cut at {cut}: parser produced phantom statements"
+            );
         }
     }
 }

@@ -1,8 +1,10 @@
 //! The ratchet gate end to end, against a synthetic mini-workspace: a
 //! blessed tree passes, injecting a fresh `.unwrap()` into
-//! `crates/engine/src/service.rs` fails the check naming that exact
-//! cell, burning a finding down passes and reports the improvement, and
-//! `--bless` is idempotent.
+//! `crates/engine/src/service.rs` (or a swallowed `Result` into
+//! `crates/engine/src/record.rs`) fails the check naming that exact
+//! cell, burning a finding down passes and reports the improvement,
+//! `--bless` is idempotent, and a PR-8-era v1 baseline still gates and
+//! migrates to v2 on the next bless.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -49,6 +51,12 @@ impl MiniWorkspace {
         fs::write(self.root.join("crates/engine/src/service.rs"), source)
             .expect("rewrite service.rs");
     }
+
+    fn write_file(&self, rel: &str, source: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        fs::write(path, source).unwrap_or_else(|e| panic!("write {rel}: {e}"));
+    }
 }
 
 impl Drop for MiniWorkspace {
@@ -80,6 +88,56 @@ fn injected_unwrap_in_service_rs_fails_the_check() {
     assert_eq!((delta.baseline, delta.current), (0, 1));
     assert_eq!(findings.len(), 1);
     assert_eq!(findings[0].line, 2);
+}
+
+#[test]
+fn injected_swallowed_result_in_record_rs_fails_the_check() {
+    let ws = MiniWorkspace::new("swallow", CLEAN_SERVICE);
+    let config = Config::default();
+    ws.write_file(
+        "crates/engine/src/record.rs",
+        "\
+fn persist(x: u8) -> Result<(), String> {
+    let _ = x;
+    Ok(())
+}
+
+pub fn record(x: u8) -> Result<(), String> {
+    persist(x)
+}
+",
+    );
+    let counts = run_bless(&ws.root, &config, &ws.baseline()).expect("bless clean tree");
+    assert!(counts.is_empty(), "clean tree blesses to zero: {counts:?}");
+
+    // The acceptance scenario: `persist(x)` loses its `?`/return and the
+    // Result is dropped on the floor.  The workspace fn index knows
+    // `persist` returns Result, so the gate names the file and rule.
+    ws.write_file(
+        "crates/engine/src/record.rs",
+        "\
+fn persist(x: u8) -> Result<(), String> {
+    let _ = x;
+    Ok(())
+}
+
+pub fn record(x: u8) {
+    persist(x);
+}
+",
+    );
+    let outcome = run_check(&ws.root, &config, &ws.baseline()).expect("check dirty tree");
+    assert!(
+        !outcome.passed(),
+        "a swallowed Result must fail the ratchet"
+    );
+    assert_eq!(outcome.regressions.len(), 1);
+    let (delta, findings) = &outcome.regressions[0];
+    assert_eq!(delta.file, "crates/engine/src/record.rs");
+    assert_eq!(delta.rule, "err-swallow");
+    assert_eq!((delta.baseline, delta.current), (0, 1));
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].line, 7);
 }
 
 #[test]
@@ -137,6 +195,36 @@ pub fn serve() {
     let outcome = run_check(&ws.root, &config, &ws.baseline()).expect("check runs");
     assert!(!outcome.passed(), "bad pragmas always fail the gate");
     assert_eq!(outcome.bad_pragmas.len(), 1);
+}
+
+#[test]
+fn v1_baseline_still_gates_and_migrates_to_v2_on_bless() {
+    let ws = MiniWorkspace::new("migrate", DIRTY_SERVICE);
+    let config = Config::default();
+    // A PR-8-era baseline: version 1, counts only, no rules array.
+    fs::write(
+        ws.baseline(),
+        "{\n  \"version\": 1,\n  \"counts\": {\n    \"crates/engine/src/service.rs\": {\n      \"panic-path\": 1\n    }\n  }\n}\n",
+    )
+    .expect("write v1 baseline");
+    let outcome = run_check(&ws.root, &config, &ws.baseline()).expect("check against v1");
+    assert!(
+        outcome.passed(),
+        "a v1 baseline still gates unchanged trees"
+    );
+
+    // The first bless after upgrading rewrites to the current schema.
+    run_bless(&ws.root, &config, &ws.baseline()).expect("bless migrates");
+    let migrated = fs::read_to_string(ws.baseline()).expect("read migrated baseline");
+    assert!(migrated.contains("\"version\": 2"), "{migrated}");
+    assert!(migrated.contains("\"rules\""), "{migrated}");
+    assert!(
+        migrated.contains("err-swallow") && migrated.contains("lock-scope"),
+        "v2 baseline names the active rules: {migrated}"
+    );
+    run_bless(&ws.root, &config, &ws.baseline()).expect("second bless");
+    let again = fs::read_to_string(ws.baseline()).expect("re-read baseline");
+    assert_eq!(migrated, again, "migrated baseline is byte-stable");
 }
 
 #[test]

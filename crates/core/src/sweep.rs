@@ -79,17 +79,14 @@ pub fn enumerate_overrides(
     points
 }
 
-/// The minimum-communication point of a sweep.
-///
-/// # Panics
-///
-/// Panics if `points` is empty.
+/// The minimum-communication point of a sweep, or `None` for an empty
+/// sweep (a zero-slot enumeration still yields one point, so `None`
+/// only reaches callers that built their own point list).
 #[must_use]
-pub fn best_point(points: &[SweepPoint]) -> &SweepPoint {
+pub fn best_point(points: &[SweepPoint]) -> Option<&SweepPoint> {
     points
         .iter()
         .min_by(|a, b| a.comm_elems.total_cmp(&b.comm_elems))
-        .expect("sweep must contain at least one point")
 }
 
 #[cfg(test)]
@@ -129,8 +126,9 @@ mod tests {
         let net = lenet();
         let base = hierarchical::partition(&net, 4);
         let points = enumerate_overrides(&net, base.levels(), &figure9_slots());
-        let best = best_point(&points);
+        let best = best_point(&points).expect("sweep is non-empty");
         assert_eq!(best.comm_elems, base.total_comm_elems());
+        assert!(best_point(&[]).is_none());
     }
 
     #[test]

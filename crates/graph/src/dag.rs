@@ -154,7 +154,14 @@ impl DagNetwork {
                     why,
                 });
             }
-            let layer = node.op().as_layer().expect("non-join nodes are layers");
+            // `chain_violation` returning None above already proved this
+            // node is a layer; keep the fallback typed anyway.
+            let Some(layer) = node.op().as_layer() else {
+                return Err(GraphError::NotAChain {
+                    node: node.name().to_owned(),
+                    why: "node is a join, not a layer",
+                });
+            };
             builder.layer(layer.clone());
         }
         // The graph already passed shape inference at build time, so the
@@ -342,11 +349,13 @@ impl GraphBuilder {
             }
         }
         if order.len() < n {
+            // `order.len() < n` guarantees a stuck node exists; fall back
+            // to the graph's own name rather than asserting it.
             let stuck = (0..n)
                 .filter(|&i| indegree[i] > 0)
                 .map(|i| self.nodes[i].name())
                 .min()
-                .expect("at least one node is on the cycle");
+                .unwrap_or(self.name.as_str());
             return Err(GraphError::Cycle {
                 node: stuck.to_owned(),
             });

@@ -251,7 +251,14 @@ impl DagNetwork {
             let mut builder =
                 Network::builder(format!("{}::{}", self.name(), nodes[head].name()), in_dims);
             for &i in run {
-                let layer = nodes[i].op().as_layer().expect("segments hold layers");
+                // Runs were collected from `is_layer` nodes only; keep
+                // the fallback typed rather than asserting it.
+                let Some(layer) = nodes[i].op().as_layer() else {
+                    return Err(GraphError::NotAChain {
+                        node: nodes[i].name().to_owned(),
+                        why: "segment member is not a layer",
+                    });
+                };
                 builder.layer(layer.clone());
             }
             let net = builder.build().map_err(|source| GraphError::LayerShape {
@@ -283,7 +290,13 @@ impl DagNetwork {
             for r in self.resolved_inputs(i) {
                 match r {
                     Some(p) if nodes[*p].op().is_join() => {
-                        let inner = join_producers[*p].as_ref().expect("inputs precede joins");
+                        // Inputs precede joins in topological order, so
+                        // the inner map is already resolved; an
+                        // unresolved join contributes nothing rather
+                        // than a panic.
+                        let Some(inner) = join_producers[*p].as_ref() else {
+                            continue;
+                        };
                         for (&source, &mult) in inner {
                             *producers.entry(source).or_insert(0.0) += mult;
                         }
@@ -311,7 +324,12 @@ impl DagNetwork {
             };
             match self.resolved_inputs(run[0])[0] {
                 Some(j) if nodes[j].op().is_join() => {
-                    let producers = join_producers[j].as_ref().expect("joins were resolved");
+                    // Every join was resolved in the pass above; an
+                    // unresolved one contributes no edge rather than a
+                    // panic.
+                    let Some(producers) = join_producers[j].as_ref() else {
+                        continue;
+                    };
                     for (&source, &mult) in producers {
                         push(source, mult, true);
                     }

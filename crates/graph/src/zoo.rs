@@ -38,20 +38,19 @@ pub fn by_name(name: &str) -> Option<DagNetwork> {
     NAMES
         .iter()
         .find(|candidate| canonical(candidate) == wanted)
-        .map(|candidate| match *candidate {
-            "ResNet-18" => resnet18(),
-            "Inception-Mini" => inception_mini(),
-            other => unreachable!("`{other}` is not in graph zoo NAMES"),
+        .and_then(|candidate| match *candidate {
+            "ResNet-18" => Some(resnet18()),
+            "Inception-Mini" => Some(inception_mini()),
+            // A NAMES entry without a builder arm is a bug, but it
+            // surfaces as a lookup miss, not an abort.
+            _ => None,
         })
 }
 
 /// All branchy zoo networks, in [`NAMES`] order.
 #[must_use]
 pub fn all() -> Vec<DagNetwork> {
-    NAMES
-        .iter()
-        .map(|n| by_name(n).expect("registry covers all names"))
-        .collect()
+    NAMES.iter().filter_map(|n| by_name(n)).collect()
 }
 
 /// A ResNet-18-style residual network for 224×224 inputs: a strided 7×7
@@ -119,6 +118,7 @@ pub fn resnet18() -> DagNetwork {
         }
     }
     g.fully_connected("fc1000", 1000, &prev);
+    // hypar-allow: panic-path — static zoo literal validated by the structure tests; no service input reaches this builder
     g.build().expect("ResNet-18 is a valid graph")
 }
 
@@ -145,6 +145,7 @@ pub fn inception_mini() -> DagNetwork {
         "mixed",
     )
     .fully_connected("fc10", 10, "conv2");
+    // hypar-allow: panic-path — static zoo literal validated by the structure tests; no service input reaches this builder
     g.build().expect("Inception-Mini is a valid graph")
 }
 

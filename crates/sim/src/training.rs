@@ -97,7 +97,7 @@ pub fn simulate_step_traced(
     cfg: &ArchConfig,
 ) -> Result<(StepReport, String), SimError> {
     let (report, trace) = chain_builder(shapes, plan, cfg, true)?.run();
-    Ok((report, trace.expect("trace requested")))
+    Ok((report, trace.unwrap_or_default()))
 }
 
 /// Simulates one training step of a whole branchy DAG: the segment
@@ -151,7 +151,7 @@ pub fn simulate_graph_step_traced(
     cfg: &ArchConfig,
 ) -> Result<(StepReport, String), SimError> {
     let (report, trace) = graph_builder(graph, plan, cfg, true)?.run();
-    Ok((report, trace.expect("trace requested")))
+    Ok((report, trace.unwrap_or_default()))
 }
 
 /// Simulates one training step on a **single** accelerator (an empty
