@@ -24,6 +24,27 @@ pub const SERVICE_CRATES: &[&str] = &[
     "analyzer",
 ];
 
+/// Crates outside the service whitelist that the call graph can still
+/// reach from an entry point: panic sites there are `panic-reach`
+/// findings when (and only when) a justified call path from a service
+/// entry reaches them.
+pub const REACH_CRATES: &[&str] = &["bench", "models"];
+
+/// Service entry points seeding the call-graph reachability closure:
+/// `(file-path suffix, fn-name prefix)` pairs.  These are the functions
+/// untrusted request bytes can invoke.
+pub const ENTRY_POINTS: &[(&str, &str)] = &[
+    ("crates/engine/src/engine.rs", "plan"),
+    ("crates/engine/src/service.rs", "handle_"),
+    ("crates/engine/src/service.rs", "serve_"),
+    ("crates/engine/src/main.rs", "main"),
+    ("crates/engine/src/scenario.rs", "run"),
+    ("crates/replay/src/main.rs", "main"),
+    ("crates/replay/src/replay.rs", "replay"),
+    ("crates/replay/src/golden.rs", "capture"),
+    ("crates/replay/src/golden.rs", "verify"),
+];
+
 /// Crates in scope for the determinism rules (`det-float-eq`,
 /// `det-wall-clock`).
 pub const DET_CRATES: &[&str] = &[
@@ -70,6 +91,9 @@ pub const CAST_PATHS: &[&str] = &[
 pub struct RuleSet {
     /// `panic-path`: unwrap/expect/panic-family macros forbidden.
     pub panic_path: bool,
+    /// `panic-reach`: the same panic family, but in reach crates
+    /// (`models`/`bench`) where only call-graph-reachable sites count.
+    pub panic_reach: bool,
     /// `lock-poison`: `.lock().unwrap()/.expect()` forbidden.
     pub lock_poison: bool,
     /// `det-map-iter`: `HashMap`/`HashSet` forbidden (hashed paths).
@@ -88,10 +112,13 @@ pub struct RuleSet {
 
 impl RuleSet {
     /// Every rule on — what the fixture tests and the fuzzer use.
+    /// `panic_reach` stays off: it is the reach-crate *variant* of
+    /// `panic_path`, never active alongside it.
     #[must_use]
     pub fn all() -> Self {
         RuleSet {
             panic_path: true,
+            panic_reach: false,
             lock_poison: true,
             det_map_iter: true,
             det_float_eq: true,
@@ -114,6 +141,12 @@ impl RuleSet {
 pub struct Config {
     /// Crate names (under `crates/`) in panic/poison scope.
     pub service_crates: Vec<String>,
+    /// Crate names scanned only for call-graph-reachable hazards
+    /// (`panic-reach`, reachable `err-swallow`).
+    pub reach_crates: Vec<String>,
+    /// `(file-path suffix, fn-name prefix)` service entry points
+    /// seeding the reachability closure.
+    pub entry_points: Vec<(String, String)>,
     /// Crate names in determinism-rule scope.
     pub det_crates: Vec<String>,
     /// Path prefixes in `det-map-iter` scope.
@@ -129,6 +162,11 @@ impl Default for Config {
         let own = |list: &[&str]| list.iter().map(|s| (*s).to_string()).collect();
         Config {
             service_crates: own(SERVICE_CRATES),
+            reach_crates: own(REACH_CRATES),
+            entry_points: ENTRY_POINTS
+                .iter()
+                .map(|(suffix, prefix)| ((*suffix).to_string(), (*prefix).to_string()))
+                .collect(),
             det_crates: own(DET_CRATES),
             hashed_paths: own(HASHED_PATHS),
             clock_allowed: own(CLOCK_ALLOWED),
@@ -147,6 +185,7 @@ impl Config {
             .service_crates
             .iter()
             .chain(self.det_crates.iter())
+            .chain(self.reach_crates.iter())
             .map(String::as_str)
             .collect();
         names.sort_unstable();
@@ -178,6 +217,16 @@ impl Config {
             .strip_prefix("crates/")
             .and_then(|rest| rest.split('/').next())
             .unwrap_or("");
+        // Reach crates get the call-graph-scoped profile: the panic
+        // family as `panic-reach` plus `err-swallow`, both kept only on
+        // justified paths from a service entry point.
+        if self.reach_crates.iter().any(|c| c == crate_of) {
+            return RuleSet {
+                panic_reach: true,
+                err_swallow: true,
+                ..RuleSet::default()
+            };
+        }
         let service = facade || self.service_crates.iter().any(|c| c == crate_of);
         let det = facade || self.det_crates.iter().any(|c| c == crate_of);
         let hashed = self
@@ -191,6 +240,7 @@ impl Config {
         let casts = self.cast_paths.iter().any(|p| path.starts_with(p.as_str()));
         RuleSet {
             panic_path: service,
+            panic_reach: false,
             lock_poison: service,
             det_map_iter: det && hashed,
             det_float_eq: det,
@@ -225,8 +275,37 @@ mod tests {
         let replay = cfg.rules_for("crates/replay/src/drift.rs");
         assert!(replay.det_map_iter, "all of replay is hash-bearing");
 
-        assert!(cfg.rules_for("crates/models/src/zoo.rs").is_empty());
+        let zoo = cfg.rules_for("crates/models/src/zoo.rs");
+        assert!(zoo.panic_reach && zoo.err_swallow, "models is reach-scoped");
+        assert!(!zoo.panic_path && !zoo.det_float_eq && !zoo.lock_scope);
         assert!(cfg.rules_for("vendor/serde/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn reach_crates_get_the_callgraph_scoped_profile() {
+        let cfg = Config::default();
+        for path in [
+            "crates/bench/src/context.rs",
+            "crates/models/src/network.rs",
+        ] {
+            let rules = cfg.rules_for(path);
+            assert!(rules.panic_reach, "{path} is panic-reach scoped");
+            assert!(rules.err_swallow, "{path} keeps err-swallow");
+            assert!(!rules.panic_path, "{path} is not crate-whitelisted");
+        }
+    }
+
+    #[test]
+    fn entry_points_cover_the_request_surface() {
+        let cfg = Config::default();
+        let covers = |suffix: &str, prefix: &str| {
+            cfg.entry_points
+                .iter()
+                .any(|(s, p)| s == suffix && p == prefix)
+        };
+        assert!(covers("crates/engine/src/service.rs", "handle_"));
+        assert!(covers("crates/engine/src/engine.rs", "plan"));
+        assert!(covers("crates/replay/src/golden.rs", "verify"));
     }
 
     #[test]
@@ -268,6 +347,8 @@ mod tests {
         assert_eq!(roots, sorted);
         assert!(roots.contains(&"crates/engine/src".to_string()));
         assert!(roots.contains(&"crates/analyzer/src".to_string()));
+        assert!(roots.contains(&"crates/models/src".to_string()));
+        assert!(roots.contains(&"crates/bench/src".to_string()));
         assert!(roots.contains(&"src".to_string()));
         assert!(roots.contains(&"examples".to_string()));
     }

@@ -24,7 +24,24 @@
 //! pass.  Existing debt is tolerated via the ratcheted [`ratchet`]
 //! baseline, which only ever tightens — and which reached **zero
 //! recorded debt** in PR 9.
+//!
+//! Since PR 10 the analyzer is **interprocedural**: a workspace-wide
+//! [`callgraph`] (nodes `crate::module::fn`, edges only where a call
+//! site resolves unambiguously) seeds a reachability closure at the
+//! configured service entry points (`PlanEngine::plan*`,
+//! `service::handle_*`, the request-loop `main`s, scenario/replay
+//! runners).  `panic-path`/`err-swallow` stop flagging provably
+//! unreachable private helpers, `panic-reach` extends the panic rules
+//! into `models`/`bench` along justified call paths, and two new rules
+//! work directly on the graph: `lock-order` (conflicting lock
+//! acquisition orders across call paths) and `recurse-request`
+//! (unguarded call cycles reachable from an entry point).  Findings on
+//! a reachable path carry an `entry_trace` — the call chain from the
+//! entry point — so reports read like backtraces.  See the
+//! [`callgraph`] module docs for exactly how the two closures are
+//! computed and why each is sound in the direction it is used.
 
+pub mod callgraph;
 pub mod config;
 pub mod fuzz;
 pub mod json;
@@ -59,8 +76,38 @@ const SKIP_DIRS: &[&str] = &["tests", "fixtures", "target"];
 /// root; integration `tests/` directories are skipped here and
 /// `#[cfg(test)]` items are masked by the rules.
 pub fn scan_workspace(root: &Path, config: &Config) -> Result<Vec<Finding>, String> {
-    let mut files = Vec::new();
+    let files = collect_files(root, config)?;
     let mut index = FnIndex::default();
+    for (_, _, _, parsed) in &files {
+        index.add(parsed);
+    }
+    let mut findings = Vec::new();
+    for (rel_path, source, lexed, parsed) in &files {
+        let rules = config.rules_for(rel_path);
+        findings.extend(rules::check_file(
+            rel_path, source, lexed, parsed, rules, &index,
+        ));
+    }
+    // The interprocedural pass: build the call graph, scope
+    // `panic-path`/`err-swallow`/`panic-reach` by reachability, attach
+    // entry traces, and run `lock-order`/`recurse-request`.  A
+    // workspace with no entry points skips all of it.
+    let graph = callgraph::CallGraph::build(&files, config);
+    let mut findings = rules::interproc::apply(&files, config, &graph, findings);
+    report::sort(&mut findings);
+    Ok(findings)
+}
+
+/// Builds the workspace call graph (the same one `scan_workspace` uses
+/// for the interprocedural rules) for `--callgraph` output.
+pub fn callgraph_of(root: &Path, config: &Config) -> Result<callgraph::CallGraph, String> {
+    let files = collect_files(root, config)?;
+    Ok(callgraph::CallGraph::build(&files, config))
+}
+
+/// Lexes and parses every file under the configured scan roots.
+fn collect_files(root: &Path, config: &Config) -> Result<Vec<callgraph::FileUnit>, String> {
+    let mut files = Vec::new();
     for rel_root in config.scan_roots() {
         let dir = root.join(&rel_root);
         if !dir.is_dir() {
@@ -71,19 +118,10 @@ pub fn scan_workspace(root: &Path, config: &Config) -> Result<Vec<Finding>, Stri
                 .map_err(|e| format!("reading {rel_path}: {e}"))?;
             let lexed = lexer::lex(&source);
             let parsed = parse::parse(&lexed.tokens);
-            index.add(&parsed);
             files.push((rel_path, source, lexed, parsed));
         }
     }
-    let mut findings = Vec::new();
-    for (rel_path, source, lexed, parsed) in &files {
-        let rules = config.rules_for(rel_path);
-        findings.extend(rules::check_file(
-            rel_path, source, lexed, parsed, rules, &index,
-        ));
-    }
-    report::sort(&mut findings);
-    Ok(findings)
+    Ok(files)
 }
 
 /// Every `.rs` file under `dir` (sorted, workspace-relative paths,

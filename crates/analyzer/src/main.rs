@@ -7,6 +7,8 @@
 //! hypar-analyzer --bless       # rewrite the baseline to current counts
 //! hypar-analyzer --rules       # the rule reference table
 //! hypar-analyzer --self-fuzz N # coverage-guided lexer+parser fuzz (deterministic)
+//! hypar-analyzer --callgraph dot   # workspace call graph, Graphviz
+//! hypar-analyzer --callgraph json  # same, hypar-analyzer-callgraph/v1
 //! ```
 //!
 //! Exit codes: 0 clean/pass, 1 findings/regressions, 2 usage or I/O
@@ -17,7 +19,9 @@ use std::process::ExitCode;
 
 use hypar_analyzer::config::Config;
 use hypar_analyzer::BASELINE_FILE;
-use hypar_analyzer::{fuzz, ratchet, report, run_bless, run_check, scan_workspace, validate_root};
+use hypar_analyzer::{
+    callgraph_of, fuzz, ratchet, report, run_bless, run_check, scan_workspace, validate_root,
+};
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Mode {
@@ -26,6 +30,13 @@ enum Mode {
     Bless,
     Rules,
     SelfFuzz { iterations: u64, seed: u64 },
+    Callgraph(GraphFormat),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum GraphFormat {
+    Dot,
+    Json,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,8 +52,9 @@ struct Options {
     baseline: Option<PathBuf>,
 }
 
-const USAGE: &str = "usage: hypar-analyzer [--check | --bless | --rules | --self-fuzz N] \
-                     [--format text|json] [--root DIR] [--baseline FILE] [--seed N]";
+const USAGE: &str = "usage: hypar-analyzer [--check | --bless | --rules | --self-fuzz N | \
+                     --callgraph dot|json] [--format text|json] [--root DIR] \
+                     [--baseline FILE] [--seed N]";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut mode = Mode::Report;
@@ -57,6 +69,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--check" => mode = Mode::Check,
             "--bless" => mode = Mode::Bless,
             "--rules" => mode = Mode::Rules,
+            "--callgraph" => {
+                let which = it
+                    .next()
+                    .ok_or(format!("--callgraph needs a format (dot or json)\n{USAGE}"))?;
+                mode = Mode::Callgraph(match which.as_str() {
+                    "dot" => GraphFormat::Dot,
+                    "json" => GraphFormat::Json,
+                    other => {
+                        return Err(format!(
+                            "unknown callgraph format `{other}` (dot or json)\n{USAGE}"
+                        ))
+                    }
+                });
+            }
             "--format" => {
                 let which = it
                     .next()
@@ -152,6 +178,15 @@ fn run(options: &Options) -> Result<ExitCode, String> {
                 summary.corpus_retained,
                 summary.worst_us
             );
+            Ok(ExitCode::SUCCESS)
+        }
+        Mode::Callgraph(graph_format) => {
+            validate_root(&options.root)?;
+            let graph = callgraph_of(&options.root, &config)?;
+            match graph_format {
+                GraphFormat::Dot => print!("{}", graph.to_dot()),
+                GraphFormat::Json => print!("{}", graph.to_json()),
+            }
             Ok(ExitCode::SUCCESS)
         }
         Mode::Report => {

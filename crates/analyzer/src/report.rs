@@ -56,6 +56,21 @@ pub const RULES: &[(&str, &str, &str)] = &[
         "a `hypar-allow` pragma naming an unknown rule or carrying no justification",
         "write `// hypar-allow: <rule> — <why this site is safe>`",
     ),
+    (
+        "panic-reach",
+        "the panic family in a reach crate (`models`/`bench`) on a justified call path from a service entry point (call-graph scoped; the `entry_trace` names the path)",
+        "return a typed error along the reachable path, or restructure so request input cannot reach the panic",
+    ),
+    (
+        "lock-order",
+        "two locks acquired in conflicting orders on two call paths (held-lock sets propagated along the call graph) — a potential deadlock, anchored at both acquisition sites",
+        "acquire locks in one global acquisition order, or drop the first guard before the second acquisition/call",
+    ),
+    (
+        "recurse-request",
+        "a call-graph cycle reachable from a service entry point with no explicit depth/budget guard — a stack-overflow DoS on a deep request",
+        "bound the recursion with an explicit depth or budget parameter, or rewrite iteratively",
+    ),
 ];
 
 /// True if `rule` is one of [`RULES`].
@@ -83,6 +98,14 @@ pub struct Finding {
     /// Waived findings are excluded from counts and text output but kept
     /// in the JSON document so tooling sees the full picture.
     pub waived: bool,
+    /// The justified call chain from a service entry point to the
+    /// enclosing fn (`crate::module::fn` labels, entry first).  Empty
+    /// when the finding is not on a must-reachable path (or the
+    /// workspace has no entry points).
+    pub entry_trace: Vec<String>,
+    /// The waiving pragma's justification text, so the JSON document is
+    /// auditable standalone.  `None` unless `waived`.
+    pub justification: Option<String>,
 }
 
 impl Finding {
@@ -98,6 +121,8 @@ impl Finding {
             span: (0, 0),
             snippet: String::new(),
             waived: false,
+            entry_trace: Vec::new(),
+            justification: None,
         }
     }
 }
@@ -154,21 +179,25 @@ pub fn rules_table() -> String {
 /// Schema identifier stamped into every `--format json` document.
 ///
 /// The schema is append-only: consumers must tolerate unknown keys, and
-/// any breaking change bumps the `/v1` suffix.
-pub const FINDINGS_SCHEMA: &str = "hypar-analyzer-findings/v1";
+/// any breaking change bumps the version suffix.  v2 adds `entry_trace`
+/// (the call chain from a service entry point, so findings read like
+/// backtraces) and `justification` (the waiving pragma's text).
+pub const FINDINGS_SCHEMA: &str = "hypar-analyzer-findings/v2";
 
 /// Serializes findings as the stable machine-readable document:
 ///
 /// ```json
 /// {
-///   "schema": "hypar-analyzer-findings/v1",
+///   "schema": "hypar-analyzer-findings/v2",
 ///   "total": 2,          // live (non-waived) findings
 ///   "waived": 1,         // findings suppressed by a justified pragma
 ///   "totals": {"panic-path": 2},
 ///   "findings": [
 ///     {"rule": "...", "file": "...", "line": 7,
 ///      "span": {"start": 120, "end": 131},
-///      "snippet": "x.unwrap()", "message": "...", "waived": false}
+///      "snippet": "x.unwrap()", "message": "...", "waived": false,
+///      "entry_trace": ["engine::service::handle_line", "engine::engine::plan"],
+///      "justification": null}
 ///   ]
 /// }
 /// ```
@@ -203,10 +232,21 @@ pub fn findings_json(findings: &[Finding]) -> String {
             out.push(',');
         }
         first = false;
+        let trace = f
+            .entry_trace
+            .iter()
+            .map(|hop| escape(hop))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let justification = f
+            .justification
+            .as_deref()
+            .map_or_else(|| "null".to_string(), escape);
         out.push_str(&format!(
             "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \
              \"span\": {{\"start\": {}, \"end\": {}}}, \"snippet\": {}, \
-             \"message\": {}, \"waived\": {}}}",
+             \"message\": {}, \"waived\": {}, \"entry_trace\": [{trace}], \
+             \"justification\": {justification}}}",
             escape(f.rule),
             escape(&f.file),
             f.line,
@@ -307,6 +347,11 @@ mod tests {
             span: (10, 25),
             snippet: "do_io();".into(),
             waived: false,
+            entry_trace: vec![
+                "engine::service::handle_line".into(),
+                "engine::engine::plan".into(),
+            ],
+            justification: None,
         };
         let doc = json::parse(&findings_json(&[finding])).expect("valid json");
         let f = &doc
@@ -320,6 +365,36 @@ mod tests {
         let span = f.get("span").expect("span");
         assert_eq!(span.get("start").and_then(json::Value::as_u64), Some(10));
         assert_eq!(span.get("end").and_then(json::Value::as_u64), Some(25));
+        let trace = f
+            .get("entry_trace")
+            .and_then(json::Value::as_array)
+            .expect("entry_trace array");
+        assert_eq!(trace.len(), 2);
+        assert_eq!(
+            trace[0].as_str(),
+            Some("engine::service::handle_line"),
+            "entry first"
+        );
+        assert!(
+            matches!(f.get("justification"), Some(json::Value::Null)),
+            "unwaived findings carry a null justification"
+        );
+    }
+
+    #[test]
+    fn waived_findings_carry_the_pragma_justification() {
+        let mut finding = Finding::bare("a.rs", 1, "panic-path", "m".into());
+        finding.waived = true;
+        finding.justification = Some("static literal validated by tests".into());
+        let doc = json::parse(&findings_json(&[finding])).expect("valid json");
+        let f = &doc
+            .get("findings")
+            .and_then(json::Value::as_array)
+            .expect("arr")[0];
+        assert_eq!(
+            f.get("justification").and_then(json::Value::as_str),
+            Some("static literal validated by tests")
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //!   `--format json`.  Pragmas with an unknown rule or no justification
 //!   become `bad-pragma` findings instead of waiving anything.
 
+pub(crate) mod interproc;
 pub mod lexical;
 pub mod structural;
 
@@ -65,6 +66,8 @@ impl Ctx<'_> {
             span: (start, end),
             snippet: snippet_of(self.source, line_tok.line),
             waived: false,
+            entry_trace: Vec::new(),
+            justification: None,
         }
     }
 }
@@ -224,18 +227,24 @@ fn check_pragmas(path: &str, pragmas: &[Pragma], findings: &mut Vec<Finding>) {
 }
 
 /// Marks findings waived by a *valid* pragma on the same line or the
-/// line above.  `bad-pragma` findings are never waivable.
+/// line above, carrying the pragma's justification into the finding so
+/// the JSON document is auditable standalone.  `bad-pragma` findings
+/// are never waivable.
 fn apply_pragmas(pragmas: &[Pragma], mut findings: Vec<Finding>) -> Vec<Finding> {
     for finding in &mut findings {
         if finding.rule == "bad-pragma" {
             continue;
         }
-        finding.waived = pragmas.iter().any(|pragma| {
+        let waiver = pragmas.iter().find(|pragma| {
             pragma.rule == finding.rule
                 && !pragma.justification.is_empty()
                 && known_rule(&pragma.rule)
                 && (pragma.line == finding.line || pragma.line + 1 == finding.line)
         });
+        if let Some(pragma) = waiver {
+            finding.waived = true;
+            finding.justification = Some(pragma.justification.clone());
+        }
     }
     findings
 }

@@ -1,0 +1,617 @@
+//! Interprocedural rules over the workspace call graph:
+//! reachability-precise scoping for `panic-path`/`err-swallow`/
+//! `panic-reach`, `lock-order` (deadlock by conflicting acquisition
+//! order), and `recurse-request` (unguarded recursion on the request
+//! path).  See the [`crate::callgraph`] docs for how the two
+//! reachability closures are computed and which direction each one is
+//! allowed to influence.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::{CallGraph, FileUnit};
+use crate::config::Config;
+use crate::lexer::{Pragma, Token};
+use crate::parse::{Block, Stmt};
+use crate::report::Finding;
+
+use super::{is_punct, is_word};
+
+/// Ident substrings that count as an explicit recursion guard: a cycle
+/// whose body threads a depth/budget value is bounded by construction.
+const GUARD_HINTS: &[&str] = &["depth", "budget", "limit", "fuel", "remaining"];
+
+/// Which scope a file's crate falls into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Scope {
+    /// Service crates: the reachability closure may only *exempt*.
+    Service,
+    /// Reach crates (`models`/`bench`): findings exist only along
+    /// justified paths from an entry point.
+    Reach,
+    /// Everything else (facade, examples): untouched.
+    Other,
+}
+
+fn scope_of(config: &Config, path: &str) -> Scope {
+    let Some(krate) = path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+    else {
+        return Scope::Other;
+    };
+    if config.service_crates.iter().any(|c| c == krate) {
+        Scope::Service
+    } else if config.reach_crates.iter().any(|c| c == krate) {
+        Scope::Reach
+    } else {
+        Scope::Other
+    }
+}
+
+/// Runs the interprocedural pass: filters the per-file findings by
+/// reachability, attaches `entry_trace`s, and appends the `lock-order`
+/// and `recurse-request` findings.
+pub(crate) fn apply(
+    files: &[FileUnit],
+    config: &Config,
+    graph: &CallGraph,
+    findings: Vec<Finding>,
+) -> Vec<Finding> {
+    let has_entries = graph.has_entries();
+    let file_index: BTreeMap<&str, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(i, (path, _, _, _))| (path.as_str(), i))
+        .collect();
+
+    let mut out = Vec::new();
+    for mut finding in findings {
+        if finding.rule == "bad-pragma" {
+            out.push(finding);
+            continue;
+        }
+        let node = file_index
+            .get(finding.file.as_str())
+            .and_then(|&fi| node_of_finding(graph, files, fi, &finding));
+        match scope_of(config, &finding.file) {
+            Scope::Service => {
+                if has_entries
+                    && matches!(finding.rule, "panic-path" | "err-swallow")
+                    && node.is_some_and(|n| !graph.is_may_reachable(n))
+                {
+                    // A private helper even the over-approximated graph
+                    // cannot reach from any callable root.
+                    continue;
+                }
+            }
+            Scope::Reach => {
+                if matches!(finding.rule, "panic-reach" | "err-swallow") {
+                    let reachable = has_entries && node.is_some_and(|n| graph.is_must_reachable(n));
+                    if !reachable {
+                        continue;
+                    }
+                }
+            }
+            Scope::Other => {}
+        }
+        if let Some(n) = node {
+            if graph.is_must_reachable(n) {
+                finding.entry_trace = graph.entry_trace(n);
+            }
+        }
+        out.push(finding);
+    }
+
+    if has_entries {
+        out.extend(lock_order(files, graph));
+        out.extend(recurse_request(files, graph));
+    }
+    out
+}
+
+/// Maps a finding back to the innermost fn node containing it, via the
+/// span start (token-exact) or the first token on its line.
+fn node_of_finding(
+    graph: &CallGraph,
+    files: &[FileUnit],
+    file_idx: usize,
+    finding: &Finding,
+) -> Option<usize> {
+    let tokens = &files[file_idx].2.tokens;
+    let tok = if finding.span != (0, 0) {
+        let at = tokens.partition_point(|t| t.start < finding.span.0);
+        tokens
+            .get(at)
+            .filter(|t| t.start == finding.span.0)
+            .map(|_| at)
+    } else {
+        None
+    };
+    let tok = tok.or_else(|| tokens.iter().position(|t| t.line == finding.line))?;
+    graph.enclosing_node(file_idx, tok)
+}
+
+/// One `let guard = <..>.lock()..;` acquisition site.
+#[derive(Clone, Debug)]
+struct Acquisition {
+    /// The lock's field/static name (the ident before `.lock(`).
+    lock: String,
+    /// The bound guard variable.
+    guard: String,
+    line: u32,
+    span: (u32, u32),
+    /// Token index just past the binding statement.
+    after: usize,
+    /// Token index of the enclosing block's `}`.
+    block_close: usize,
+}
+
+/// A lock-order edge witness: `first` acquired, then `second` while the
+/// first guard is live.
+#[derive(Clone, Debug)]
+struct Witness {
+    file: String,
+    line: u32,
+    span: (u32, u32),
+    holder: usize,
+    second_file: String,
+    second_line: u32,
+}
+
+/// `lock-order`: propagate held-lock sets along justified call edges and
+/// report cycles in the acquisition-order relation.
+fn lock_order(files: &[FileUnit], graph: &CallGraph) -> Vec<Finding> {
+    let n = graph.nodes.len();
+    // Acquisitions per must-reachable node.
+    let mut acqs: Vec<Vec<Acquisition>> = vec![Vec::new(); n];
+    for (file_idx, (_, _, lexed, parsed)) in files.iter().enumerate() {
+        let tokens = &lexed.tokens;
+        let masked = crate::rules::test_mask(tokens);
+        let mut stmts = Vec::new();
+        walk_stmts(&parsed.root, &mut stmts);
+        for (stmt, block_close) in stmts {
+            let Some(acq) = lock_acquisition(tokens, &masked, stmt, block_close) else {
+                continue;
+            };
+            let Some(node) = graph.enclosing_node(file_idx, stmt.start) else {
+                continue;
+            };
+            if graph.is_must_reachable(node) {
+                acqs[node].push(acq);
+            }
+        }
+    }
+
+    // Transitive lock summaries: which locks a call into `node` may
+    // acquire, with a representative site each.
+    let mut summaries: Vec<BTreeMap<String, (String, u32)>> = (0..n)
+        .map(|i| {
+            acqs[i]
+                .iter()
+                .map(|a| (a.lock.clone(), (graph.nodes[i].file.clone(), a.line)))
+                .collect()
+        })
+        .collect();
+    for _ in 0..n {
+        let mut changed = false;
+        for i in 0..n {
+            if !graph.is_must_reachable(i) {
+                continue;
+            }
+            let callees: Vec<usize> = graph.must_callees(i).collect();
+            for callee in callees {
+                let merged: Vec<(String, (String, u32))> = summaries[callee]
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                for (lock, site) in merged {
+                    if let std::collections::btree_map::Entry::Vacant(slot) =
+                        summaries[i].entry(lock)
+                    {
+                        slot.insert(site);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Order edges `first → second` with a witness each.
+    let mut edges: BTreeMap<(String, String), Witness> = BTreeMap::new();
+    let record = |first: &Acquisition,
+                  holder: usize,
+                  second: &str,
+                  second_file: &str,
+                  second_line: u32,
+                  edges: &mut BTreeMap<(String, String), Witness>| {
+        if first.lock == second {
+            return;
+        }
+        edges
+            .entry((first.lock.clone(), second.to_string()))
+            .or_insert_with(|| Witness {
+                file: graph.nodes[holder].file.clone(),
+                line: first.line,
+                span: first.span,
+                holder,
+                second_file: second_file.to_string(),
+                second_line,
+            });
+    };
+    for (node, node_acqs) in acqs.iter().enumerate() {
+        if node_acqs.is_empty() {
+            continue;
+        }
+        let file_idx = graph.nodes[node].file_idx;
+        let tokens = &files[file_idx].2.tokens;
+        for a in node_acqs {
+            let scope_end = scope_end(tokens, a);
+            for b in node_acqs {
+                if b.after > a.after && b.after <= scope_end {
+                    record(
+                        a,
+                        node,
+                        &b.lock,
+                        &graph.nodes[node].file,
+                        b.line,
+                        &mut edges,
+                    );
+                }
+            }
+            for call in &graph.calls[node] {
+                if call.tok > a.after && call.tok < scope_end {
+                    let summary: Vec<(String, (String, u32))> = summaries[call.callee]
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    for (lock, (file, line)) in summary {
+                        record(a, node, &lock, &file, line, &mut edges);
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycles in the lock-order digraph.
+    let mut names: Vec<&String> = edges.keys().flat_map(|(a, b)| [a, b]).collect();
+    names.sort();
+    names.dedup();
+    let id_of: BTreeMap<&str, usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.as_str(), i))
+        .collect();
+    let mut adj = vec![Vec::new(); names.len()];
+    for (a, b) in edges.keys() {
+        adj[id_of[a.as_str()]].push(id_of[b.as_str()]);
+    }
+    let active = vec![true; names.len()];
+    let mut findings = Vec::new();
+    for component in sccs(&adj, &active) {
+        if component.len() < 2 {
+            continue; // same-name self edges are filtered at recording
+        }
+        let mut locks: Vec<&str> = component.iter().map(|&i| names[i].as_str()).collect();
+        locks.sort_unstable();
+        // Anchor at the first witness edge inside the component.
+        let witness = edges
+            .iter()
+            .find(|((a, b), _)| locks.contains(&a.as_str()) && locks.contains(&b.as_str()))
+            .map(|(_, w)| w.clone());
+        let Some(witness) = witness else { continue };
+        let message = lock_cycle_message(&locks, &edges);
+        findings.push(Finding {
+            file: witness.file.clone(),
+            line: witness.line,
+            rule: "lock-order",
+            message,
+            span: witness.span,
+            snippet: snippet_of(&files[graph.nodes[witness.holder].file_idx].1, witness.line),
+            waived: false,
+            entry_trace: graph.entry_trace(witness.holder),
+            justification: None,
+        });
+    }
+    waive(files, findings)
+}
+
+/// Renders the conflicting-order message, naming every witness site
+/// inside the cycle.
+fn lock_cycle_message(locks: &[&str], edges: &BTreeMap<(String, String), Witness>) -> String {
+    let mut sites = Vec::new();
+    for ((a, b), w) in edges {
+        if locks.contains(&a.as_str()) && locks.contains(&b.as_str()) {
+            sites.push(format!(
+                "`{a}` then `{b}` at {}:{} (second acquisition at {}:{})",
+                w.file, w.line, w.second_file, w.second_line
+            ));
+        }
+    }
+    format!(
+        "locks {} are acquired in conflicting orders across call paths: {} — two \
+         concurrent requests can deadlock; acquire in one global order or drop the \
+         first guard before the second acquisition",
+        locks
+            .iter()
+            .map(|l| format!("`{l}`"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        sites.join("; ")
+    )
+}
+
+/// `recurse-request`: any cycle in the justified call graph that an
+/// entry point reaches, with no depth/budget guard inside the cycle.
+fn recurse_request(files: &[FileUnit], graph: &CallGraph) -> Vec<Finding> {
+    let n = graph.nodes.len();
+    let active: Vec<bool> = (0..n).map(|i| graph.is_must_reachable(i)).collect();
+    let mut adj = vec![Vec::new(); n];
+    for i in 0..n {
+        if active[i] {
+            adj[i] = graph.must_callees(i).filter(|&j| active[j]).collect();
+        }
+    }
+    let mut findings = Vec::new();
+    for component in sccs(&adj, &active) {
+        let cyclic = component.len() > 1
+            || (component.len() == 1 && adj[component[0]].contains(&component[0]));
+        if !cyclic {
+            continue;
+        }
+        if component.iter().any(|&i| has_guard(files, graph, i)) {
+            continue;
+        }
+        let mut members = component.clone();
+        members.sort_by_key(|&i| (graph.nodes[i].file.clone(), graph.nodes[i].line));
+        let anchor = members[0];
+        let anchor_node = &graph.nodes[anchor];
+        let labels: Vec<String> = members
+            .iter()
+            .map(|&i| graph.nodes[i].label.clone())
+            .collect();
+        let cycle = if labels.len() == 1 {
+            format!("`{}` calls itself", labels[0])
+        } else {
+            format!("call cycle through {}", labels.join(" -> "))
+        };
+        findings.push(Finding {
+            file: anchor_node.file.clone(),
+            line: anchor_node.line,
+            rule: "recurse-request",
+            message: format!(
+                "{cycle} on a service-reachable path with no depth/budget guard — a \
+                 deep request can overflow the stack; bound the recursion with an \
+                 explicit depth or budget parameter, or rewrite iteratively"
+            ),
+            span: (0, 0),
+            snippet: snippet_of(&files[anchor_node.file_idx].1, anchor_node.line),
+            waived: false,
+            entry_trace: graph.entry_trace(anchor),
+            justification: None,
+        });
+    }
+    waive(files, findings)
+}
+
+/// Whether the node's body mentions a guard-ish ident (`depth`,
+/// `budget`, `limit`, `fuel`, `remaining` — case-insensitive).
+fn has_guard(files: &[FileUnit], graph: &CallGraph, node: usize) -> bool {
+    let fnode = &graph.nodes[node];
+    let Some((open, close)) = fnode.body else {
+        return false;
+    };
+    let tokens = &files[fnode.file_idx].2.tokens;
+    tokens[open.min(tokens.len())..close.min(tokens.len())]
+        .iter()
+        .any(|t| {
+            is_word(t) && {
+                let lower = t.text.to_ascii_lowercase();
+                GUARD_HINTS.iter().any(|g| lower.contains(g))
+            }
+        })
+}
+
+/// Applies `hypar-allow` waivers to interproc findings (same line or
+/// line above, justified, matching rule) and carries the justification.
+fn waive(files: &[FileUnit], mut findings: Vec<Finding>) -> Vec<Finding> {
+    let pragmas: BTreeMap<&str, &[Pragma]> = files
+        .iter()
+        .map(|(path, _, lexed, _)| (path.as_str(), lexed.pragmas.as_slice()))
+        .collect();
+    for finding in &mut findings {
+        let Some(pragmas) = pragmas.get(finding.file.as_str()) else {
+            continue;
+        };
+        if let Some(pragma) = pragmas.iter().find(|p| {
+            p.rule == finding.rule
+                && !p.justification.is_empty()
+                && (p.line == finding.line || p.line + 1 == finding.line)
+        }) {
+            finding.waived = true;
+            finding.justification = Some(pragma.justification.clone());
+        }
+    }
+    findings
+}
+
+/// Every `(stmt, enclosing block close)` pair, recursively.
+fn walk_stmts<'a>(block: &'a Block, out: &mut Vec<(&'a Stmt, usize)>) {
+    for stmt in &block.stmts {
+        out.push((stmt, block.close));
+        for inner in &stmt.blocks {
+            walk_stmts(inner, out);
+        }
+    }
+}
+
+/// Recognizes `let [mut] guard = <recv>.lock()..;` and extracts the
+/// lock name (the ident before `.lock(`) plus the guard binding.
+fn lock_acquisition(
+    tokens: &[Token],
+    masked: &[bool],
+    stmt: &Stmt,
+    block_close: usize,
+) -> Option<Acquisition> {
+    if masked.get(stmt.start).copied().unwrap_or(true) {
+        return None;
+    }
+    if !tokens.get(stmt.end).is_some_and(|t| is_punct(t, ';')) {
+        return None;
+    }
+    let head = tokens.get(stmt.start)?;
+    if !(is_word(head) && head.text == "let") {
+        return None;
+    }
+    let mut k = stmt.start + 1;
+    if tokens.get(k).is_some_and(|t| is_word(t) && t.text == "mut") {
+        k += 1;
+    }
+    let guard_tok = tokens.get(k)?;
+    if !is_word(guard_tok) || guard_tok.text == "_" {
+        return None;
+    }
+    if !tokens.get(k + 1).is_some_and(|t| is_punct(t, '=')) {
+        return None;
+    }
+    let mut j = k + 2;
+    while j + 3 <= stmt.end {
+        if is_punct(&tokens[j], '.')
+            && tokens
+                .get(j + 1)
+                .is_some_and(|t| is_word(t) && t.text == "lock")
+            && tokens.get(j + 2).is_some_and(|t| is_punct(t, '('))
+            && tokens.get(j + 3).is_some_and(|t| is_punct(t, ')'))
+        {
+            let recv = tokens.get(j.wrapping_sub(1))?;
+            if !is_word(recv) {
+                return None; // computed receiver: no stable lock name
+            }
+            return Some(Acquisition {
+                lock: recv.text.clone(),
+                guard: guard_tok.text.clone(),
+                line: head.line,
+                span: (head.start, tokens[stmt.end].end),
+                after: stmt.end,
+                block_close,
+            });
+        }
+        j += 1;
+    }
+    None
+}
+
+/// The token index ending the guard's live range: an explicit
+/// `drop(guard)` or the enclosing block's `}`.
+fn scope_end(tokens: &[Token], acq: &Acquisition) -> usize {
+    let end = acq.block_close.min(tokens.len());
+    let mut j = acq.after + 1;
+    while j + 3 < end {
+        if is_word(&tokens[j])
+            && tokens[j].text == "drop"
+            && is_punct(&tokens[j + 1], '(')
+            && tokens
+                .get(j + 2)
+                .is_some_and(|t| is_word(t) && t.text == acq.guard)
+            && tokens.get(j + 3).is_some_and(|t| is_punct(t, ')'))
+        {
+            return j;
+        }
+        j += 1;
+    }
+    end
+}
+
+/// The trimmed source text of 1-based `line`.
+fn snippet_of(source: &str, line: u32) -> String {
+    source
+        .lines()
+        .nth(line.saturating_sub(1) as usize)
+        .map(|l| l.trim().to_string())
+        .unwrap_or_default()
+}
+
+/// Iterative Tarjan strongly-connected components over `adj`, visiting
+/// only `active` nodes.
+fn sccs(adj: &[Vec<usize>], active: &[bool]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+    let mut components = Vec::new();
+    let mut work: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if !active[start] || index[start] != usize::MAX {
+            continue;
+        }
+        work.push((start, 0));
+        while let Some(&(v, cursor)) = work.last() {
+            if cursor == 0 {
+                index[v] = next;
+                low[v] = next;
+                next += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(cursor) {
+                if let Some(top) = work.last_mut() {
+                    top.1 += 1;
+                }
+                if !active[w] {
+                    continue;
+                }
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(u, _)) = work.last() {
+                    low[u] = low[u].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut component = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sccs_find_cycles_and_singletons() {
+        // 0 -> 1 -> 2 -> 0 (cycle), 3 -> 0 (singleton), 4 self-loop.
+        let adj = vec![vec![1], vec![2], vec![0], vec![0], vec![4]];
+        let active = vec![true; 5];
+        let mut components = sccs(&adj, &active);
+        components.iter_mut().for_each(|c| c.sort_unstable());
+        assert!(components.contains(&vec![0, 1, 2]));
+        assert!(components.contains(&vec![3]));
+        assert!(components.contains(&vec![4]));
+    }
+
+    #[test]
+    fn inactive_nodes_are_skipped() {
+        let adj = vec![vec![1], vec![0]];
+        let active = vec![true, false];
+        let components = sccs(&adj, &active);
+        assert_eq!(components, vec![vec![0]]);
+    }
+}

@@ -39,14 +39,22 @@ pub(crate) fn check(ctx: &Ctx<'_>, masked: &[bool], rules: RuleSet, findings: &m
         }
     }
 
+    // In reach crates (`models`/`bench`) the panic family reports as
+    // `panic-reach`: same matcher, call-graph-scoped by the interproc
+    // pass, waivable under its own rule id.
+    let panic_rule: &'static str = if rules.panic_reach {
+        "panic-reach"
+    } else {
+        "panic-path"
+    };
     for i in 0..tokens.len() {
         if masked[i] || consumed[i] {
             continue;
         }
         let tok = &tokens[i];
-        if rules.panic_path {
+        if rules.panic_path || rules.panic_reach {
             if let Some((first, last, msg)) = match_panic_path(tokens, i) {
-                findings.push(ctx.finding(i, first, last, "panic-path", msg));
+                findings.push(ctx.finding(i, first, last, panic_rule, msg));
             }
         }
         if rules.det_map_iter && is_word(tok) && (tok.text == "HashMap" || tok.text == "HashSet") {

@@ -32,7 +32,9 @@ fn rules_table_lists_every_rule() {
     let table = stdout(&output);
     for rule in [
         "panic-path",
+        "panic-reach",
         "lock-poison",
+        "lock-order",
         "det-map-iter",
         "det-float-eq",
         "det-wall-clock",
@@ -40,6 +42,7 @@ fn rules_table_lists_every_rule() {
         "err-swallow",
         "cast-truncate",
         "lock-scope",
+        "recurse-request",
     ] {
         assert!(table.contains(rule), "--rules missing {rule}:\n{table}");
     }
@@ -142,6 +145,32 @@ fn format_json_emits_the_documented_schema_and_agrees_with_text() {
             .expect("start");
         let end = span.get("end").and_then(json::Value::as_u64).expect("end");
         assert!(end >= start, "span runs forward");
+        // v2 fields: every finding carries an entry_trace array of
+        // strings, and waived findings carry their pragma's
+        // justification text (live ones carry null).
+        let trace = finding
+            .get("entry_trace")
+            .and_then(json::Value::as_array)
+            .expect("entry_trace array");
+        assert!(trace.iter().all(|hop| hop.as_str().is_some()));
+        let waived_here = finding
+            .get("waived")
+            .and_then(json::Value::as_bool)
+            .expect("waived");
+        let justification = finding.get("justification").expect("justification field");
+        if waived_here {
+            assert!(
+                justification
+                    .as_str()
+                    .is_some_and(|text| !text.trim().is_empty()),
+                "waived finding must carry its pragma justification: {finding:?}"
+            );
+        } else {
+            assert!(
+                matches!(justification, json::Value::Null),
+                "live finding has no justification: {finding:?}"
+            );
+        }
     }
 
     // Text and JSON report modes agree on the live-finding count and
@@ -161,6 +190,73 @@ fn format_json_emits_the_documented_schema_and_agrees_with_text() {
 
     // `--format json` outside report mode is a usage error.
     let bad = run(&["--check", "--format", "json", "--root", root_str]);
+    assert_eq!(bad.status.code(), Some(2));
+}
+
+#[test]
+fn callgraph_modes_emit_dot_and_json() {
+    let root = repo_root();
+    let root_str = root.to_str().expect("utf-8 root");
+
+    let dot = run(&["--callgraph", "dot", "--root", root_str]);
+    assert!(dot.status.success());
+    let text = stdout(&dot);
+    assert!(text.starts_with("digraph callgraph {"), "{text}");
+    assert!(
+        text.contains("\"engine::service::handle_line\""),
+        "dot names the service entry"
+    );
+
+    let json_run = run(&["--callgraph", "json", "--root", root_str]);
+    assert!(json_run.status.success());
+    let doc = json::parse(&stdout(&json_run)).expect("callgraph document is valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(json::Value::as_str),
+        Some("hypar-analyzer-callgraph/v1")
+    );
+    let nodes = doc
+        .get("nodes")
+        .and_then(json::Value::as_array)
+        .expect("nodes");
+    let functions = doc
+        .get("functions")
+        .and_then(json::Value::as_u64)
+        .expect("functions");
+    assert_eq!(nodes.len() as u64, functions);
+    let entries = doc
+        .get("entries")
+        .and_then(json::Value::as_array)
+        .expect("entries");
+    assert!(
+        entries
+            .iter()
+            .any(|e| e.as_str() == Some("engine::engine::plan")),
+        "PlanEngine::plan is an entry point"
+    );
+    // Every entry is a reachable node, and edges only name known nodes.
+    let ids: std::collections::BTreeSet<&str> = nodes
+        .iter()
+        .filter_map(|n| n.get("id").and_then(json::Value::as_str))
+        .collect();
+    for entry in entries {
+        let label = entry.as_str().expect("entry label");
+        assert!(ids.contains(label), "entry {label} missing from nodes");
+    }
+    for edge in doc
+        .get("edges")
+        .and_then(json::Value::as_array)
+        .expect("edges")
+    {
+        let from = edge
+            .get("from")
+            .and_then(json::Value::as_str)
+            .expect("from");
+        let to = edge.get("to").and_then(json::Value::as_str).expect("to");
+        assert!(ids.contains(from) && ids.contains(to), "{from} -> {to}");
+    }
+
+    // Bad format is a usage error.
+    let bad = run(&["--callgraph", "svg", "--root", root_str]);
     assert_eq!(bad.status.code(), Some(2));
 }
 

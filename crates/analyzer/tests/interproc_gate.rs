@@ -1,0 +1,279 @@
+//! The interprocedural rules end to end, against synthetic
+//! mini-workspaces: a seeded opposite-order double-lock fails the check
+//! naming both acquisition sites, a seeded unguarded recursion on the
+//! request path fails with an entry trace from the service entry point
+//! (and a depth-guarded rewrite passes), provably unreachable private
+//! helpers are exempt from `panic-path`, and `models` panics are
+//! flagged exactly when a justified call path from an entry reaches
+//! them.
+
+use std::fs;
+use std::path::PathBuf;
+
+use hypar_analyzer::config::Config;
+use hypar_analyzer::{run_bless, run_check, scan_workspace};
+
+/// A scratch workspace under the target dir (always writable, cleaned
+/// up by `cargo clean`), unique per test so they can run in parallel.
+struct MiniWorkspace {
+    root: PathBuf,
+}
+
+impl MiniWorkspace {
+    fn new(test: &str) -> Self {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/analyzer-interproc")
+            .join(test);
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates")).expect("mkdir mini-workspace");
+        fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write Cargo.toml");
+        MiniWorkspace { root }
+    }
+
+    fn baseline(&self) -> PathBuf {
+        self.root.join("analyzer-baseline.json")
+    }
+
+    fn write_file(&self, rel: &str, source: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        fs::write(path, source).unwrap_or_else(|e| panic!("write {rel}: {e}"));
+    }
+}
+
+impl Drop for MiniWorkspace {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+/// `service.rs` with a real entry point and no findings of its own.
+const CLEAN_ENTRY: &str = "\
+pub fn handle_request(x: Option<u8>) -> u8 {
+    x.unwrap_or(0)
+}
+";
+
+#[test]
+fn seeded_lock_order_cycle_fails_the_check_naming_both_sites() {
+    let ws = MiniWorkspace::new("lockorder");
+    let config = Config::default();
+    ws.write_file("crates/engine/src/service.rs", CLEAN_ENTRY);
+    run_bless(&ws.root, &config, &ws.baseline()).expect("bless clean tree");
+
+    // The acceptance scenario: the request path takes `cache` then
+    // `stats`, while a helper it calls takes `stats` then `cache`.
+    ws.write_file(
+        "crates/engine/src/service.rs",
+        "\
+use std::sync::Mutex;
+
+pub struct State {
+    pub cache: Mutex<u8>,
+    pub stats: Mutex<u8>,
+}
+
+pub fn handle_request(s: &State) -> u8 {
+    let cache = s.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let held = *cache;
+    held + refresh(s)
+}
+
+fn refresh(s: &State) -> u8 {
+    let stats = s.stats.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let held = *stats;
+    let cache = s.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    held + *cache
+}
+",
+    );
+    let outcome = run_check(&ws.root, &config, &ws.baseline()).expect("check dirty tree");
+    assert!(
+        !outcome.passed(),
+        "a lock-order cycle must fail the ratchet"
+    );
+    assert_eq!(outcome.regressions.len(), 1);
+    let (delta, findings) = &outcome.regressions[0];
+    assert_eq!(delta.rule, "lock-order");
+    assert_eq!(delta.file, "crates/engine/src/service.rs");
+    assert_eq!(findings.len(), 1);
+    let finding = &findings[0];
+    // Both acquisition orders are named, each with both sites.
+    assert!(
+        finding.message.contains("`cache` then `stats`")
+            && finding.message.contains("`stats` then `cache`"),
+        "{}",
+        finding.message
+    );
+    assert!(
+        finding
+            .message
+            .matches("crates/engine/src/service.rs:")
+            .count()
+            >= 2,
+        "both acquisition sites carry file:line anchors: {}",
+        finding.message
+    );
+    assert_eq!(
+        finding.entry_trace.first().map(String::as_str),
+        Some("engine::service::handle_request"),
+        "{:?}",
+        finding.entry_trace
+    );
+}
+
+#[test]
+fn seeded_request_path_recursion_fails_with_an_entry_trace() {
+    let ws = MiniWorkspace::new("recursion");
+    let config = Config::default();
+    ws.write_file("crates/engine/src/service.rs", CLEAN_ENTRY);
+    run_bless(&ws.root, &config, &ws.baseline()).expect("bless clean tree");
+
+    ws.write_file(
+        "crates/engine/src/service.rs",
+        "\
+pub fn handle_request(n: u8) -> u8 {
+    descend(n)
+}
+
+fn descend(n: u8) -> u8 {
+    if n == 0 {
+        0
+    } else {
+        descend(n - 1)
+    }
+}
+",
+    );
+    let outcome = run_check(&ws.root, &config, &ws.baseline()).expect("check dirty tree");
+    assert!(
+        !outcome.passed(),
+        "unguarded request-path recursion must fail the ratchet"
+    );
+    assert_eq!(outcome.regressions.len(), 1);
+    let (delta, findings) = &outcome.regressions[0];
+    assert_eq!(delta.rule, "recurse-request");
+    assert_eq!(findings.len(), 1);
+    let finding = &findings[0];
+    assert!(
+        finding.message.contains("calls itself"),
+        "{}",
+        finding.message
+    );
+    assert_eq!(
+        finding.entry_trace,
+        vec![
+            "engine::service::handle_request".to_string(),
+            "engine::service::descend".to_string(),
+        ]
+    );
+
+    // Threading an explicit depth through the cycle bounds it: the same
+    // shape with a budget parameter passes the gate.
+    ws.write_file(
+        "crates/engine/src/service.rs",
+        "\
+pub fn handle_request(n: u8) -> u8 {
+    descend(n, 16)
+}
+
+fn descend(n: u8, depth: u8) -> u8 {
+    if n == 0 || depth == 0 {
+        0
+    } else {
+        descend(n - 1, depth - 1)
+    }
+}
+",
+    );
+    let outcome = run_check(&ws.root, &config, &ws.baseline()).expect("check guarded tree");
+    assert!(outcome.passed(), "guarded recursion passes: {outcome:?}");
+}
+
+#[test]
+fn unreachable_private_helpers_are_exempt_with_entries_present() {
+    let ws = MiniWorkspace::new("unreachable");
+    // `orphan` is private and uncalled: with a real entry point in the
+    // workspace, even the over-approximated closure cannot reach it, so
+    // its unwrap is provably dead code and not a panic hazard.
+    ws.write_file(
+        "crates/engine/src/service.rs",
+        "\
+pub fn handle_request(x: Option<u8>) -> u8 {
+    x.unwrap_or(0)
+}
+
+fn orphan(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+",
+    );
+    let findings = scan_workspace(&ws.root, &Config::default()).expect("scan");
+    assert!(findings.is_empty(), "{findings:?}");
+
+    // Without any entry point the refinement is off and the same
+    // orphan is flagged — reachability only ever *exempts* when it has
+    // real entries to reason from.
+    ws.write_file(
+        "crates/engine/src/service.rs",
+        "\
+pub fn serve(x: Option<u8>) -> u8 {
+    x.unwrap_or(0)
+}
+
+fn orphan(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+",
+    );
+    let findings = scan_workspace(&ws.root, &Config::default()).expect("rescan");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "panic-path");
+}
+
+#[test]
+fn models_panics_are_flagged_exactly_when_reachable() {
+    let ws = MiniWorkspace::new("panicreach");
+    ws.write_file(
+        "crates/engine/src/service.rs",
+        "\
+use hypar_models::shapes;
+
+pub fn handle_request(x: u64) -> u64 {
+    shapes::infer(x)
+}
+",
+    );
+    ws.write_file(
+        "crates/models/src/shapes.rs",
+        "\
+pub fn infer(x: u64) -> u64 {
+    helper(x).expect(\"fits\")
+}
+
+fn helper(x: u64) -> Option<u64> {
+    Some(x)
+}
+
+pub fn unrelated(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+",
+    );
+    let findings = scan_workspace(&ws.root, &Config::default()).expect("scan");
+    // Only the panic on the justified path from the entry survives; the
+    // pub-but-unreached `unrelated` does not (models has no standalone
+    // service surface — panics there matter exactly when a request can
+    // arrive).
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "panic-reach");
+    assert_eq!(findings[0].file, "crates/models/src/shapes.rs");
+    assert_eq!(findings[0].line, 2);
+    assert_eq!(
+        findings[0].entry_trace,
+        vec![
+            "engine::service::handle_request".to_string(),
+            "models::shapes::infer".to_string(),
+        ]
+    );
+}

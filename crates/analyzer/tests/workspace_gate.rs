@@ -90,6 +90,37 @@ fn engine_crate_has_no_panic_path_debt() {
 }
 
 #[test]
+fn interproc_rules_are_clean_workspace_wide() {
+    // PR 10 invariant: the request path holds no conflicting lock
+    // orders, no unguarded recursion, and no reachable panic in the
+    // `models`/`bench` reach crates.  All three interproc rules gate at
+    // zero tolerance against the empty baseline.
+    let findings = scan_workspace(&repo_root(), &Config::default()).expect("scan");
+    let interproc: Vec<String> = live(&findings)
+        .iter()
+        .filter(|f| {
+            f.rule == "lock-order" || f.rule == "recurse-request" || f.rule == "panic-reach"
+        })
+        .map(ToString::to_string)
+        .collect();
+    assert!(interproc.is_empty(), "interproc findings: {interproc:#?}");
+    // Every waived panic-reach site carries its justification through
+    // to the findings feed.
+    for waived in findings
+        .iter()
+        .filter(|f| f.waived && f.rule == "panic-reach")
+    {
+        assert!(
+            waived
+                .justification
+                .as_deref()
+                .is_some_and(|text| !text.trim().is_empty()),
+            "waived panic-reach lost its justification: {waived:?}"
+        );
+    }
+}
+
+#[test]
 fn determinism_rules_are_clean_workspace_wide() {
     // Satellite triage outcome, pinned: no unordered containers in
     // hashed paths (det-map-iter == 0), and every float-eq /

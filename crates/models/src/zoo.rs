@@ -48,7 +48,7 @@ pub fn by_name(name: &str) -> Option<Network> {
     NAMES
         .iter()
         .find(|candidate| canonical(candidate) == wanted)
-        .map(|candidate| by_canonical_name(candidate))
+        .and_then(|candidate| by_canonical_name(candidate))
 }
 
 /// Reduces a network name to its canonical lookup form: ASCII alphanumerics
@@ -72,20 +72,22 @@ pub fn canonical(name: &str) -> String {
         .collect()
 }
 
-/// Exact-name constructor dispatch over [`NAMES`].
-fn by_canonical_name(name: &str) -> Network {
+/// Exact-name constructor dispatch over [`NAMES`].  `None` for a name
+/// outside the registry, so a registry/dispatch mismatch degrades to
+/// "unknown network" instead of aborting the service.
+fn by_canonical_name(name: &str) -> Option<Network> {
     match name {
-        "SFC" => sfc(),
-        "SCONV" => sconv(),
-        "Lenet-c" => lenet_c(),
-        "Cifar-c" => cifar_c(),
-        "AlexNet" => alexnet(),
-        "VGG-A" => vgg_a(),
-        "VGG-B" => vgg_b(),
-        "VGG-C" => vgg_c(),
-        "VGG-D" => vgg_d(),
-        "VGG-E" => vgg_e(),
-        other => unreachable!("`{other}` is not in zoo::NAMES"),
+        "SFC" => Some(sfc()),
+        "SCONV" => Some(sconv()),
+        "Lenet-c" => Some(lenet_c()),
+        "Cifar-c" => Some(cifar_c()),
+        "AlexNet" => Some(alexnet()),
+        "VGG-A" => Some(vgg_a()),
+        "VGG-B" => Some(vgg_b()),
+        "VGG-C" => Some(vgg_c()),
+        "VGG-D" => Some(vgg_d()),
+        "VGG-E" => Some(vgg_e()),
+        _ => None,
     }
 }
 
@@ -108,6 +110,7 @@ pub fn sfc() -> Network {
         .fully_connected("fc3", 8192)
         .fully_connected("fc4", 10)
         .activation(Activation::None);
+    // hypar-allow: panic-reach — static zoo literal validated by the Table 3 shape tests; no service input reaches this builder
     b.build().expect("SFC is a valid network")
 }
 
@@ -123,6 +126,7 @@ pub fn sconv() -> Network {
         .conv("conv3", ConvSpec::valid(50, 5))
         .conv("conv4", ConvSpec::valid(10, 5))
         .pool(PoolSpec::max2());
+    // hypar-allow: panic-reach — static zoo literal validated by the Table 3 shape tests; no service input reaches this builder
     b.build().expect("SCONV is a valid network")
 }
 
@@ -137,6 +141,7 @@ pub fn lenet_c() -> Network {
         .pool(PoolSpec::max2())
         .fully_connected("fc1", 500)
         .fully_connected("fc2", 10);
+    // hypar-allow: panic-reach — static zoo literal validated by the Table 3 shape tests; no service input reaches this builder
     b.build().expect("Lenet-c is a valid network")
 }
 
@@ -154,6 +159,7 @@ pub fn cifar_c() -> Network {
         .pool(PoolSpec::max2())
         .fully_connected("fc1", 64)
         .fully_connected("fc2", 10);
+    // hypar-allow: panic-reach — static zoo literal validated by the Table 3 shape tests; no service input reaches this builder
     b.build().expect("Cifar-c is a valid network")
 }
 
@@ -182,6 +188,7 @@ pub fn alexnet() -> Network {
     .fully_connected("fc1", 4096)
     .fully_connected("fc2", 4096)
     .fully_connected("fc3", 1000);
+    // hypar-allow: panic-reach — static zoo literal validated by the Table 3 shape tests; no service input reaches this builder
     b.build().expect("AlexNet is a valid network")
 }
 
@@ -213,6 +220,7 @@ fn vgg(config: &VggConfig) -> Network {
         .fully_connected("fc2", 4096)
         .fully_connected("fc3", 1000)
         .activation(Activation::None);
+    // hypar-allow: panic-reach — static zoo literal validated by the Table 3 shape tests; no service input reaches this builder
     b.build().expect("VGG configurations are valid networks")
 }
 

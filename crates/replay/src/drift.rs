@@ -273,10 +273,23 @@ fn diff_simulations(old: Option<&StepReport>, new: Option<&StepReport>) -> Optio
 /// divergent span (e.g. `plan/compute/refine`).
 #[must_use]
 pub fn diff_spans(old: &Span, new: &Span) -> Option<DriftReport> {
-    diff_spans_at(old, new, "")
+    diff_spans_at(old, new, "", 0)
 }
 
-fn diff_spans_at(old: &Span, new: &Span, parent: &str) -> Option<DriftReport> {
+/// Span trees deeper than this stop the structural diff.  The recorder
+/// never nests spans anywhere near this far, so a replayed trace that
+/// hits the bound is itself reported as drift instead of letting a
+/// hostile golden file recurse the stack away.
+const MAX_DIFF_DEPTH: usize = 64;
+
+fn diff_spans_at(old: &Span, new: &Span, parent: &str, depth: usize) -> Option<DriftReport> {
+    if depth >= MAX_DIFF_DEPTH {
+        let location = if parent.is_empty() { "(root)" } else { parent };
+        return report(
+            location,
+            format!("span tree exceeds the diff depth bound of {MAX_DIFF_DEPTH}"),
+        );
+    }
     if old.name != new.name {
         let location = if parent.is_empty() { "(root)" } else { parent };
         return report(location, format!("span `{}` -> `{}`", old.name, new.name));
@@ -301,7 +314,7 @@ fn diff_spans_at(old: &Span, new: &Span, parent: &str) -> Option<DriftReport> {
         }
     }
     for (child_old, child_new) in old.children.iter().zip(&new.children) {
-        if let Some(drift) = diff_spans_at(child_old, child_new, &path) {
+        if let Some(drift) = diff_spans_at(child_old, child_new, &path, depth + 1) {
             return Some(drift);
         }
     }
